@@ -1,0 +1,155 @@
+// Command pisd-client simulates one user client Usr: it renders the
+// user's preferred topic images, runs the two client-side tasks of the
+// paper (GenProf feature extraction + BoW profile, ComputeLSH metadata),
+// reports their cost, and optionally uploads a policy-encrypted image to a
+// cloud server.
+//
+//	pisd-client -topics flower,dog -images 5
+//	pisd-client -topics beach -cloud 127.0.0.1:7001 -upload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pisd"
+	"pisd/internal/sharing"
+	"pisd/internal/surf"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pisd-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topicsFlag = flag.String("topics", "flower,dog", "comma-separated preferred topics")
+		images     = flag.Int("images", 5, "preferred images to generate")
+		vocabWords = flag.Int("vocab", 128, "visual-word vocabulary size")
+		userID     = flag.Uint64("id", 1, "user identifier")
+		cloudAddr  = flag.String("cloud", "", "cloud server address (empty: offline)")
+		upload     = flag.Bool("upload", false, "upload an encrypted image to the cloud")
+		seed       = flag.Int64("seed", 1, "image seed")
+	)
+	flag.Parse()
+
+	topics, err := parseTopics(*topicsFlag)
+	if err != nil {
+		return err
+	}
+
+	// The vocabulary and LSH parameters are normally pre-shared by the
+	// front end; this standalone client trains a local stand-in.
+	fmt.Println("preparing shared vocabulary ...")
+	var sample []pisd.Descriptor
+	for _, t := range pisd.AllTopics() {
+		for i := 0; i < 4; i++ {
+			im, err := pisd.RenderTopicImage(t, *seed+int64(i), 96, 96)
+			if err != nil {
+				return err
+			}
+			descs, err := surf.Extract(im, surf.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			sample = append(sample, descs...)
+		}
+	}
+	vocab, err := pisd.TrainVocabulary(sample, *vocabWords)
+	if err != nil {
+		return err
+	}
+	lshParams := pisd.DefaultFrontendConfig(vocab.Size()).LSH
+
+	user, err := pisd.NewUser(*userID, vocab, lshParams)
+	if err != nil {
+		return err
+	}
+	imgs := make([]*pisd.Image, *images)
+	for i := range imgs {
+		im, err := pisd.RenderTopicImage(topics[i%len(topics)], *seed+int64(100+i), 128, 128)
+		if err != nil {
+			return err
+		}
+		imgs[i] = im
+	}
+
+	profStart := time.Now()
+	profile, err := user.GenProf(imgs)
+	if err != nil {
+		return err
+	}
+	profDur := time.Since(profStart)
+	metaStart := time.Now()
+	meta := user.ComputeLSH(profile)
+	metaDur := time.Since(metaStart)
+
+	nonZero := 0
+	for _, v := range profile {
+		if v > 0 {
+			nonZero++
+		}
+	}
+	fmt.Printf("user %d profile: %d dims, %d active visual words\n", *userID, len(profile), nonZero)
+	fmt.Printf("GenProf (%d images): %s   ComputeLSH (%d tables): %s\n",
+		len(imgs), profDur.Round(time.Millisecond), len(meta), metaDur.Round(time.Microsecond))
+
+	if *cloudAddr == "" {
+		return nil
+	}
+	client, err := pisd.DialCloud(*cloudAddr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if *upload {
+		authority, err := pisd.NewSharingAuthority()
+		if err != nil {
+			return err
+		}
+		ct, err := authority.Encrypt(sharing.AllOf("friend"), encodeImage(imgs[0]))
+		if err != nil {
+			return err
+		}
+		if err := client.StoreImage(*userID, ct.Payload); err != nil {
+			return err
+		}
+		fmt.Printf("uploaded one encrypted image (%d B) to %s\n", len(ct.Payload), *cloudAddr)
+	}
+	return client.Ping()
+}
+
+func parseTopics(s string) ([]pisd.Topic, error) {
+	byName := make(map[string]pisd.Topic)
+	for _, t := range pisd.AllTopics() {
+		byName[t.String()] = t
+	}
+	var out []pisd.Topic
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		t, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown topic %q (known: %v)", name, pisd.AllTopics())
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no topics given")
+	}
+	return out, nil
+}
+
+// encodeImage serializes the grayscale image to bytes for upload.
+func encodeImage(im *pisd.Image) []byte {
+	out := make([]byte, 0, len(im.Pix))
+	for _, v := range im.Pix {
+		out = append(out, byte(v*255))
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+// Command pisd-experiments regenerates the tables and figures of the
+// paper's evaluation (Sec. V).
+//
+// Usage:
+//
+//	pisd-experiments [-scale quick|default|paper] [-exp fig5b,fig4a|all]
+//	                 [-index-n N] [-acc-n N] [-queries N] [-pipeline-n N]
+//	                 [-dim D] [-seed S]
+//
+// Examples:
+//
+//	pisd-experiments -scale quick -exp all
+//	pisd-experiments -exp fig4c -index-n 1000000     # paper-scale Fig 4(c)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pisd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pisd-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("pisd-experiments", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "default", "workload scale: quick, default or paper")
+		expList   = fs.String("exp", "all", "comma-separated experiments or 'all': "+strings.Join(experiments.AllExperiments(), ","))
+		indexN    = fs.Int("index-n", 0, "override: users for index experiments (Fig 4, 5a)")
+		accN      = fs.Int("acc-n", 0, "override: users for accuracy experiments (Fig 5b, 5c)")
+		queries   = fs.Int("queries", 0, "override: query count per accuracy point")
+		pipelineN = fs.Int("pipeline-n", 0, "override: users for the image-pipeline experiment (Fig 3)")
+		dim       = fs.Int("dim", 0, "override: profile dimensionality (vocabulary size)")
+		seed      = fs.Int64("seed", 0, "override: random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "default":
+		scale = experiments.Default()
+	case "paper":
+		scale = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *indexN > 0 {
+		scale.IndexUsers = *indexN
+	}
+	if *accN > 0 {
+		scale.AccuracyUsers = *accN
+	}
+	if *queries > 0 {
+		scale.Queries = *queries
+	}
+	if *pipelineN > 0 {
+		scale.PipelineUsers = *pipelineN
+	}
+	if *dim > 0 {
+		scale.Dim = *dim
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	if err := scale.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "PISD experiment harness — scale: index n=%d, accuracy n=%d, %d queries, dim=%d, seed=%d\n\n",
+		scale.IndexUsers, scale.AccuracyUsers, scale.Queries, scale.Dim, scale.Seed)
+
+	if *expList == "all" {
+		return experiments.RunAll(scale, out)
+	}
+	for _, name := range strings.Split(*expList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := experiments.Run(name, scale, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runToFile(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "nope"},
+		{"-scale", "quick", "-exp", "doesnotexist"},
+		{"-scale", "quick", "-index-n", "50", "-exp", "client"}, // below Scale minimum
+	}
+	for _, args := range cases {
+		if _, err := runToFile(t, args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunClientExperiment(t *testing.T) {
+	out, err := runToFile(t, []string{"-scale", "quick", "-exp", "client"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Client overhead", "image profile generation", "completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	out, err := runToFile(t, []string{
+		"-scale", "quick", "-exp", "fig4a",
+		"-index-n", "2000", "-seed", "9",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "index n=2000") {
+		t.Errorf("override not reflected in header:\n%s", out)
+	}
+	if !strings.Contains(out, "2000 (measured)") {
+		t.Errorf("measured row missing:\n%s", out)
+	}
+}

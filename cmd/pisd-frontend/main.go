@@ -1,0 +1,134 @@
+// Command pisd-frontend runs the trusted service front end SF against a
+// remote cloud server: it generates (or accepts) a user population, builds
+// the secure index, outsources it with the encrypted profiles over TCP,
+// and runs privacy-preserving discoveries.
+//
+//	pisd-server &                                  # terminal 1
+//	pisd-frontend -cloud 127.0.0.1:7001 -users 5000 -discover 1,2,3
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pisd"
+	"pisd/internal/dataset"
+	"pisd/internal/frontend"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pisd-frontend:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cloudAddr = flag.String("cloud", "127.0.0.1:7001", "cloud server address")
+		keysFile  = flag.String("keys", "", "key file: loaded if present, written after fresh key generation (keep it secret)")
+		users     = flag.Int("users", 5000, "population size")
+		dim       = flag.Int("dim", 500, "profile dimensionality")
+		topics    = flag.Int("topics", 25, "interest topics in the population")
+		k         = flag.Int("k", 5, "recommendations per discovery")
+		discover  = flag.String("discover", "1", "comma-separated target user ids")
+		seed      = flag.Int64("seed", 1, "population seed")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Generate(dataset.Config{
+		Users: *users, Dim: *dim, Topics: *topics, TopicsPerUser: 2,
+		ActiveWords: *dim / 12, Noise: 0.02, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	cfg := pisd.DefaultFrontendConfig(*dim)
+	var sf *pisd.Frontend
+	if *keysFile != "" {
+		if blob, err := os.ReadFile(*keysFile); err == nil {
+			sf, err = frontend.NewWithKeys(cfg, blob)
+			if err != nil {
+				return fmt.Errorf("restore keys from %s: %w", *keysFile, err)
+			}
+			fmt.Printf("restored keys from %s\n", *keysFile)
+		} else if !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	if sf == nil {
+		var err error
+		sf, err = pisd.NewFrontend(cfg)
+		if err != nil {
+			return err
+		}
+		if *keysFile != "" {
+			blob, err := sf.ExportKeys()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*keysFile, blob, 0o600); err != nil {
+				return fmt.Errorf("persist keys: %w", err)
+			}
+			fmt.Printf("generated fresh keys and saved them to %s\n", *keysFile)
+		}
+	}
+	client, err := pisd.DialCloud(*cloudAddr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	uploads := make([]pisd.Upload, len(ds.Profiles))
+	for i, p := range ds.Profiles {
+		uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+	}
+	buildStart := time.Now()
+	idx, encProfiles, err := sf.BuildIndex(uploads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built secure index over %d users in %s (%.1f MB)\n",
+		len(uploads), time.Since(buildStart).Round(time.Millisecond),
+		float64(idx.SizeBytes())/(1<<20))
+	if err := client.InstallIndex(idx); err != nil {
+		return err
+	}
+	if err := client.PutProfiles(encProfiles); err != nil {
+		return err
+	}
+	fmt.Printf("outsourced index and %d encrypted profiles to %s\n", len(encProfiles), *cloudAddr)
+
+	for _, tok := range strings.Split(*discover, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil || id == 0 || id > uint64(len(ds.Profiles)) {
+			return fmt.Errorf("invalid target user %q", tok)
+		}
+		start := time.Now()
+		matches, err := sf.Discover(client, ds.Profiles[id-1], *k, id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\ndiscovery for user %d (topics %v) took %s:\n",
+			id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond))
+		for rank, m := range matches {
+			fmt.Printf("  %d. user %-6d distance %.4f topics %v\n",
+				rank+1, m.ID, m.Distance, ds.UserTopics[m.ID-1])
+		}
+	}
+	sent, recv := client.Traffic()
+	fmt.Printf("\ntotal traffic: %.1f KB sent, %.1f KB received\n",
+		float64(sent)/1024, float64(recv)/1024)
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command pisd-server runs the untrusted cloud server CS: a TCP service
+// storing encrypted images, encrypted profiles and the secure index, and
+// answering SecRec discovery requests and dynamic bucket updates. It holds
+// no key material.
+//
+//	pisd-server -addr 127.0.0.1:7001 [-state /var/lib/pisd]
+//
+// With -state, the server loads its ciphertext state (index, encrypted
+// profiles, encrypted images) from the directory at startup and saves it
+// back on shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pisd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pisd-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	stateDir := flag.String("state", "", "state directory for persistence (empty: in-memory only)")
+	flag.Parse()
+
+	cs := pisd.NewCloud()
+	if *stateDir != "" {
+		if err := cs.LoadFrom(*stateDir); err != nil {
+			return fmt.Errorf("load state: %w", err)
+		}
+		fmt.Printf("loaded state from %s (%d profiles)\n", *stateDir, cs.NumProfiles())
+	}
+	server := pisd.NewCloudServer(cs)
+	bound, err := server.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pisd cloud server listening on %s (ciphertext only, no keys)\n", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("shutting down ...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		return err
+	}
+	if *stateDir != "" {
+		if err := cs.SaveTo(*stateDir); err != nil {
+			return fmt.Errorf("save state: %w", err)
+		}
+		fmt.Printf("saved state to %s\n", *stateDir)
+	}
+	return nil
+}

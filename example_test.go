@@ -1,0 +1,108 @@
+package pisd_test
+
+import (
+	"fmt"
+	"log"
+
+	"pisd"
+	"pisd/internal/dataset"
+	"pisd/internal/sharing"
+	"pisd/internal/surf"
+)
+
+// The shortest path from profiles to private recommendations: an
+// in-process System wiring the front end and the cloud together.
+func ExampleSystem() {
+	ds, err := dataset.Generate(dataset.Config{
+		Users: 500, Dim: 200, Topics: 10, TopicsPerUser: 2,
+		ActiveWords: 25, Noise: 0.02, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pisd.DefaultSystemConfig(200)
+	cfg.Frontend.KeySeed = "example" // deterministic output for the doc test
+	sys, err := pisd.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	uploads := make([]pisd.Upload, len(ds.Profiles))
+	for i, p := range ds.Profiles {
+		uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sys.SF.ComputeMeta(p)}
+	}
+	if err := sys.AddProfiles(uploads); err != nil {
+		log.Fatal(err)
+	}
+	matches, err := sys.Discover(ds.Profiles[0], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The nearest profile to user 1's own profile is user 1, at distance 0.
+	fmt.Printf("top match: user %d, distance %.1f\n", matches[0].ID, matches[0].Distance)
+	// Output: top match: user 1, distance 0.0
+}
+
+// A user client running the paper's two local tasks, GenProf and
+// ComputeLSH, over rendered topic images.
+func ExampleUser_upload() {
+	// The front end pre-shares the vocabulary and LSH parameters; here a
+	// tiny stand-in vocabulary keeps the example fast.
+	var sample []pisd.Descriptor
+	for i := int64(0); i < 3; i++ {
+		im, err := pisd.RenderTopicImage(pisd.Topic(1), i, 96, 96)
+		if err != nil {
+			log.Fatal(err)
+		}
+		descs, err := extractDescriptors(im)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sample = append(sample, descs...)
+	}
+	vocab, err := pisd.TrainVocabulary(sample, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	user, err := pisd.NewUser(7, vocab, pisd.LSHParams{Dim: 16, Tables: 4, Atoms: 2, Width: 0.8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := pisd.RenderTopicImage(pisd.Topic(1), 99, 96, 96)
+	if err != nil {
+		log.Fatal(err)
+	}
+	up, err := user.Upload([]*pisd.Image{im})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user %d: %d-dim profile, %d LSH tables\n", up.ID, len(up.Profile), len(up.Meta))
+	// Output: user 7: 16-dim profile, 4 LSH tables
+}
+
+// Encrypted image sharing under an attribute policy (Sec. III-E).
+func ExampleSharingAuthority() {
+	authority := sharing.NewAuthorityFromSeed("doc-example")
+	ct, err := authority.Encrypt(sharing.AllOf("family"), []byte("photo bytes"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	family := authority.IssueKeys([]sharing.Attribute{"family"})
+	pt, err := sharing.Decrypt(family, ct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("family reads %d bytes\n", len(pt))
+	stranger := authority.IssueKeys([]sharing.Attribute{"coworker"})
+	if _, err := sharing.Decrypt(stranger, ct); err != nil {
+		fmt.Println("stranger denied")
+	}
+	// Output:
+	// family reads 11 bytes
+	// stranger denied
+}
+
+// extractDescriptors is the SURF extraction a real client performs inside
+// GenProf, exposed here for vocabulary bootstrapping.
+func extractDescriptors(im *pisd.Image) ([]pisd.Descriptor, error) {
+	return surf.Extract(im, surf.DefaultOptions())
+}

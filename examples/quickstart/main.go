@@ -1,0 +1,79 @@
+// Quickstart: build a privacy-preserving social discovery system over a
+// synthetic population of user image profiles and run one discovery.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pisd"
+	"pisd/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A population of 2000 users whose image profiles cluster by interest
+	// topic (the structure real Bag-of-Words profiles have).
+	ds, err := dataset.Generate(dataset.Config{
+		Users: 2000, Dim: 500, Topics: 20, TopicsPerUser: 2,
+		ActiveWords: 50, Noise: 0.02, Seed: 42,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The service front end (trusted) plus an in-process cloud (untrusted).
+	cfg := pisd.DefaultSystemConfig(500)
+	sys, err := pisd.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Service frontend initialization: every user uploads (S, V); SF
+	// builds the secure index and outsources ciphertext to the cloud.
+	uploads := make([]pisd.Upload, len(ds.Profiles))
+	for i, p := range ds.Profiles {
+		uploads[i] = pisd.Upload{
+			ID:      uint64(i + 1),
+			Profile: p,
+			Meta:    sys.SF.ComputeMeta(p),
+		}
+	}
+	if err := sys.AddProfiles(uploads); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d encrypted profiles; cloud stores %s of index\n",
+		len(uploads), byteSize(sys.CS.IndexSizeBytes()))
+
+	// Privacy-preserving discovery for user 1: the cloud sees only a
+	// trapdoor and returns encrypted matches; SF decrypts and ranks.
+	target := uint64(1)
+	matches, err := sys.DiscoverFor(target, ds.Profiles[0], 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top-%d recommendations for user %d (topics %v):\n", len(matches), target, ds.UserTopics[0])
+	for rank, m := range matches {
+		fmt.Printf("  %d. user %-5d distance %.4f topics %v\n",
+			rank+1, m.ID, m.Distance, ds.UserTopics[m.ID-1])
+	}
+	return nil
+}
+
+func byteSize(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,3 @@
+module pisd
+
+go 1.24

@@ -1,0 +1,223 @@
+// Package asperank implements the encrypted cloud-side distance ranking
+// the paper defers to future work (Sec. III-C: "our design can be combined
+// with existing encryption techniques ... which is expected to further
+// support encrypted cloud side distance ranking"): the Asymmetric
+// Scalar-Product-preserving Encryption (ASPE) of Wong, Cheung, Kao and
+// Mamoulis (SIGMOD'09), the construction behind the secure-kNN line of
+// work the paper cites ([24], [30]).
+//
+// The front end holds a secret invertible matrix M over R^{(m+1)×(m+1)}.
+// A profile p is stored at the cloud as E(p) = Mᵀ·p̂ with p̂ = (p, −½‖p‖²);
+// a query q becomes the token T(q) = M⁻¹·(r·q, r) for a fresh random
+// r > 0. Then
+//
+//	E(p) · T(q) = r·(p·q − ½‖p‖²) = −r/2·(‖p−q‖² − ‖q‖²),
+//
+// which for a fixed query is strictly decreasing in the Euclidean distance
+// ‖p−q‖ — so the cloud can rank encrypted profiles by dot product and
+// return only the top-k identifiers, cutting the response from k full
+// profile ciphertexts to k ids.
+//
+// SECURITY NOTE: ASPE protects against a ciphertext-only adversary but is
+// broken under known-plaintext attack (Yao, Li, Xiao — ICDE'13, the
+// paper's [30]). The paper makes the same observation about this line of
+// work ("the security strength is limited"). This package exists to
+// reproduce the deferred comparison, not as a recommended default; the
+// main scheme's retrieve-then-rank flow remains the provably secure path.
+package asperank
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Scheme holds the front end's secret matrices.
+type Scheme struct {
+	dim int // m, the profile dimensionality; matrices are (m+1)×(m+1)
+	m   [][]float64
+	inv [][]float64
+	rng *rand.Rand
+}
+
+// EncProfile is one cloud-resident encrypted profile.
+type EncProfile struct {
+	ID  uint64
+	Vec []float64 // Mᵀ·p̂
+}
+
+// Token is one query token.
+type Token struct {
+	Vec []float64 // M⁻¹·(r·q, r)
+}
+
+// New creates a scheme for profiles of the given dimensionality. seed
+// drives matrix generation and per-query randomness (use a crypto source
+// in production; deterministic seeding keeps experiments reproducible).
+func New(dim int, seed int64) (*Scheme, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("asperank: dim must be >= 1, got %d", dim)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := dim + 1
+	for attempt := 0; attempt < 10; attempt++ {
+		m := randomMatrix(rng, n)
+		inv, ok := invert(m)
+		if !ok {
+			continue
+		}
+		return &Scheme{dim: dim, m: m, inv: inv, rng: rng}, nil
+	}
+	return nil, fmt.Errorf("asperank: could not draw an invertible matrix")
+}
+
+// randomMatrix draws a well-conditioned random matrix: Gaussian entries
+// with a boosted diagonal.
+func randomMatrix(rng *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+		m[i][i] += float64(n) // diagonal dominance → invertible, well-conditioned
+	}
+	return m
+}
+
+// invert computes the inverse via Gauss-Jordan with partial pivoting.
+func invert(a [][]float64) ([][]float64, bool) {
+	n := len(a)
+	// Augmented [A | I].
+	aug := make([][]float64, n)
+	for i := range aug {
+		aug[i] = make([]float64, 2*n)
+		copy(aug[i], a[i])
+		aug[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(aug[r][col]) > abs(aug[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(aug[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+		// Normalize and eliminate.
+		p := aug[col][col]
+		for j := 0; j < 2*n; j++ {
+			aug[col][j] /= p
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug[r][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug[r][j] -= f * aug[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, n)
+	for i := range inv {
+		inv[i] = make([]float64, n)
+		copy(inv[i], aug[i][n:])
+	}
+	return inv, true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Encrypt produces the cloud-side encryption of one profile.
+func (s *Scheme) Encrypt(id uint64, profile []float64) (*EncProfile, error) {
+	if len(profile) != s.dim {
+		return nil, fmt.Errorf("asperank: profile dim %d, want %d", len(profile), s.dim)
+	}
+	n := s.dim + 1
+	// p̂ = (p, -0.5·|p|²)
+	hat := make([]float64, n)
+	var norm2 float64
+	for i, x := range profile {
+		hat[i] = x
+		norm2 += x * x
+	}
+	hat[s.dim] = -0.5 * norm2
+	// Mᵀ·p̂  (row i of result = column i of M dotted with p̂)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += s.m[j][i] * hat[j]
+		}
+		out[i] = sum
+	}
+	return &EncProfile{ID: id, Vec: out}, nil
+}
+
+// TokenFor produces a fresh query token (new random scale every call, so
+// tokens for the same query are unlinkable by magnitude).
+func (s *Scheme) TokenFor(query []float64) (*Token, error) {
+	if len(query) != s.dim {
+		return nil, fmt.Errorf("asperank: query dim %d, want %d", len(query), s.dim)
+	}
+	n := s.dim + 1
+	r := 0.5 + s.rng.Float64() // r > 0
+	hat := make([]float64, n)
+	for i, x := range query {
+		hat[i] = r * x
+	}
+	hat[s.dim] = r
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += s.inv[i][j] * hat[j]
+		}
+		out[i] = sum
+	}
+	return &Token{Vec: out}, nil
+}
+
+// Rank is the cloud-side operation: order the encrypted profiles by
+// decreasing E(p)·T(q) — i.e. increasing true distance — and return the
+// top-k identifiers. The cloud never sees a plaintext profile or distance.
+func Rank(profiles []*EncProfile, t *Token, k int) []uint64 {
+	type scored struct {
+		id    uint64
+		score float64
+	}
+	ss := make([]scored, len(profiles))
+	for i, p := range profiles {
+		var dot float64
+		for j := range p.Vec {
+			dot += p.Vec[j] * t.Vec[j]
+		}
+		ss[i] = scored{id: p.ID, score: dot}
+	}
+	sort.Slice(ss, func(a, b int) bool {
+		if ss[a].score != ss[b].score {
+			return ss[a].score > ss[b].score
+		}
+		return ss[a].id < ss[b].id
+	})
+	if k > 0 && len(ss) > k {
+		ss = ss[:k]
+	}
+	out := make([]uint64, len(ss))
+	for i, s := range ss {
+		out[i] = s.id
+	}
+	return out
+}

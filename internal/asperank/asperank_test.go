@@ -1,0 +1,217 @@
+package asperank
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pisd/internal/vec"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := New(8, 1); err != nil {
+		t.Errorf("valid dim rejected: %v", err)
+	}
+}
+
+func TestInvertCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		m := randomMatrix(rng, n)
+		inv, ok := invert(m)
+		if !ok {
+			t.Fatal("well-conditioned matrix not invertible")
+		}
+		// M · M⁻¹ = I
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for k := 0; k < n; k++ {
+					sum += m[i][k] * inv[k][j]
+				}
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if math.Abs(sum-want) > 1e-8 {
+					t.Fatalf("M·M⁻¹[%d][%d] = %v", i, j, sum)
+				}
+			}
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	singular := [][]float64{{1, 2}, {2, 4}}
+	if _, ok := invert(singular); ok {
+		t.Error("singular matrix inverted")
+	}
+}
+
+func TestEncryptTokenDims(t *testing.T) {
+	s, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Encrypt(1, []float64{1, 2}); err == nil {
+		t.Error("wrong profile dim accepted")
+	}
+	if _, err := s.TokenFor([]float64{1}); err == nil {
+		t.Error("wrong query dim accepted")
+	}
+}
+
+// The load-bearing property: cloud-side ranking by encrypted dot product
+// equals plaintext ranking by Euclidean distance.
+func TestRankMatchesPlaintextOrder(t *testing.T) {
+	const dim, n = 16, 200
+	s, err := New(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	profiles := make([][]float64, n)
+	enc := make([]*EncProfile, n)
+	for i := range profiles {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		profiles[i] = vec.Normalize(p)
+		e, err := s.Encrypt(uint64(i+1), profiles[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc[i] = e
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		vec.Normalize(q)
+		tok, err := s.TokenFor(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Rank(enc, tok, 10)
+
+		// Plaintext ground truth.
+		type pd struct {
+			id   uint64
+			dist float64
+		}
+		all := make([]pd, n)
+		for i, p := range profiles {
+			all[i] = pd{uint64(i + 1), vec.Distance(q, p)}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].dist != all[b].dist {
+				return all[a].dist < all[b].dist
+			}
+			return all[a].id < all[b].id
+		})
+		for i := range got {
+			if got[i] != all[i].id {
+				t.Fatalf("trial %d rank %d: cloud %d vs plaintext %d", trial, i, got[i], all[i].id)
+			}
+		}
+	}
+}
+
+// Fresh tokens for the same query must differ (random r), yet rank
+// identically.
+func TestTokensUnlinkableButConsistent(t *testing.T) {
+	const dim = 8
+	s, err := New(dim, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	q := make([]float64, dim)
+	for j := range q {
+		q[j] = rng.Float64()
+	}
+	t1, err := s.TokenFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.TokenFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range t1.Vec {
+		if t1.Vec[j] != t2.Vec[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("two tokens for the same query are identical")
+	}
+	var enc []*EncProfile
+	for i := 0; i < 50; i++ {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		e, err := s.Encrypt(uint64(i+1), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc = append(enc, e)
+	}
+	r1 := Rank(enc, t1, 10)
+	r2 := Rank(enc, t2, 10)
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("tokens for the same query rank differently")
+		}
+	}
+}
+
+// Ciphertexts reveal no direct plaintext structure: the encrypted vector
+// of a basis profile is dense (no zero passthrough).
+func TestCiphertextNotPassthrough(t *testing.T) {
+	const dim = 6
+	s, err := New(dim, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, dim)
+	p[0] = 1 // basis vector
+	e, err := s.Encrypt(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, x := range e.Vec {
+		if x == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Errorf("ciphertext has %d zero entries for a basis profile", zeros)
+	}
+}
+
+func TestRankKClamp(t *testing.T) {
+	s, err := New(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := s.Encrypt(1, []float64{1, 0})
+	tok, _ := s.TokenFor([]float64{1, 0})
+	if got := Rank([]*EncProfile{e1}, tok, 5); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Rank = %v", got)
+	}
+	if got := Rank(nil, tok, 5); len(got) != 0 {
+		t.Errorf("Rank(nil) = %v", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package baseline provides the two plaintext comparison points of the
+// paper's accuracy evaluation (Fig. 5(b)):
+//
+//   - brute-force exact nearest neighbours — the ground truth {S′} of the
+//     accuracy metric; and
+//   - the "baseline approach": plain LSH candidate retrieval (all users in
+//     the l matching buckets) followed by exact distance ranking, which
+//     retrieves a much larger candidate set than the secure index and
+//     therefore upper-bounds its accuracy.
+//
+// It also implements the paper's accuracy measure
+// (1/K)·Σ ‖S′ᵢ − S_q‖ / ‖Sᵢ − S_q‖, a ratio in (0, 1] where 1 means the
+// retrieved top-K distances equal the true nearest-neighbour distances.
+package baseline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pisd/internal/lsh"
+	"pisd/internal/vec"
+)
+
+// BruteForceTopK returns the exact k nearest profiles to query (Euclidean),
+// as (user index, distance) pairs in ascending distance order. It fans the
+// scan across CPUs for the large ground-truth computations of Fig. 5.
+func BruteForceTopK(profiles [][]float64, query []float64, k int) []vec.Scored {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(profiles) {
+		workers = 1
+	}
+	if workers <= 1 {
+		tk := vec.NewTopK(k)
+		for i, p := range profiles {
+			tk.Offer(uint64(i), vec.Distance(query, p))
+		}
+		return tk.Sorted()
+	}
+	chunk := (len(profiles) + workers - 1) / workers
+	partial := make([][]vec.Scored, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(profiles) {
+			hi = len(profiles)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			tk := vec.NewTopK(k)
+			for i := lo; i < hi; i++ {
+				tk.Offer(uint64(i), vec.Distance(query, profiles[i]))
+			}
+			partial[w] = tk.Sorted()
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	merged := vec.NewTopK(k)
+	for _, part := range partial {
+		for _, s := range part {
+			merged.Offer(s.ID, s.Score)
+		}
+	}
+	return merged.Sorted()
+}
+
+// PlainLSH is the plaintext LSH search baseline: per table, a map from the
+// table's LSH value to every user carrying it.
+type PlainLSH struct {
+	tables []map[uint64][]int
+	l      int
+}
+
+// NewPlainLSH indexes users 0..n-1 by their metadata.
+func NewPlainLSH(metas []lsh.Metadata) (*PlainLSH, error) {
+	if len(metas) == 0 {
+		return nil, fmt.Errorf("baseline: empty metadata set")
+	}
+	l := len(metas[0])
+	idx := &PlainLSH{l: l, tables: make([]map[uint64][]int, l)}
+	for j := 0; j < l; j++ {
+		idx.tables[j] = make(map[uint64][]int)
+	}
+	for i, m := range metas {
+		if len(m) != l {
+			return nil, fmt.Errorf("baseline: user %d metadata arity %d, want %d", i, len(m), l)
+		}
+		for j := 0; j < l; j++ {
+			idx.tables[j][m[j]] = append(idx.tables[j][m[j]], i)
+		}
+	}
+	return idx, nil
+}
+
+// Candidates returns the deduplicated union of users in the l buckets
+// matching meta — the (large) candidate set of the baseline flow.
+func (x *PlainLSH) Candidates(meta lsh.Metadata) []int {
+	if len(meta) != x.l {
+		return nil
+	}
+	seen := make(map[int]struct{})
+	out := make([]int, 0, 64)
+	for j := 0; j < x.l; j++ {
+		for _, u := range x.tables[j][meta[j]] {
+			if _, dup := seen[u]; !dup {
+				seen[u] = struct{}{}
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// TopK ranks the candidate set by exact distance to query and returns at
+// most k (user index, distance) pairs ascending.
+func (x *PlainLSH) TopK(profiles [][]float64, query []float64, meta lsh.Metadata, k int) []vec.Scored {
+	tk := vec.NewTopK(k)
+	for _, u := range x.Candidates(meta) {
+		tk.Offer(uint64(u), vec.Distance(query, profiles[u]))
+	}
+	return tk.Sorted()
+}
+
+// RankCandidates ranks an arbitrary candidate id set by exact distance to
+// query; used to rank the secure index's retrieved profiles.
+func RankCandidates(profiles [][]float64, query []float64, candidates []int, k int) []vec.Scored {
+	tk := vec.NewTopK(k)
+	for _, u := range candidates {
+		if u < 0 || u >= len(profiles) {
+			continue
+		}
+		tk.Offer(uint64(u), vec.Distance(query, profiles[u]))
+	}
+	return tk.Sorted()
+}
+
+// AccuracyRatio implements the paper's metric over one query:
+// (1/K)·Σᵢ ‖S′ᵢ − S_q‖ / ‖Sᵢ − S_q‖ with S′ the ground truth and S the
+// retrieved ranking, where both lists carry precomputed distances to S_q.
+// K is len(groundTruth); a retrieved list shorter than K contributes 0 for
+// each missing rank (the scheme failed to produce K candidates). An exact
+// tie (both distances zero) scores 1.
+func AccuracyRatio(groundTruth, retrieved []vec.Scored) float64 {
+	if len(groundTruth) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range groundTruth {
+		if i >= len(retrieved) {
+			continue // missing rank contributes 0
+		}
+		gt, got := groundTruth[i].Score, retrieved[i].Score
+		switch {
+		case got == 0 && gt == 0:
+			sum++
+		case got == 0:
+			// Retrieved an exact duplicate although ground truth is
+			// farther: cannot happen for true ground truth, but guard
+			// against division by zero.
+			sum++
+		default:
+			sum += gt / got
+		}
+	}
+	return sum / float64(len(groundTruth))
+}

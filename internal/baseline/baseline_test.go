@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pisd/internal/lsh"
+	"pisd/internal/vec"
+)
+
+func randProfiles(rng *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = vec.Normalize(v)
+	}
+	return out
+}
+
+func TestBruteForceTopKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	profiles := randProfiles(rng, 500, 16)
+	query := vec.Normalize(randProfiles(rng, 1, 16)[0])
+	got := BruteForceTopK(profiles, query, 10)
+
+	type pair struct {
+		id   int
+		dist float64
+	}
+	all := make([]pair, len(profiles))
+	for i, p := range profiles {
+		all[i] = pair{i, vec.Distance(query, p)}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].dist < all[b].dist })
+	if len(got) != 10 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := range got {
+		if got[i].ID != uint64(all[i].id) || math.Abs(got[i].Score-all[i].dist) > 1e-12 {
+			t.Fatalf("rank %d: got (%d,%v), want (%d,%v)", i, got[i].ID, got[i].Score, all[i].id, all[i].dist)
+		}
+	}
+}
+
+func TestBruteForceSmallerThanK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	profiles := randProfiles(rng, 3, 8)
+	got := BruteForceTopK(profiles, profiles[0], 10)
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	if got[0].ID != 0 || got[0].Score != 0 {
+		t.Errorf("self should rank first: %+v", got[0])
+	}
+}
+
+func TestPlainLSHCandidates(t *testing.T) {
+	metas := []lsh.Metadata{
+		{1, 2},
+		{1, 3},
+		{4, 2},
+		{5, 6},
+	}
+	idx, err := NewPlainLSH(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Candidates(lsh.Metadata{1, 2})
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for _, u := range got {
+		if !want[u] {
+			t.Fatalf("unexpected candidate %d", u)
+		}
+	}
+	if c := idx.Candidates(lsh.Metadata{9, 9}); len(c) != 0 {
+		t.Errorf("no-match candidates = %v", c)
+	}
+	if c := idx.Candidates(lsh.Metadata{1}); c != nil {
+		t.Errorf("wrong arity should return nil, got %v", c)
+	}
+}
+
+func TestNewPlainLSHRejectsBadInput(t *testing.T) {
+	if _, err := NewPlainLSH(nil); err == nil {
+		t.Error("empty metadata accepted")
+	}
+	if _, err := NewPlainLSH([]lsh.Metadata{{1, 2}, {1}}); err == nil {
+		t.Error("ragged metadata accepted")
+	}
+}
+
+func TestPlainLSHTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	profiles := randProfiles(rng, 50, 8)
+	metas := make([]lsh.Metadata, 50)
+	for i := range metas {
+		metas[i] = lsh.Metadata{uint64(i % 5), uint64(i % 3)}
+	}
+	idx, err := NewPlainLSH(metas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.TopK(profiles, profiles[0], metas[0], 5)
+	if len(got) == 0 {
+		t.Fatal("no results")
+	}
+	if got[0].ID != 0 {
+		t.Errorf("self not ranked first: %+v", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score < got[i-1].Score {
+			t.Fatal("results not sorted ascending")
+		}
+	}
+}
+
+func TestRankCandidatesIgnoresOutOfRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	profiles := randProfiles(rng, 10, 8)
+	got := RankCandidates(profiles, profiles[0], []int{-1, 3, 99, 0}, 5)
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2 (out-of-range dropped)", len(got))
+	}
+	if got[0].ID != 0 {
+		t.Errorf("self not first: %+v", got)
+	}
+}
+
+func TestAccuracyRatio(t *testing.T) {
+	gt := []vec.Scored{{ID: 1, Score: 1}, {ID: 2, Score: 2}}
+	perfect := []vec.Scored{{ID: 1, Score: 1}, {ID: 2, Score: 2}}
+	if got := AccuracyRatio(gt, perfect); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect accuracy = %v, want 1", got)
+	}
+	worse := []vec.Scored{{ID: 9, Score: 2}, {ID: 8, Score: 4}}
+	if got := AccuracyRatio(gt, worse); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half accuracy = %v, want 0.5", got)
+	}
+	short := []vec.Scored{{ID: 1, Score: 1}}
+	if got := AccuracyRatio(gt, short); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("missing rank accuracy = %v, want 0.5", got)
+	}
+	if got := AccuracyRatio(nil, perfect); got != 0 {
+		t.Errorf("empty ground truth = %v, want 0", got)
+	}
+	// Zero distances (exact duplicates) must not divide by zero.
+	zs := []vec.Scored{{ID: 1, Score: 0}}
+	if got := AccuracyRatio(zs, zs); got != 1 {
+		t.Errorf("zero-distance accuracy = %v, want 1", got)
+	}
+}
+
+func TestAccuracyRatioBounded(t *testing.T) {
+	// For true ground truth, gt[i] <= retrieved[i], so the ratio is <= 1.
+	rng := rand.New(rand.NewSource(5))
+	profiles := randProfiles(rng, 300, 16)
+	query := vec.Normalize(randProfiles(rng, 1, 16)[0])
+	gt := BruteForceTopK(profiles, query, 10)
+	// A lossy retrieval: rank only every third profile.
+	var sub []int
+	for i := 0; i < len(profiles); i += 3 {
+		sub = append(sub, i)
+	}
+	retrieved := RankCandidates(profiles, query, sub, 10)
+	r := AccuracyRatio(gt, retrieved)
+	if r <= 0 || r > 1+1e-12 {
+		t.Errorf("accuracy ratio %v out of (0,1]", r)
+	}
+}
+
+func BenchmarkBruteForce100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	profiles := randProfiles(rng, 100000, 64)
+	query := profiles[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForceTopK(profiles, query, 50)
+	}
+}

@@ -1,0 +1,185 @@
+// Package cloud implements the untrusted, honest-but-curious cloud server
+// CS of the paper's architecture (Fig. 1): the off-premise backend that
+// stores encrypted images and encrypted image profiles, hosts the secure
+// index, and serves SecRec discovery requests and dynamic bucket updates —
+// all without ever holding key material.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pisd/internal/core"
+)
+
+var (
+	// ErrNoIndex is returned when a request needs an index that has not
+	// been installed yet.
+	ErrNoIndex = errors.New("cloud: no index installed")
+	// ErrUnknownProfile is returned when a referenced profile is missing.
+	ErrUnknownProfile = errors.New("cloud: unknown profile")
+)
+
+// Server is the cloud server state. All methods are safe for concurrent
+// use.
+type Server struct {
+	mu       sync.RWMutex
+	idx      *core.Index
+	dyn      *core.DynIndex
+	profiles map[uint64][]byte
+	images   map[uint64][][]byte
+}
+
+// Compile-time check: the server exposes the dynamic scheme's bucket
+// store surface.
+var _ core.BucketStore = (*Server)(nil)
+
+// New returns an empty cloud server.
+func New() *Server {
+	return &Server{
+		profiles: make(map[uint64][]byte),
+		images:   make(map[uint64][][]byte),
+	}
+}
+
+// SetIndex installs the static secure index.
+func (s *Server) SetIndex(idx *core.Index) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx = idx
+}
+
+// SetDynIndex installs the dynamic secure index.
+func (s *Server) SetDynIndex(idx *core.DynIndex) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dyn = idx
+}
+
+// PutProfile stores one encrypted profile S*.
+func (s *Server) PutProfile(id uint64, ct []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles[id] = append([]byte(nil), ct...)
+}
+
+// PutProfiles stores a batch of encrypted profiles.
+func (s *Server) PutProfiles(cts map[uint64][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ct := range cts {
+		s.profiles[id] = append([]byte(nil), ct...)
+	}
+}
+
+// DeleteProfile removes an encrypted profile (secure deletion, Sec. III-D:
+// "The identifier Li is also passed to CS to remove the encrypted S*").
+func (s *Server) DeleteProfile(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.profiles, id)
+}
+
+// NumProfiles reports how many encrypted profiles are stored.
+func (s *Server) NumProfiles() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.profiles)
+}
+
+// SecRec implements M ← SecRec(t, I): it unmasks the addressed buckets of
+// the static index and returns the recovered identifiers together with the
+// referenced encrypted profiles. Identifiers whose profile is missing are
+// skipped (consistent with buckets that decoded from stale state).
+func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.idx == nil {
+		return nil, nil, ErrNoIndex
+	}
+	ids, err := s.idx.SecRec(t)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cloud: %w", err)
+	}
+	outIDs := make([]uint64, 0, len(ids))
+	outProfiles := make([][]byte, 0, len(ids))
+	for _, id := range ids {
+		ct, ok := s.profiles[id]
+		if !ok {
+			continue
+		}
+		outIDs = append(outIDs, id)
+		outProfiles = append(outProfiles, ct)
+	}
+	return outIDs, outProfiles, nil
+}
+
+// FetchProfiles returns the encrypted profiles of the given identifiers,
+// the second interaction of a dynamic-scheme search.
+func (s *Server) FetchProfiles(ids []uint64) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		ct, ok := s.profiles[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrUnknownProfile, id)
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// FetchBuckets implements core.BucketStore over the installed dynamic
+// index.
+func (s *Server) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.dyn == nil {
+		return nil, ErrNoIndex
+	}
+	return s.dyn.FetchBuckets(refs)
+}
+
+// StoreBuckets implements core.BucketStore over the installed dynamic
+// index.
+func (s *Server) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dyn == nil {
+		return ErrNoIndex
+	}
+	return s.dyn.StoreBuckets(refs, buckets)
+}
+
+// StoreImages appends encrypted image blobs for a user (Step 1 of the
+// service flow: users upload encrypted images directly to CS).
+func (s *Server) StoreImages(id uint64, blobs ...[]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range blobs {
+		s.images[id] = append(s.images[id], append([]byte(nil), b...))
+	}
+}
+
+// Images returns copies of a user's stored encrypted images.
+func (s *Server) Images(id uint64) [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]byte, len(s.images[id]))
+	for i, b := range s.images[id] {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// IndexSizeBytes reports the installed static index footprint (0 if none).
+func (s *Server) IndexSizeBytes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.idx == nil {
+		return 0
+	}
+	return s.idx.SizeBytes()
+}

@@ -1,0 +1,269 @@
+package cloud
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"pisd/internal/core"
+)
+
+// Persistence: the cloud server can save its entire state — secure
+// index(es), encrypted profiles, encrypted images — to a directory and
+// reload it on restart. Everything written is ciphertext or padding, so
+// the state directory is exactly as sensitive as the server's memory:
+// opaque to anyone without the front end's keys.
+
+// State file names inside the directory.
+const (
+	fileIndex    = "index.bin"
+	fileDynIndex = "dynindex.bin"
+	fileProfiles = "profiles.bin"
+	fileImages   = "images.bin"
+)
+
+const profilesMagic = 0x50505246 // "PPRF"
+const imagesMagic = 0x50494D47   // "PIMG"
+
+// SaveTo writes the server state into dir (created if absent). Files for
+// absent components are removed so a reload reflects the live state.
+func (s *Server) SaveTo(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cloud: save: %w", err)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	if s.idx != nil {
+		blob, err := s.idx.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("cloud: save index: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fileIndex), blob, 0o644); err != nil {
+			return fmt.Errorf("cloud: save index: %w", err)
+		}
+	} else {
+		removeIfExists(filepath.Join(dir, fileIndex))
+	}
+	if s.dyn != nil {
+		blob, err := s.dyn.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("cloud: save dynamic index: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fileDynIndex), blob, 0o644); err != nil {
+			return fmt.Errorf("cloud: save dynamic index: %w", err)
+		}
+	} else {
+		removeIfExists(filepath.Join(dir, fileDynIndex))
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, fileProfiles), encodeProfiles(s.profiles), 0o644); err != nil {
+		return fmt.Errorf("cloud: save profiles: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, fileImages), encodeImages(s.images), 0o644); err != nil {
+		return fmt.Errorf("cloud: save images: %w", err)
+	}
+	return nil
+}
+
+// LoadFrom replaces the server state with the contents of dir. Missing
+// index files leave the corresponding index uninstalled; missing profile
+// or image files yield empty stores.
+func (s *Server) LoadFrom(dir string) error {
+	var idx *core.Index
+	if blob, err := os.ReadFile(filepath.Join(dir, fileIndex)); err == nil {
+		idx = &core.Index{}
+		if err := idx.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("cloud: load index: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cloud: load index: %w", err)
+	}
+	var dyn *core.DynIndex
+	if blob, err := os.ReadFile(filepath.Join(dir, fileDynIndex)); err == nil {
+		dyn = &core.DynIndex{}
+		if err := dyn.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("cloud: load dynamic index: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cloud: load dynamic index: %w", err)
+	}
+
+	profiles := make(map[uint64][]byte)
+	if blob, err := os.ReadFile(filepath.Join(dir, fileProfiles)); err == nil {
+		profiles, err = decodeProfiles(blob)
+		if err != nil {
+			return fmt.Errorf("cloud: load profiles: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cloud: load profiles: %w", err)
+	}
+	images := make(map[uint64][][]byte)
+	if blob, err := os.ReadFile(filepath.Join(dir, fileImages)); err == nil {
+		images, err = decodeImages(blob)
+		if err != nil {
+			return fmt.Errorf("cloud: load images: %w", err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cloud: load images: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx = idx
+	s.dyn = dyn
+	s.profiles = profiles
+	s.images = images
+	return nil
+}
+
+func removeIfExists(path string) {
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		// Removal failure only means a stale file may survive; surfaced
+		// on the next load as harmless extra state.
+		_ = err
+	}
+}
+
+func encodeProfiles(profiles map[uint64][]byte) []byte {
+	out := make([]byte, 0, 12)
+	out = appendUint32(out, profilesMagic)
+	out = appendUint64(out, uint64(len(profiles)))
+	for id, ct := range profiles {
+		out = appendUint64(out, id)
+		out = appendUint32(out, uint32(len(ct)))
+		out = append(out, ct...)
+	}
+	return out
+}
+
+func decodeProfiles(data []byte) (map[uint64][]byte, error) {
+	r := &reader{data: data}
+	if magic, err := r.uint32(); err != nil || magic != profilesMagic {
+		return nil, fmt.Errorf("bad profiles file header")
+	}
+	count, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		id, err := r.uint64()
+		if err != nil {
+			return nil, err
+		}
+		ct, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		out[id] = ct
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("trailing bytes in profiles file")
+	}
+	return out, nil
+}
+
+func encodeImages(images map[uint64][][]byte) []byte {
+	out := make([]byte, 0, 12)
+	out = appendUint32(out, imagesMagic)
+	out = appendUint64(out, uint64(len(images)))
+	for id, blobs := range images {
+		out = appendUint64(out, id)
+		out = appendUint32(out, uint32(len(blobs)))
+		for _, b := range blobs {
+			out = appendUint32(out, uint32(len(b)))
+			out = append(out, b...)
+		}
+	}
+	return out
+}
+
+func decodeImages(data []byte) (map[uint64][][]byte, error) {
+	r := &reader{data: data}
+	if magic, err := r.uint32(); err != nil || magic != imagesMagic {
+		return nil, fmt.Errorf("bad images file header")
+	}
+	count, err := r.uint64()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64][][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		id, err := r.uint64()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		blobs := make([][]byte, 0, n)
+		for k := uint32(0); k < n; k++ {
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			blobs = append(blobs, b)
+		}
+		out[id] = blobs
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("trailing bytes in images file")
+	}
+	return out, nil
+}
+
+// reader is a bounds-checked cursor over a byte slice.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) uint32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, fmt.Errorf("truncated state file")
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, fmt.Errorf("truncated state file")
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+int(n) > len(r.data) {
+		return nil, fmt.Errorf("truncated state file")
+	}
+	out := append([]byte(nil), r.data[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *reader) done() bool { return r.off == len(r.data) }
+
+func appendUint32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return append(b, buf[:]...)
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pisd/internal/lsh"
+)
+
+// Batch update (Sec. III-D remark): "to further reduce the information
+// leakage from update, one can leverage the batch update to perform
+// multiple image profiles update simultaneously". BatchUpdate fetches the
+// union of all touched buckets in ONE round, applies every deletion and
+// insertion against the opened plaintext, and re-masks the whole union in
+// a second message. Compared to sequential updates this
+//
+//   - collapses 2·(#ops) interaction rounds into 2, and
+//   - widens the anonymity set: the cloud sees one batch of re-masked
+//     buckets and cannot attribute changes to individual operations.
+//
+// Kick-aways inside a batch stay within the already-fetched union when
+// possible; an insertion whose kick chain would leave the union falls back
+// to the interactive Insert protocol (counted in BatchResult.Escalated).
+
+// Update describes one profile mutation.
+type Update struct {
+	// Op selects deletion or insertion.
+	Op UpdateOp
+	// ID is the user identifier L.
+	ID uint64
+	// Meta is the LSH metadata V the identifier is (to be) indexed under.
+	Meta lsh.Metadata
+}
+
+// UpdateOp enumerates batch operations.
+type UpdateOp int
+
+// Batch operation kinds.
+const (
+	OpDelete UpdateOp = iota + 1
+	OpInsert
+)
+
+// BatchResult reports what a batch did.
+type BatchResult struct {
+	// Deleted and Inserted count completed operations.
+	Deleted  int
+	Inserted int
+	// Escalated counts insertions that could not be satisfied inside the
+	// fetched union and ran the interactive protocol instead.
+	Escalated int
+	// Rounds is the number of fetch/store interactions consumed,
+	// including escalations.
+	Rounds int
+}
+
+// BatchUpdate applies the given updates. Deletions are applied before
+// insertions (the natural order for profile replacement). It returns
+// ErrNotIndexed / ErrAlreadyIndexed wrapped with the offending id when an
+// operation is inconsistent; earlier state changes are preserved at the
+// store only when the final reseal happens, so a failed batch leaves the
+// index unchanged except for escalated insertions.
+func (c *DynClient) BatchUpdate(store BucketStore, updates []Update) (*BatchResult, error) {
+	if len(updates) == 0 {
+		return &BatchResult{}, nil
+	}
+	for i, u := range updates {
+		if u.Op != OpDelete && u.Op != OpInsert {
+			return nil, fmt.Errorf("core: batch update %d: unknown op %d", i, u.Op)
+		}
+		if u.ID == bottomID {
+			return nil, fmt.Errorf("core: batch update %d: reserved identifier", i)
+		}
+		if len(u.Meta) != c.p.Tables {
+			return nil, fmt.Errorf("core: batch update %d: metadata arity %d, want %d", i, len(u.Meta), c.p.Tables)
+		}
+	}
+
+	// Collect the union of bucket references across all operations.
+	type slotKey = BucketRef
+	union := make([]BucketRef, 0, len(updates)*c.p.BucketsPerQuery())
+	index := make(map[slotKey]int)
+	// perOp[i] lists, for update i, the union indexes of its l·(d+1)
+	// slots in table-major probe-minor order.
+	perOp := make([][]int, len(updates))
+	for i, u := range updates {
+		refs, err := c.Refs(u.Meta)
+		if err != nil {
+			return nil, err
+		}
+		slots := make([]int, len(refs))
+		for k, r := range refs {
+			j, ok := index[r]
+			if !ok {
+				j = len(union)
+				index[r] = j
+				union = append(union, r)
+			}
+			slots[k] = j
+		}
+		perOp[i] = slots
+	}
+
+	roundsBefore := c.stats.Rounds
+	buckets, err := store.FetchBuckets(union)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Rounds++
+	payloads := make([][]byte, len(buckets))
+	for i, b := range buckets {
+		p, err := c.open(b)
+		if err != nil {
+			return nil, err
+		}
+		payloads[i] = p
+	}
+
+	res := &BatchResult{}
+	var escalate []Update
+
+	// Phase 1: deletions.
+	for i, u := range updates {
+		if u.Op != OpDelete {
+			continue
+		}
+		found := false
+		for _, slot := range perOp[i] {
+			id, _, ok := decodeDynPayload(payloads[slot], c.p.Tables)
+			if !ok {
+				return nil, fmt.Errorf("core: corrupt bucket in batch")
+			}
+			if id == u.ID {
+				payloads[slot] = encodeDynPayload(bottomID, nil, c.p.Tables)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: %d", ErrNotIndexed, u.ID)
+		}
+		res.Deleted++
+	}
+
+	// Phase 2: insertions into empty union slots.
+	for i, u := range updates {
+		if u.Op != OpInsert {
+			continue
+		}
+		empty := -1
+		for _, slot := range perOp[i] {
+			id, _, ok := decodeDynPayload(payloads[slot], c.p.Tables)
+			if !ok {
+				return nil, fmt.Errorf("core: corrupt bucket in batch")
+			}
+			if id == u.ID {
+				return nil, fmt.Errorf("%w: %d", ErrAlreadyIndexed, u.ID)
+			}
+			if id == bottomID && empty < 0 {
+				empty = slot
+			}
+		}
+		if empty < 0 {
+			// No room inside the union: run the interactive protocol
+			// after the batch lands.
+			escalate = append(escalate, u)
+			continue
+		}
+		payloads[empty] = encodeDynPayload(u.ID, u.Meta, c.p.Tables)
+		res.Inserted++
+	}
+
+	// Reseal and push the whole union in one message.
+	resealed := make([]DynBucket, len(union))
+	for i, p := range payloads {
+		b, err := c.seal(p)
+		if err != nil {
+			return nil, err
+		}
+		resealed[i] = b
+	}
+	if err := store.StoreBuckets(union, resealed); err != nil {
+		return nil, err
+	}
+	c.stats.Rounds++
+
+	for _, u := range escalate {
+		if err := c.Insert(store, u.ID, u.Meta); err != nil {
+			if errors.Is(err, ErrNeedRehash) {
+				return res, fmt.Errorf("core: batch escalation for %d: %w", u.ID, err)
+			}
+			return res, err
+		}
+		res.Inserted++
+		res.Escalated++
+	}
+	res.Rounds = c.stats.Rounds - roundsBefore
+	return res, nil
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pisd/internal/lsh"
+)
+
+func TestBatchUpdateEmpty(t *testing.T) {
+	idx, client, _ := buildDynamicIndex(t, 50, 30)
+	_ = idx
+	res, err := client.BatchUpdate(idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *res != (BatchResult{}) {
+		t.Errorf("empty batch result %+v", res)
+	}
+}
+
+func TestBatchUpdateValidation(t *testing.T) {
+	idx, client, items := buildDynamicIndex(t, 50, 31)
+	cases := []struct {
+		name string
+		ups  []Update
+	}{
+		{"unknown op", []Update{{Op: 0, ID: 1, Meta: items[0].Meta}}},
+		{"reserved id", []Update{{Op: OpInsert, ID: bottomID, Meta: items[0].Meta}}},
+		{"bad arity", []Update{{Op: OpDelete, ID: 1, Meta: lsh.Metadata{1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := client.BatchUpdate(idx, tc.ups); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestBatchUpdateProfileReplacement(t *testing.T) {
+	idx, client, items := buildDynamicIndex(t, 300, 32)
+	rng := rand.New(rand.NewSource(33))
+
+	// Replace three users' profiles in one batch: delete old, insert new.
+	var updates []Update
+	newMetas := make(map[uint64]lsh.Metadata)
+	for _, it := range items[:3] {
+		nm := make(lsh.Metadata, 5)
+		for j := range nm {
+			nm[j] = rng.Uint64()
+		}
+		newMetas[it.ID] = nm
+		updates = append(updates,
+			Update{Op: OpDelete, ID: it.ID, Meta: it.Meta},
+			Update{Op: OpInsert, ID: it.ID, Meta: nm},
+		)
+	}
+	res, err := client.BatchUpdate(idx, updates)
+	if err != nil {
+		t.Fatalf("BatchUpdate: %v", err)
+	}
+	if res.Deleted != 3 || res.Inserted != 3 {
+		t.Fatalf("result %+v", res)
+	}
+	// Non-escalated batches use exactly 2 rounds.
+	if res.Escalated == 0 && res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Rounds)
+	}
+	// New metadata finds every replaced id. (Old metadata may still hit
+	// it by coincidence when the new bucket happens to be addressed by
+	// both metadata vectors — that is ordinary probe-bucket sharing, not
+	// a stale entry.)
+	for _, it := range items[:3] {
+		fresh, err := client.Search(idx, newMetas[it.ID])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsID(fresh, it.ID) {
+			t.Errorf("id %d not reachable via new metadata", it.ID)
+		}
+	}
+	// A delete-only batch removes the id from the index entirely.
+	res, err = client.BatchUpdate(idx, []Update{{Op: OpDelete, ID: items[4].ID, Meta: items[4].Meta}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 {
+		t.Fatalf("delete-only result %+v", res)
+	}
+	gone, err := client.Search(idx, items[4].Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsID(gone, items[4].ID) {
+		t.Errorf("delete-only id %d still reachable", items[4].ID)
+	}
+	// Unrelated users (not touched by any batch above) survive.
+	for _, it := range items[5:15] {
+		got, err := client.Search(idx, it.Meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsID(got, it.ID) {
+			t.Errorf("bystander %d lost", it.ID)
+		}
+	}
+}
+
+func TestBatchUpdateDeleteAbsent(t *testing.T) {
+	idx, client, items := buildDynamicIndex(t, 100, 34)
+	_, err := client.BatchUpdate(idx, []Update{{Op: OpDelete, ID: 999999, Meta: items[0].Meta}})
+	if !errors.Is(err, ErrNotIndexed) {
+		t.Fatalf("err = %v, want ErrNotIndexed", err)
+	}
+}
+
+func TestBatchUpdateInsertDuplicate(t *testing.T) {
+	idx, client, items := buildDynamicIndex(t, 100, 35)
+	_, err := client.BatchUpdate(idx, []Update{{Op: OpInsert, ID: items[2].ID, Meta: items[2].Meta}})
+	if !errors.Is(err, ErrAlreadyIndexed) {
+		t.Fatalf("err = %v, want ErrAlreadyIndexed", err)
+	}
+}
+
+func TestBatchUpdateSharedBuckets(t *testing.T) {
+	// Deleting one user and inserting another under the SAME metadata in
+	// one batch must not lose either change (the union dedup path).
+	keys := testKeys(t, 3)
+	p := Params{Tables: 3, Capacity: 200, ProbeRange: 4, MaxLoop: 100, Seed: 1}
+	shared := lsh.Metadata{5, 6, 7}
+	idx, client, err := BuildDynamic(keys, []Item{{ID: 1, Meta: shared}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.BatchUpdate(idx, []Update{
+		{Op: OpDelete, ID: 1, Meta: shared},
+		{Op: OpInsert, ID: 2, Meta: shared},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 || res.Inserted != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	ids, err := client.Search(idx, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsID(ids, 1) {
+		t.Error("deleted id survived batch")
+	}
+	if !containsID(ids, 2) {
+		t.Error("inserted id missing after batch")
+	}
+}
+
+func TestBatchUpdateEscalationFails(t *testing.T) {
+	// Saturate one metadata's entire bucket budget, then batch-insert one
+	// more item under it: the batch cannot place it, escalates to the
+	// interactive protocol, and that exhausts kicks because every victim
+	// shares the same saturated buckets. After ErrNeedRehash the index
+	// must be rebuilt (Algorithm 1's rehash()), as in the static scheme.
+	keys := testKeys(t, 2)
+	p := Params{Tables: 2, Capacity: 400, ProbeRange: 2, MaxLoop: 100, Seed: 2}
+	shared := lsh.Metadata{42, 43}
+	budget := p.BucketsPerQuery()
+	items := make([]Item, budget)
+	for i := range items {
+		items[i] = Item{ID: uint64(i + 1), Meta: shared}
+	}
+	idx, client, err := BuildDynamic(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.BatchUpdate(idx, []Update{{Op: OpInsert, ID: 1000, Meta: shared}})
+	if !errors.Is(err, ErrNeedRehash) {
+		t.Fatalf("err = %v, want ErrNeedRehash escalation", err)
+	}
+}
+
+func TestBatchUpdateDeleteMakesRoomForInsert(t *testing.T) {
+	// With the budget full, a batch that deletes first can satisfy the
+	// insert inside the same fetched union — no escalation, two rounds.
+	keys := testKeys(t, 2)
+	p := Params{Tables: 2, Capacity: 400, ProbeRange: 2, MaxLoop: 100, Seed: 2}
+	shared := lsh.Metadata{42, 43}
+	budget := p.BucketsPerQuery()
+	items := make([]Item, budget)
+	for i := range items {
+		items[i] = Item{ID: uint64(i + 1), Meta: shared}
+	}
+	idx, client, err := BuildDynamic(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.BatchUpdate(idx, []Update{
+		{Op: OpDelete, ID: 1, Meta: shared},
+		{Op: OpInsert, ID: 1000, Meta: shared},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 1 || res.Inserted != 1 || res.Escalated != 0 || res.Rounds != 2 {
+		t.Fatalf("result %+v", res)
+	}
+	ids, err := client.Search(idx, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsID(ids, 1) || !containsID(ids, 1000) {
+		t.Fatalf("post-batch content wrong: %v", ids)
+	}
+}
+
+func TestBatchUpdateRefreshesAllBuckets(t *testing.T) {
+	idx, client, items := buildDynamicIndex(t, 80, 36)
+	refs, err := client.Refs(items[9].Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := idx.FetchBuckets(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.BatchUpdate(idx, []Update{{Op: OpDelete, ID: items[9].ID, Meta: items[9].Meta}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := idx.FetchBuckets(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refs {
+		if string(before[i].EncR) == string(after[i].EncR) {
+			t.Fatalf("bucket %v not re-masked by batch", refs[i])
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+)
+
+// bottomID is the reserved identifier ⊥ marking an explicitly emptied
+// bucket in the dynamic scheme (Sec. III-D). User identifiers must not use
+// this value.
+const bottomID = ^uint64(0)
+
+// payloadCheck returns an 8-byte integrity tag binding a bucket payload to
+// its identifier. After unmasking, a bucket whose tag does not verify is
+// random padding (or ⊥ in the dynamic scheme); the tag is masked along with
+// the identifier, so stored buckets remain uniformly random to the cloud.
+func payloadCheck(id uint64) [8]byte {
+	var buf [8 + 16]byte
+	binary.BigEndian.PutUint64(buf[:8], id)
+	copy(buf[8:], "pisd/core/bucket")
+	sum := sha256.Sum256(buf[:])
+	var out [8]byte
+	copy(out[:], sum[:8])
+	return out
+}
+
+// encodePayload produces the static scheme's 32-byte plaintext bucket
+// payload: id ‖ check(id) ‖ zero padding. XOR-masking it with the PRF mask
+// r yields B = r ⊕ encode(L) (Algorithm 1, bucket encryption).
+func encodePayload(id uint64) [BucketSize]byte {
+	var b [BucketSize]byte
+	binary.BigEndian.PutUint64(b[:8], id)
+	check := payloadCheck(id)
+	copy(b[8:16], check[:])
+	return b
+}
+
+// decodePayload recovers an identifier from an unmasked static payload,
+// reporting ok=false for padding (tag mismatch).
+func decodePayload(b [BucketSize]byte) (uint64, bool) {
+	id := binary.BigEndian.Uint64(b[:8])
+	check := payloadCheck(id)
+	for i := range check {
+		if b[8+i] != check[i] {
+			return 0, false
+		}
+	}
+	return id, true
+}
+
+// dynPayloadSize returns the plaintext payload width of a dynamic bucket
+// holding (L ‖ V) for metadata of l tables: id(8) + check(8) + l·8.
+func dynPayloadSize(tables int) int {
+	return 16 + 8*tables
+}
+
+// encodeDynPayload encodes (L ‖ V). For the ⊥ marker use id = bottomID with
+// zero metadata.
+func encodeDynPayload(id uint64, meta lsh.Metadata, tables int) []byte {
+	out := make([]byte, dynPayloadSize(tables))
+	binary.BigEndian.PutUint64(out[:8], id)
+	check := payloadCheck(id)
+	copy(out[8:16], check[:])
+	for j := 0; j < tables && j < len(meta); j++ {
+		binary.BigEndian.PutUint64(out[16+8*j:], meta[j])
+	}
+	return out
+}
+
+// decodeDynPayload recovers (L, V) from an unmasked dynamic payload.
+// ok=false means the tag failed: the bucket was never initialized by the
+// front end (corruption) — build-time padding in the dynamic scheme is
+// masked ⊥, which carries a valid tag.
+func decodeDynPayload(b []byte, tables int) (uint64, lsh.Metadata, bool) {
+	if len(b) != dynPayloadSize(tables) {
+		return 0, nil, false
+	}
+	id := binary.BigEndian.Uint64(b[:8])
+	check := payloadCheck(id)
+	for i := range check {
+		if b[8+i] != check[i] {
+			return 0, nil, false
+		}
+	}
+	meta := make(lsh.Metadata, tables)
+	for j := range meta {
+		meta[j] = binary.BigEndian.Uint64(b[16+8*j:])
+	}
+	return id, meta, true
+}
+
+// staticMask derives the static scheme's bucket mask
+// r_i = g(k_j, j ‖ pos) (Algorithm 1, line "generate random mask").
+func staticMask(keys *crypt.KeySet, table int, pos uint64) []byte {
+	return crypt.Mask(keys.Table[table], table, pos, BucketSize)
+}
+
+// stashMask derives the mask of stash slot pos. The stash is addressed by
+// a table index beyond the real tables (keyed by table 0's PRF key with a
+// distinct table-id input), so its masks never collide with bucket masks.
+func stashMask(keys *crypt.KeySet, tables int, pos int) []byte {
+	return crypt.Mask(keys.Table[0], tables, uint64(pos), BucketSize)
+}
+
+// bucketPos computes the PRF-permuted bucket position
+// f(k_j, V[j]) for δ = 0 and f(k_j, V[j] ‖ δ) for probes, reduced mod w.
+func bucketPos(keys *crypt.KeySet, table int, metaValue uint64, delta, width int) int {
+	var enc [8]byte
+	binary.BigEndian.PutUint64(enc[:], metaValue)
+	var raw uint64
+	if delta == 0 {
+		raw = crypt.Pos(keys.Table[table], enc[:])
+	} else {
+		raw = crypt.PosProbe(keys.Table[table], enc[:], delta)
+	}
+	return int(raw % uint64(width))
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+)
+
+// Fuzz targets for the cloud-facing binary decoders: whatever bytes an
+// untrusted party feeds them, they must fail cleanly, never panic, and
+// round-trip anything they accept.
+
+func FuzzIndexUnmarshal(f *testing.F) {
+	keys, err := testFuzzKeys(5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := Params{Tables: 5, Capacity: 100, ProbeRange: 2, MaxLoop: 50, Seed: 1}
+	idx, err := Build(keys, []Item{{ID: 1, Meta: lsh.Metadata{1, 2, 3, 4, 5}}}, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := idx.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:20])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var x Index
+		if err := x.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted input must re-encode to an equivalent blob.
+		out, err := x.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode accepted index: %v", err)
+		}
+		if len(out) != len(data) {
+			t.Fatalf("re-encode length %d != %d", len(out), len(data))
+		}
+	})
+}
+
+func FuzzDynIndexUnmarshal(f *testing.F) {
+	keys, err := testFuzzKeys(3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := Params{Tables: 3, Capacity: 60, ProbeRange: 2, MaxLoop: 50, Seed: 1}
+	idx, _, err := BuildDynamic(keys, []Item{{ID: 1, Meta: lsh.Metadata{1, 2, 3}}}, p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := idx.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var x DynIndex
+		if err := x.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if _, err := x.MarshalBinary(); err != nil {
+			t.Fatalf("re-encode accepted dynamic index: %v", err)
+		}
+	})
+}
+
+func FuzzDecodeDynPayload(f *testing.F) {
+	f.Add(encodeDynPayload(42, lsh.Metadata{1, 2, 3}, 3), 3)
+	f.Add([]byte{}, 3)
+	f.Fuzz(func(t *testing.T, data []byte, tables int) {
+		if tables < 0 || tables > 64 {
+			return
+		}
+		id, meta, ok := decodeDynPayload(data, tables)
+		if !ok {
+			return
+		}
+		re := encodeDynPayload(id, meta, tables)
+		if string(re) != string(data) {
+			t.Fatalf("accepted payload does not round trip")
+		}
+	})
+}
+
+func testFuzzKeys(l int) (*crypt.KeySet, error) {
+	return crypt.GenDeterministic("fuzz", l)
+}

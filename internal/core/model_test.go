@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pisd/internal/lsh"
+)
+
+// Model-based test: drive the dynamic index with long random operation
+// sequences and check it against a trivial map model after every step.
+// The invariant is one-sided containment: every live (id, meta) pair must
+// be reachable via Search(meta) — the secure index may additionally
+// surface other users sharing probe buckets, which the model does not
+// track (that is the scheme's retrieval semantics, filtered by ranking).
+func TestDynamicModelRandomOps(t *testing.T) {
+	const (
+		tables = 4
+		rounds = 400
+	)
+	keys := testKeys(t, tables)
+	p := Params{
+		Tables:     tables,
+		Capacity:   600,
+		ProbeRange: 6,
+		MaxLoop:    300,
+		Seed:       1,
+	}
+	idx, client, err := BuildDynamic(keys, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	model := make(map[uint64]lsh.Metadata)
+	nextID := uint64(1)
+
+	randMeta := func() lsh.Metadata {
+		m := make(lsh.Metadata, tables)
+		for j := range m {
+			// Small value space: plenty of shared buckets.
+			m[j] = uint64(rng.Intn(40))
+		}
+		return m
+	}
+	liveIDs := func() []uint64 {
+		out := make([]uint64, 0, len(model))
+		for id := range model {
+			out = append(out, id)
+		}
+		return out
+	}
+
+	for round := 0; round < rounds; round++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(model) == 0: // insert
+			if len(model) > 350 {
+				continue // keep below capacity headroom
+			}
+			id := nextID
+			nextID++
+			meta := randMeta()
+			if err := client.Insert(idx, id, meta); err != nil {
+				t.Fatalf("round %d insert %d: %v", round, id, err)
+			}
+			model[id] = meta
+		case op < 7: // delete
+			ids := liveIDs()
+			id := ids[rng.Intn(len(ids))]
+			if err := client.Delete(idx, id, model[id]); err != nil {
+				t.Fatalf("round %d delete %d: %v", round, id, err)
+			}
+			delete(model, id)
+		case op < 8: // batch replace
+			ids := liveIDs()
+			id := ids[rng.Intn(len(ids))]
+			newMeta := randMeta()
+			res, err := client.BatchUpdate(idx, []Update{
+				{Op: OpDelete, ID: id, Meta: model[id]},
+				{Op: OpInsert, ID: id, Meta: newMeta},
+			})
+			if err != nil {
+				t.Fatalf("round %d batch replace %d: %v", round, id, err)
+			}
+			if res.Deleted != 1 || res.Inserted != 1 {
+				t.Fatalf("round %d batch result %+v", round, res)
+			}
+			model[id] = newMeta
+		default: // verify a random live id
+			ids := liveIDs()
+			id := ids[rng.Intn(len(ids))]
+			got, err := client.Search(idx, model[id])
+			if err != nil {
+				t.Fatalf("round %d search: %v", round, err)
+			}
+			if !containsID(got, id) {
+				t.Fatalf("round %d: live id %d unreachable", round, id)
+			}
+		}
+	}
+
+	// Final sweep: every live pair reachable, every recovered id live or
+	// a legitimate co-occupant (present in the model).
+	for id, meta := range model {
+		got, err := client.Search(idx, meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containsID(got, id) {
+			t.Fatalf("final: live id %d unreachable", id)
+		}
+		for _, other := range got {
+			if _, ok := model[other]; !ok {
+				t.Fatalf("final: search surfaced dead id %d", other)
+			}
+		}
+	}
+}

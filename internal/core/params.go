@@ -1,0 +1,98 @@
+// Package core implements the paper's primary contribution: the secure and
+// efficient similarity index over encrypted high-dimensional image profiles
+// (Sec. III). It provides
+//
+//   - the static scheme of Algorithms 1–3: ConSecIdx builds l PRF-addressed
+//     cuckoo hash tables whose buckets are XOR-masked identifiers padded
+//     with random buckets, GenTpdr issues constant-size trapdoors, and
+//     SecRec recovers matching identifiers at the cloud without keys; and
+//
+//   - the dynamic scheme of Sec. III-D: buckets of the form
+//     (G(r) ⊕ (L‖V), Enc(k_r, r)) supporting secure deletion and insertion
+//     through full re-masking of every touched bucket.
+//
+// The cloud-resident types (Index, DynIndex) never hold key material; all
+// keyed operations live in build/trapdoor/DynClient code paths that model
+// the trusted service front end.
+package core
+
+import (
+	"fmt"
+
+	"pisd/internal/crypt"
+)
+
+// BucketSize is u, the byte width of one encrypted bucket in the static
+// scheme. The paper uses 32 bytes ("the output of SHA-2").
+const BucketSize = 32
+
+// Params configures a secure index. The same parameters must be used to
+// build the index and to generate trapdoors against it.
+type Params struct {
+	// Tables is l, the number of hash tables (= LSH tables).
+	Tables int
+	// Capacity is N, the total bucket count; w = ⌈N/l⌉ per table.
+	// For n items at load factor τ choose N = ⌈n/τ⌉ (see CapacityFor).
+	Capacity int
+	// ProbeRange is d, the random probe range per table.
+	ProbeRange int
+	// MaxLoop bounds cuckoo kick-aways per insertion before a rehash is
+	// requested.
+	MaxLoop int
+	// Seed drives the (non-cryptographic) kick-away choices during build.
+	Seed int64
+	// StashSize adds a stash of overflow buckets to the static scheme:
+	// items whose kick chains exhaust MaxLoop park there instead of
+	// forcing a rehash (the classic cuckoo-stash improvement). Every
+	// trapdoor addresses the whole stash, so a small stash (a few dozen
+	// slots) costs little bandwidth and no extra access-pattern leakage.
+	// The dynamic scheme does not use the stash.
+	StashSize int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Tables < 1:
+		return fmt.Errorf("core: tables must be >= 1, got %d", p.Tables)
+	case p.Capacity < p.Tables:
+		return fmt.Errorf("core: capacity %d below table count %d", p.Capacity, p.Tables)
+	case p.ProbeRange < 0:
+		return fmt.Errorf("core: probe range must be >= 0, got %d", p.ProbeRange)
+	case p.MaxLoop < 1:
+		return fmt.Errorf("core: max loop must be >= 1, got %d", p.MaxLoop)
+	case p.StashSize < 0:
+		return fmt.Errorf("core: stash size must be >= 0, got %d", p.StashSize)
+	}
+	return nil
+}
+
+// Width returns w, the per-table bucket count.
+func (p Params) Width() int {
+	return (p.Capacity + p.Tables - 1) / p.Tables
+}
+
+// BucketsPerQuery returns l·(d+1) + stash, the number of buckets every
+// trapdoor addresses; it fixes the constant bandwidth of the scheme.
+func (p Params) BucketsPerQuery() int {
+	return p.Tables*(p.ProbeRange+1) + p.StashSize
+}
+
+// CapacityFor returns N = ⌈n/τ⌉ for n items at load factor tau.
+func CapacityFor(n int, tau float64) int {
+	if tau <= 0 || tau > 1 {
+		tau = 0.8
+	}
+	return int(float64(n)/tau) + 1
+}
+
+// checkKeys validates that the key set matches the parameter table count.
+func checkKeys(keys *crypt.KeySet, p Params) error {
+	if keys == nil {
+		return fmt.Errorf("core: nil key set")
+	}
+	if keys.NumTables() < p.Tables {
+		return fmt.Errorf("core: key set has %d table keys, need %d", keys.NumTables(), p.Tables)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pisd/internal/lsh"
+)
+
+// TestPayloadCodecRoundTrip exercises the static bucket payload codec.
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	f := func(id uint64) bool {
+		got, ok := decodePayload(encodePayload(id))
+		return ok && got == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPayloadRejectsRandom verifies that random bytes essentially never
+// decode as a valid payload (the check tag has 64 bits).
+func TestPayloadRejectsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var b [BucketSize]byte
+	for trial := 0; trial < 5000; trial++ {
+		rng.Read(b[:])
+		if _, ok := decodePayload(b); ok {
+			t.Fatalf("random payload decoded as valid on trial %d", trial)
+		}
+	}
+}
+
+// TestDynPayloadCodecRoundTrip exercises the dynamic payload codec.
+func TestDynPayloadCodecRoundTrip(t *testing.T) {
+	f := func(id uint64, m0, m1, m2 uint64) bool {
+		if id == bottomID {
+			id--
+		}
+		meta := lsh.Metadata{m0, m1, m2}
+		got, gotMeta, ok := decodeDynPayload(encodeDynPayload(id, meta, 3), 3)
+		return ok && got == id && gotMeta.Equal(meta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynPayloadBottomMarker(t *testing.T) {
+	p := encodeDynPayload(bottomID, nil, 4)
+	id, meta, ok := decodeDynPayload(p, 4)
+	if !ok || id != bottomID {
+		t.Fatal("bottom marker does not round trip")
+	}
+	for _, v := range meta {
+		if v != 0 {
+			t.Fatal("bottom marker carries metadata")
+		}
+	}
+	if _, _, ok := decodeDynPayload(p[:len(p)-1], 4); ok {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// TestBucketIndistinguishability checks that the stored static index looks
+// like random bytes: balanced bit distribution across the whole bucket
+// array and no duplicate buckets. Both properties would fail spectacularly
+// if identifiers or masks leaked structurally (e.g. unmasked zero padding).
+func TestBucketIndistinguishability(t *testing.T) {
+	const n = 400
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(21))
+	idx, err := Build(keys, randItems(rng, n, 5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ones, total int
+	seen := make(map[string]struct{})
+	for j := 0; j < p.Tables; j++ {
+		for pos := 0; pos < idx.Width(); pos++ {
+			b, err := idx.Bucket(j, uint64(pos))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := seen[string(b)]; dup {
+				t.Fatalf("duplicate bucket content at table %d pos %d", j, pos)
+			}
+			seen[string(b)] = struct{}{}
+			for _, by := range b {
+				for k := 0; k < 8; k++ {
+					if by&(1<<k) != 0 {
+						ones++
+					}
+					total++
+				}
+			}
+		}
+	}
+	ratio := float64(ones) / float64(total)
+	// With >100k bits, a true random source stays well within ±1%.
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Errorf("bucket bit balance %.4f deviates from 0.5", ratio)
+	}
+}
+
+// TestDynamicBucketIndistinguishability does the same for the dynamic
+// index: every bucket (occupied, ⊥-padded) must be unique ciphertext.
+func TestDynamicBucketIndistinguishability(t *testing.T) {
+	const n = 150
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(22))
+	idx, _, err := BuildDynamic(keys, randItems(rng, n, 5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]struct{})
+	for j := 0; j < p.Tables; j++ {
+		for pos := 0; pos < idx.Width(); pos++ {
+			b := idx.tables[j][pos]
+			key := string(b.Masked) + "|" + string(b.EncR)
+			if _, dup := seen[key]; dup {
+				t.Fatalf("duplicate dynamic bucket at table %d pos %d", j, pos)
+			}
+			seen[key] = struct{}{}
+		}
+	}
+}
+
+// TestAccessPatternIsDeterministic pins down the leakage profile: querying
+// the same metadata twice yields the same positions (access pattern AP of
+// Definition 3), and nothing else about the trapdoor varies.
+func TestAccessPatternIsDeterministic(t *testing.T) {
+	keys := testKeys(t, 5)
+	p := testParams(200)
+	meta := lsh.Metadata{100, 200, 300, 400, 500}
+	a, err := GenPosTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenPosTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Tables {
+		for i := range a.Tables[j] {
+			if a.Tables[j][i] != b.Tables[j][i] {
+				t.Fatal("access pattern not deterministic")
+			}
+		}
+	}
+	// Distinct metadata in one table shifts only that table's positions.
+	meta2 := lsh.Metadata{100, 200, 300, 400, 501}
+	c, err := GenPosTpdr(keys, meta2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		for i := range a.Tables[j] {
+			if a.Tables[j][i] != c.Tables[j][i] {
+				t.Fatalf("table %d positions changed although its metadata is equal", j)
+			}
+		}
+	}
+	same := true
+	for i := range a.Tables[4] {
+		if a.Tables[4][i] != c.Tables[4][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("table 4 positions unchanged although its metadata differs")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pisd/internal/lsh"
+)
+
+// The stash rescues the overflow insert that would otherwise force a
+// rehash, and stashed items stay discoverable by every trapdoor.
+func TestStashRescuesOverflow(t *testing.T) {
+	keys := testKeys(t, 2)
+	shared := lsh.Metadata{7, 8}
+	budget := 2 * (1 + 1) // l=2, d=1 → 4 addressable buckets
+	items := make([]Item, budget+2)
+	for i := range items {
+		items[i] = Item{ID: uint64(i + 1), Meta: shared}
+	}
+	// Without a stash this workload fails...
+	noStash := Params{Tables: 2, Capacity: 64, ProbeRange: 1, MaxLoop: 20, Seed: 1}
+	if _, err := Build(keys, items, noStash); !errors.Is(err, ErrNeedRehash) {
+		t.Fatalf("err without stash = %v, want ErrNeedRehash", err)
+	}
+	// ...with a stash it builds, and everything is retrievable.
+	withStash := noStash
+	withStash.StashSize = 4
+	idx, err := Build(keys, items, withStash)
+	if err != nil {
+		t.Fatalf("Build with stash: %v", err)
+	}
+	// At least the two over-budget items stash; PRF position collisions
+	// within the 4 addressable buckets can push one more in.
+	if got := idx.BuildStats().StashHits; got < 2 {
+		t.Errorf("StashHits = %d, want >= 2", got)
+	}
+	td, err := GenTpdr(keys, shared, withStash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Stash) != 4 {
+		t.Fatalf("trapdoor stash entries = %d", len(td.Stash))
+	}
+	ids, err := idx.SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != budget+2 {
+		t.Fatalf("recovered %d ids, want %d", len(ids), budget+2)
+	}
+}
+
+// Stashed items are visible to EVERY query, not only same-metadata ones:
+// a disjoint query still surfaces them (the stash is globally scanned).
+func TestStashVisibleToAllQueries(t *testing.T) {
+	keys := testKeys(t, 2)
+	shared := lsh.Metadata{7, 8}
+	p := Params{Tables: 2, Capacity: 64, ProbeRange: 1, MaxLoop: 20, Seed: 1, StashSize: 2}
+	items := make([]Item, 5)
+	for i := range items {
+		items[i] = Item{ID: uint64(i + 1), Meta: shared}
+	}
+	idx, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.BuildStats().StashHits == 0 {
+		t.Skip("workload did not overflow into the stash")
+	}
+	other, err := GenTpdr(keys, lsh.Metadata{999, 998}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := idx.SecRec(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) < idx.BuildStats().StashHits {
+		t.Errorf("disjoint query recovered %d ids, want at least the %d stashed",
+			len(ids), idx.BuildStats().StashHits)
+	}
+}
+
+func TestStashIndexCodecRoundTrip(t *testing.T) {
+	keys := testKeys(t, 3)
+	rng := rand.New(rand.NewSource(41))
+	items := randItems(rng, 100, 3)
+	p := Params{Tables: 3, Capacity: CapacityFor(100, 0.8), ProbeRange: 4, MaxLoop: 100, Seed: 1, StashSize: 8}
+	idx, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := idx.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Index
+	if err := decoded.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if decoded.SizeBytes() != idx.SizeBytes() {
+		t.Error("decoded size differs")
+	}
+	td, err := GenTpdr(keys, items[0].Meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := idx.SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := decoded.SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDSet(a, b) {
+		t.Error("decoded index retrieves differently")
+	}
+}
+
+func TestStashSizeBytesAndValidation(t *testing.T) {
+	p := Params{Tables: 2, Capacity: 64, ProbeRange: 1, MaxLoop: 10, StashSize: -1}
+	if err := p.Validate(); err == nil {
+		t.Error("negative stash accepted")
+	}
+	p.StashSize = 5
+	if got := p.BucketsPerQuery(); got != 2*2+5 {
+		t.Errorf("BucketsPerQuery = %d", got)
+	}
+}
+
+// A mismatched trapdoor (stash entries against a stashless index) errors.
+func TestStashTrapdoorMismatch(t *testing.T) {
+	keys := testKeys(t, 2)
+	rng := rand.New(rand.NewSource(42))
+	items := randItems(rng, 50, 2)
+	noStash := Params{Tables: 2, Capacity: 128, ProbeRange: 2, MaxLoop: 50, Seed: 1}
+	idx, err := Build(keys, items, noStash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStash := noStash
+	withStash.StashSize = 3
+	td, err := GenTpdr(keys, items[0].Meta, withStash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.SecRec(td); err == nil {
+		t.Error("stash trapdoor against stashless index accepted")
+	}
+}

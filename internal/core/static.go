@@ -1,0 +1,285 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"pisd/internal/crypt"
+	"pisd/internal/cuckoo"
+	"pisd/internal/lsh"
+)
+
+// ErrNeedRehash is returned by Build when cuckoo insertion exceeded MaxLoop
+// kicks: the caller must derive fresh LSH metadata (rehash()) and rebuild.
+var ErrNeedRehash = errors.New("core: insertion failed, rehash with fresh LSH parameters required")
+
+// Item pairs a user identifier L with its LSH metadata V.
+type Item struct {
+	ID   uint64
+	Meta lsh.Metadata
+}
+
+// Index is the static secure index I hosted by the cloud server. It holds
+// only masked buckets and random padding; without the key set its content
+// is computationally indistinguishable from random (Theorem 1).
+type Index struct {
+	params Params
+	width  int
+	// tables[j] is table T_j; each bucket is a BucketSize-byte masked
+	// payload or random padding.
+	tables [][][]byte
+	// stash holds the StashSize overflow buckets, masked like ordinary
+	// buckets and scanned by every trapdoor.
+	stash [][]byte
+	n     int
+	stats BuildStats
+}
+
+// BuildStats reports observable build behaviour (Fig. 4(c) and 5(a)).
+type BuildStats struct {
+	// Kicks is the number of cuckoo kick-away operations during build.
+	Kicks int
+	// PrimaryHits and ProbeHits count how insertions were resolved.
+	PrimaryHits int
+	ProbeHits   int
+	// StashHits counts items parked in the stash.
+	StashHits int
+	// InsertNanos and EncryptNanos split the build cost into the cuckoo
+	// placement phase and the bucket-encryption phase.
+	InsertNanos  int64
+	EncryptNanos int64
+}
+
+// Build implements ConSecIdx(K, S, V) for the identifier/metadata part: it
+// places every item with primary insertion, random probing and cuckoo
+// kick-aways (Algorithms 1–3), then encrypts occupied buckets with PRF
+// masks and fills empty buckets with random padding.
+//
+// Profile encryption (S* = Enc(ks, S)) is a separate concern; see
+// crypt.EncProfile and the frontend package.
+func Build(keys *crypt.KeySet, items []Item, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkKeys(keys, p); err != nil {
+		return nil, err
+	}
+	placer, err := newPlacer(keys, p)
+	if err != nil {
+		return nil, err
+	}
+	insertStart := time.Now()
+	for _, it := range items {
+		if it.ID == bottomID {
+			return nil, fmt.Errorf("core: identifier %d is reserved", it.ID)
+		}
+		if err := placer.Insert(it.ID, it.Meta); err != nil {
+			if errors.Is(err, cuckoo.ErrFull) {
+				return nil, fmt.Errorf("%w: %v", ErrNeedRehash, err)
+			}
+			return nil, fmt.Errorf("core: insert %d: %w", it.ID, err)
+		}
+	}
+	insertNanos := time.Since(insertStart).Nanoseconds()
+
+	encStart := time.Now()
+	idx, err := encryptStatic(keys, placer, p, len(items))
+	if err != nil {
+		return nil, err
+	}
+	idx.stats.InsertNanos = insertNanos
+	idx.stats.EncryptNanos = time.Since(encStart).Nanoseconds()
+	return idx, nil
+}
+
+// newPlacer constructs the shared cuckoo engine with PRF addressing.
+func newPlacer(keys *crypt.KeySet, p Params) (*cuckoo.Index, error) {
+	cp := cuckoo.Params{
+		Tables:     p.Tables,
+		Capacity:   p.Capacity,
+		ProbeRange: p.ProbeRange,
+		MaxLoop:    p.MaxLoop,
+		Seed:       p.Seed,
+		StashSize:  p.StashSize,
+		PosFunc: func(table int, key uint64, delta, width int) int {
+			return bucketPos(keys, table, key, delta, width)
+		},
+	}
+	return cuckoo.New(cp)
+}
+
+// encryptStatic runs the encryption phase of Algorithm 1 over a filled
+// placer: masked buckets for occupied slots, random padding elsewhere.
+// Padding and mask derivation are independent per table, so the phase
+// fans out across CPUs.
+func encryptStatic(keys *crypt.KeySet, placer *cuckoo.Index, p Params, n int) (*Index, error) {
+	w := placer.Width()
+	idx := &Index{params: p, width: w, n: n}
+	st := placer.Stats()
+	idx.stats.Kicks = st.Kicks
+	idx.stats.PrimaryHits = st.PrimaryHits
+	idx.stats.ProbeHits = st.ProbeHits
+
+	idx.tables = make([][][]byte, p.Tables)
+	// Collect occupied slots per table so each worker touches only its
+	// own table's buckets.
+	occupied := make([][]struct {
+		pos int
+		id  uint64
+	}, p.Tables)
+	placer.Walk(func(table, pos int, id uint64) {
+		occupied[table] = append(occupied[table], struct {
+			pos int
+			id  uint64
+		}{pos, id})
+	})
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.Tables {
+		workers = p.Tables
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tableCh := make(chan int, p.Tables)
+	for j := 0; j < p.Tables; j++ {
+		tableCh <- j
+	}
+	close(tableCh)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range tableCh {
+				// One contiguous allocation per table keeps the 1M-user
+				// build within memory and makes SizeBytes exact.
+				flat := make([]byte, w*BucketSize)
+				if _, err := io.ReadFull(rand.Reader, flat); err != nil {
+					errCh <- fmt.Errorf("core: random padding: %w", err)
+					return
+				}
+				buckets := make([][]byte, w)
+				for pos := 0; pos < w; pos++ {
+					buckets[pos] = flat[pos*BucketSize : (pos+1)*BucketSize]
+				}
+				for _, slot := range occupied[j] {
+					payload := encodePayload(slot.id)
+					mask := staticMask(keys, j, uint64(slot.pos))
+					crypt.XOR(buckets[slot.pos], mask, payload[:])
+				}
+				idx.tables[j] = buckets
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+	// Stash: random padding, then mask the occupied slots.
+	idx.stash = make([][]byte, p.StashSize)
+	for pos := range idx.stash {
+		b := make([]byte, BucketSize)
+		if _, err := io.ReadFull(rand.Reader, b); err != nil {
+			return nil, fmt.Errorf("core: stash padding: %w", err)
+		}
+		idx.stash[pos] = b
+	}
+	placer.WalkStash(func(pos int, id uint64) {
+		payload := encodePayload(id)
+		mask := stashMask(keys, p.Tables, pos)
+		crypt.XOR(idx.stash[pos], mask, payload[:])
+	})
+	idx.stats.StashHits = placer.Stats().StashHits
+	return idx, nil
+}
+
+// Params returns the index parameters (public, shared with the cloud).
+func (x *Index) Params() Params { return x.params }
+
+// Len returns n, the number of indexed items.
+func (x *Index) Len() int { return x.n }
+
+// Width returns w, the per-table bucket count.
+func (x *Index) Width() int { return x.width }
+
+// SizeBytes returns the exact storage footprint of the bucket arrays:
+// u · (w·l + stash), the paper's O(n) index size.
+func (x *Index) SizeBytes() int {
+	return (x.params.Tables*x.width + len(x.stash)) * BucketSize
+}
+
+// LoadFactor returns n / (w·l).
+func (x *Index) LoadFactor() float64 {
+	return float64(x.n) / float64(x.width*x.params.Tables)
+}
+
+// BuildStats returns the recorded build statistics.
+func (x *Index) BuildStats() BuildStats { return x.stats }
+
+// Bucket returns the raw encrypted bucket at (table, pos); used by tests to
+// verify indistinguishability and by the transport layer.
+func (x *Index) Bucket(table int, pos uint64) ([]byte, error) {
+	if table < 0 || table >= x.params.Tables || pos >= uint64(x.width) {
+		return nil, fmt.Errorf("core: bucket (%d,%d) out of range", table, pos)
+	}
+	return x.tables[table][pos], nil
+}
+
+// SecRec implements M ← SecRec(t, I) minus the profile fetch: given a
+// trapdoor it unmasks the l·(d+1) addressed buckets and returns the
+// recovered identifiers (deduplicated, order of discovery). The cloud then
+// returns the referenced encrypted profiles {S*}; see cloud.Server.
+//
+// SecRec requires no key material: the trapdoor carries positions and
+// one-time masks, exactly the view the security proof simulates.
+func (x *Index) SecRec(t *Trapdoor) ([]uint64, error) {
+	if t == nil {
+		return nil, fmt.Errorf("core: nil trapdoor")
+	}
+	if len(t.Tables) != x.params.Tables {
+		return nil, fmt.Errorf("core: trapdoor covers %d tables, index has %d", len(t.Tables), x.params.Tables)
+	}
+	ids := make([]uint64, 0, x.params.BucketsPerQuery())
+	seen := make(map[uint64]struct{}, x.params.BucketsPerQuery())
+	collect := func(masked, mask []byte) error {
+		if len(mask) != BucketSize {
+			return fmt.Errorf("core: trapdoor mask length %d, want %d", len(mask), BucketSize)
+		}
+		var buf [BucketSize]byte
+		crypt.XOR(buf[:], mask, masked)
+		if id, ok := decodePayload(buf); ok {
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				ids = append(ids, id)
+			}
+		}
+		return nil
+	}
+	for j, entries := range t.Tables {
+		for _, e := range entries {
+			if e.Pos >= uint64(x.width) {
+				return nil, fmt.Errorf("core: trapdoor position %d out of range (w=%d)", e.Pos, x.width)
+			}
+			if err := collect(x.tables[j][e.Pos], e.Mask); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(t.Stash) > len(x.stash) {
+		return nil, fmt.Errorf("core: trapdoor stash covers %d slots, index has %d", len(t.Stash), len(x.stash))
+	}
+	for pos, mask := range t.Stash {
+		if err := collect(x.stash[pos], mask); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}

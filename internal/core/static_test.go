@@ -1,0 +1,428 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+)
+
+func testKeys(t testing.TB, l int) *crypt.KeySet {
+	t.Helper()
+	keys, err := crypt.GenDeterministic("core-test", l)
+	if err != nil {
+		t.Fatalf("GenDeterministic: %v", err)
+	}
+	return keys
+}
+
+func testParams(n int) Params {
+	return Params{
+		Tables:     5,
+		Capacity:   CapacityFor(n, 0.8),
+		ProbeRange: 4,
+		MaxLoop:    200,
+		Seed:       1,
+	}
+}
+
+func randItems(rng *rand.Rand, n, tables int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		meta := make(lsh.Metadata, tables)
+		for j := range meta {
+			meta[j] = rng.Uint64()
+		}
+		items[i] = Item{ID: uint64(i + 1), Meta: meta}
+	}
+	return items
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero tables", func(p *Params) { p.Tables = 0 }},
+		{"capacity below tables", func(p *Params) { p.Capacity = 1 }},
+		{"negative probe", func(p *Params) { p.ProbeRange = -1 }},
+		{"zero maxloop", func(p *Params) { p.MaxLoop = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := testParams(100)
+			tt.mut(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestCapacityFor(t *testing.T) {
+	if got := CapacityFor(800, 0.8); got != 1001 {
+		t.Errorf("CapacityFor(800,0.8) = %d, want 1001", got)
+	}
+	// Invalid tau falls back to 0.8.
+	if got := CapacityFor(800, 0); got != 1001 {
+		t.Errorf("CapacityFor(800,0) = %d, want 1001", got)
+	}
+	if got := CapacityFor(800, 1.5); got != 1001 {
+		t.Errorf("CapacityFor(800,1.5) = %d, want 1001", got)
+	}
+}
+
+func TestBucketsPerQuery(t *testing.T) {
+	p := Params{Tables: 10, Capacity: 100, ProbeRange: 4, MaxLoop: 1}
+	if got := p.BucketsPerQuery(); got != 50 {
+		t.Errorf("BucketsPerQuery = %d, want 50", got)
+	}
+}
+
+func TestBuildAndSecRecFindsInserted(t *testing.T) {
+	const n = 500
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(2))
+	items := randItems(rng, n, 5)
+	idx, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if idx.Len() != n {
+		t.Fatalf("Len = %d, want %d", idx.Len(), n)
+	}
+	// Every item must be recoverable through a trapdoor on its own
+	// metadata: the secure index preserves LSH locality (correctness
+	// remark of Sec. III-B).
+	for _, it := range items[:100] {
+		td, err := GenTpdr(keys, it.Meta, p)
+		if err != nil {
+			t.Fatalf("GenTpdr: %v", err)
+		}
+		ids, err := idx.SecRec(td)
+		if err != nil {
+			t.Fatalf("SecRec: %v", err)
+		}
+		if !containsID(ids, it.ID) {
+			t.Fatalf("id %d not recovered by its own trapdoor", it.ID)
+		}
+	}
+}
+
+func TestSecRecMatchesPlaintextCuckoo(t *testing.T) {
+	// Oracle test: the secure index must return exactly the ids a
+	// plaintext cuckoo index with the same PRF addressing returns.
+	const n = 300
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, n, 5)
+
+	idx, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	placer, err := newPlacer(keys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := placer.Insert(it.ID, it.Meta); err != nil {
+			t.Fatalf("oracle insert: %v", err)
+		}
+	}
+	for _, it := range items[:50] {
+		td, err := GenTpdr(keys, it.Meta, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := idx.SecRec(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := placer.Lookup(it.Meta)
+		if !sameIDSet(got, want) {
+			t.Fatalf("SecRec mismatch for %d: got %v want %v", it.ID, got, want)
+		}
+	}
+}
+
+func TestSecRecUnrelatedQueryFindsNothingSpecific(t *testing.T) {
+	const n = 100
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(4))
+	items := randItems(rng, n, 5)
+	idx, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A random metadata vector should address (almost always) empty or
+	// unrelated buckets; recovered ids must at least decode consistently.
+	meta := make(lsh.Metadata, 5)
+	for j := range meta {
+		meta[j] = rng.Uint64()
+	}
+	td, err := GenTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := idx.SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == 0 || id > n {
+			t.Fatalf("recovered id %d was never inserted", id)
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	keys := testKeys(t, 5)
+	p := testParams(10)
+	if _, err := Build(nil, nil, p); err == nil {
+		t.Error("nil keys accepted")
+	}
+	shortKeys := testKeys(t, 2)
+	if _, err := Build(shortKeys, nil, p); err == nil {
+		t.Error("short key set accepted")
+	}
+	bad := p
+	bad.Tables = 0
+	if _, err := Build(keys, nil, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Build(keys, []Item{{ID: bottomID, Meta: make(lsh.Metadata, 5)}}, p); err == nil {
+		t.Error("reserved identifier accepted")
+	}
+}
+
+func TestBuildOverfullNeedsRehash(t *testing.T) {
+	keys := testKeys(t, 2)
+	// 2 tables, tiny capacity, many items sharing one metadata value: the
+	// addressable bucket budget l*(d+1) overflows.
+	p := Params{Tables: 2, Capacity: 64, ProbeRange: 1, MaxLoop: 20, Seed: 1}
+	shared := lsh.Metadata{7, 8}
+	items := make([]Item, 6)
+	for i := range items {
+		items[i] = Item{ID: uint64(i + 1), Meta: shared}
+	}
+	_, err := Build(keys, items, p)
+	if !errors.Is(err, ErrNeedRehash) {
+		t.Fatalf("err = %v, want ErrNeedRehash", err)
+	}
+}
+
+func TestIndexSizeBytesLinear(t *testing.T) {
+	keys := testKeys(t, 5)
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{100, 200} {
+		p := testParams(n)
+		idx, err := Build(keys, randItems(rng, n, 5), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.Tables * p.Width() * BucketSize
+		if got := idx.SizeBytes(); got != want {
+			t.Errorf("n=%d SizeBytes = %d, want %d", n, got, want)
+		}
+		lf := idx.LoadFactor()
+		if lf < 0.7 || lf > 0.85 {
+			t.Errorf("n=%d LoadFactor = %v, want ~0.8", n, lf)
+		}
+	}
+}
+
+func TestTrapdoorShape(t *testing.T) {
+	keys := testKeys(t, 5)
+	p := testParams(100)
+	meta := lsh.Metadata{1, 2, 3, 4, 5}
+	td, err := GenTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := td.Entries(); got != p.BucketsPerQuery() {
+		t.Errorf("Entries = %d, want %d", got, p.BucketsPerQuery())
+	}
+	if got, want := td.SizeBytes(), p.BucketsPerQuery()*(8+BucketSize); got != want {
+		t.Errorf("SizeBytes = %d, want %d", got, want)
+	}
+	// Constant in n: a different capacity changes positions, not size.
+	p2 := p
+	p2.Capacity = p.Capacity * 10
+	td2, err := GenTpdr(keys, meta, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td2.SizeBytes() != td.SizeBytes() {
+		t.Error("trapdoor size depends on n; must be constant")
+	}
+}
+
+func TestTrapdoorDeterministic(t *testing.T) {
+	// Deterministic trapdoors are the similarity-search-pattern leakage
+	// (Definition 4): same V, same t.
+	keys := testKeys(t, 5)
+	p := testParams(100)
+	meta := lsh.Metadata{9, 8, 7, 6, 5}
+	t1, err := GenTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := GenTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range t1.Tables {
+		for i := range t1.Tables[j] {
+			if t1.Tables[j][i].Pos != t2.Tables[j][i].Pos {
+				t.Fatal("trapdoor positions differ for identical metadata")
+			}
+			if string(t1.Tables[j][i].Mask) != string(t2.Tables[j][i].Mask) {
+				t.Fatal("trapdoor masks differ for identical metadata")
+			}
+		}
+	}
+}
+
+func TestGenTpdrRejectsBadMeta(t *testing.T) {
+	keys := testKeys(t, 5)
+	p := testParams(100)
+	if _, err := GenTpdr(keys, lsh.Metadata{1}, p); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := GenTpdr(nil, lsh.Metadata{1, 2, 3, 4, 5}, p); err == nil {
+		t.Error("nil keys accepted")
+	}
+}
+
+func TestSecRecRejectsMalformedTrapdoor(t *testing.T) {
+	keys := testKeys(t, 5)
+	p := testParams(100)
+	rng := rand.New(rand.NewSource(6))
+	idx, err := Build(keys, randItems(rng, 50, 5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.SecRec(nil); err == nil {
+		t.Error("nil trapdoor accepted")
+	}
+	if _, err := idx.SecRec(&Trapdoor{Tables: make([][]Entry, 2)}); err == nil {
+		t.Error("wrong table count accepted")
+	}
+	bad := &Trapdoor{Tables: make([][]Entry, 5)}
+	bad.Tables[0] = []Entry{{Pos: uint64(idx.Width()), Mask: make([]byte, BucketSize)}}
+	if _, err := idx.SecRec(bad); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	bad.Tables[0] = []Entry{{Pos: 0, Mask: make([]byte, 3)}}
+	if _, err := idx.SecRec(bad); err == nil {
+		t.Error("short mask accepted")
+	}
+}
+
+func TestWrongMaskRecoversNothing(t *testing.T) {
+	// A trapdoor with random masks (attacker without keys) must not
+	// decode any identifier: buckets stay opaque.
+	const n = 200
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(7))
+	items := randItems(rng, n, 5)
+	idx, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := GenTpdr(keys, items[0].Meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range td.Tables {
+		for i := range td.Tables[j] {
+			rng.Read(td.Tables[j][i].Mask)
+		}
+	}
+	ids, err := idx.SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("random masks recovered %d ids; expected none", len(ids))
+	}
+}
+
+func TestBucketAccess(t *testing.T) {
+	keys := testKeys(t, 5)
+	p := testParams(50)
+	rng := rand.New(rand.NewSource(8))
+	idx, err := Build(keys, randItems(rng, 50, 5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := idx.Bucket(0, 0)
+	if err != nil {
+		t.Fatalf("Bucket: %v", err)
+	}
+	if len(b) != BucketSize {
+		t.Errorf("bucket size %d", len(b))
+	}
+	if _, err := idx.Bucket(-1, 0); err == nil {
+		t.Error("negative table accepted")
+	}
+	if _, err := idx.Bucket(0, uint64(idx.Width())); err == nil {
+		t.Error("out-of-range pos accepted")
+	}
+}
+
+func TestBuildStatsRecorded(t *testing.T) {
+	const n = 400
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(9))
+	idx, err := Build(keys, randItems(rng, n, 5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.BuildStats()
+	if st.PrimaryHits+st.ProbeHits != n {
+		t.Errorf("hits %d+%d != n=%d", st.PrimaryHits, st.ProbeHits, n)
+	}
+	if st.InsertNanos <= 0 || st.EncryptNanos <= 0 {
+		t.Errorf("phase timings not recorded: %+v", st)
+	}
+}
+
+func containsID(ids []uint64, id uint64) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// sameIDSet compares the two id lists as sets: SecRec deduplicates while
+// the plaintext Lookup may report an id once per addressed bucket.
+func sameIDSet(a, b []uint64) bool {
+	as := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		as[x] = struct{}{}
+	}
+	bs := make(map[uint64]struct{}, len(b))
+	for _, x := range b {
+		bs[x] = struct{}{}
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for x := range as {
+		if _, ok := bs[x]; !ok {
+			return false
+		}
+	}
+	return true
+}

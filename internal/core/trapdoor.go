@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+)
+
+// Entry is one bucket reference inside a trapdoor: the PRF-permuted
+// position pos and the one-time unmasking value r = g(k_j, j ‖ pos).
+type Entry struct {
+	Pos  uint64
+	Mask []byte
+}
+
+// Trapdoor is the secure discovery request t output by GenTpdr(K, V):
+// for each of the l tables, d+1 entries (primary + d probes). Trapdoors
+// are deterministic in V, which is exactly the similarity-search-pattern
+// leakage quantified by Definition 4.
+type Trapdoor struct {
+	// Tables[j] holds the d+1 entries for hash table T_j.
+	Tables [][]Entry
+	// Stash[pos] is the unmasking value for stash slot pos; present when
+	// the index was built with a stash (every query scans all of it).
+	Stash [][]byte
+}
+
+// GenTpdr implements t ← GenTpdr(K, V) for the static scheme: it one-way
+// transforms the metadata into positions via f and attaches the masks via
+// g so the cloud can unmask the addressed buckets without learning the
+// metadata or any non-addressed bucket.
+func GenTpdr(keys *crypt.KeySet, meta lsh.Metadata, p Params) (*Trapdoor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkKeys(keys, p); err != nil {
+		return nil, err
+	}
+	if len(meta) != p.Tables {
+		return nil, fmt.Errorf("core: metadata has %d tables, params have %d", len(meta), p.Tables)
+	}
+	w := p.Width()
+	t := &Trapdoor{Tables: make([][]Entry, p.Tables)}
+	for j := 0; j < p.Tables; j++ {
+		entries := make([]Entry, 0, p.ProbeRange+1)
+		for delta := 0; delta <= p.ProbeRange; delta++ {
+			pos := uint64(bucketPos(keys, j, meta[j], delta, w))
+			entries = append(entries, Entry{
+				Pos:  pos,
+				Mask: staticMask(keys, j, pos),
+			})
+		}
+		t.Tables[j] = entries
+	}
+	for pos := 0; pos < p.StashSize; pos++ {
+		t.Stash = append(t.Stash, stashMask(keys, p.Tables, pos))
+	}
+	return t, nil
+}
+
+// SizeBytes returns the wire size of the trapdoor: per entry an 8-byte
+// position plus the 32-byte mask, plus one mask per stash slot.
+func (t *Trapdoor) SizeBytes() int {
+	n := 0
+	for _, entries := range t.Tables {
+		for _, e := range entries {
+			n += 8 + len(e.Mask)
+		}
+	}
+	for _, m := range t.Stash {
+		n += len(m)
+	}
+	return n
+}
+
+// Entries returns the total number of bucket references, l·(d+1) plus the
+// stash size.
+func (t *Trapdoor) Entries() int {
+	n := len(t.Stash)
+	for _, entries := range t.Tables {
+		n += len(entries)
+	}
+	return n
+}
+
+// PositionTrapdoor is the positions-only variant used by the dynamic
+// scheme's search, deletion and insertion (Sec. III-D: "similar as the
+// search trapdoor but only contains the position pos"). The masks of
+// dynamic buckets are derived from per-bucket random values held encrypted
+// at the cloud, so no mask material travels with the request.
+type PositionTrapdoor struct {
+	// Tables[j] holds the d+1 positions for hash table T_j.
+	Tables [][]uint64
+}
+
+// GenPosTpdr derives the positions-only trapdoor for metadata V.
+func GenPosTpdr(keys *crypt.KeySet, meta lsh.Metadata, p Params) (*PositionTrapdoor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkKeys(keys, p); err != nil {
+		return nil, err
+	}
+	if len(meta) != p.Tables {
+		return nil, fmt.Errorf("core: metadata has %d tables, params have %d", len(meta), p.Tables)
+	}
+	w := p.Width()
+	t := &PositionTrapdoor{Tables: make([][]uint64, p.Tables)}
+	for j := 0; j < p.Tables; j++ {
+		positions := make([]uint64, 0, p.ProbeRange+1)
+		for delta := 0; delta <= p.ProbeRange; delta++ {
+			positions = append(positions, uint64(bucketPos(keys, j, meta[j], delta, w)))
+		}
+		t.Tables[j] = positions
+	}
+	return t, nil
+}
+
+// SizeBytes returns the wire size: 8 bytes per position.
+func (t *PositionTrapdoor) SizeBytes() int {
+	n := 0
+	for _, positions := range t.Tables {
+		n += 8 * len(positions)
+	}
+	return n
+}

@@ -1,0 +1,332 @@
+// Package cuckoo implements the plaintext locality-aware cuckoo index the
+// paper builds its secure design on (the NEST index of Hua, Xiao & Liu,
+// INFOCOM'13 — reference [22] of the paper). It combines l LSH hash tables
+// with cuckoo-driven insertion: every item has one primary bucket per table
+// plus d random probe buckets, and colliding items are kicked between
+// tables to balance load.
+//
+// The package serves two roles in this repository:
+//
+//  1. it is a faithful substrate for the secure index in internal/core,
+//     which runs the same insertion logic with PRF-permuted positions; and
+//  2. it is a correctness oracle: on identical inputs the secure index must
+//     retrieve the same candidate sets this index does.
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"pisd/internal/lsh"
+)
+
+var (
+	// ErrFull is returned when an insertion exceeds MaxLoop kick-aways;
+	// the caller should rehash with fresh LSH parameters and rebuild.
+	ErrFull = errors.New("cuckoo: index full, rehash required")
+	// ErrDuplicateID is returned when an identifier is inserted twice.
+	ErrDuplicateID = errors.New("cuckoo: duplicate identifier")
+	// ErrNotFound is returned when deleting an absent identifier.
+	ErrNotFound = errors.New("cuckoo: identifier not found")
+)
+
+// Params configures an index.
+type Params struct {
+	// Tables is l, the number of hash tables; it must equal the LSH
+	// family's table count.
+	Tables int
+	// Capacity is N, the total number of buckets across all tables.
+	// Typically N = ⌈n/τ⌉ for n items at load factor τ.
+	Capacity int
+	// ProbeRange is d, the number of extra random probe buckets per table.
+	ProbeRange int
+	// MaxLoop bounds the number of kick-aways during one insertion before
+	// ErrFull is reported (Algorithm 1, line 10).
+	MaxLoop int
+	// Seed drives the random choice of which table to kick from.
+	Seed int64
+	// StashSize, when > 0, adds a stash of that many overflow slots: an
+	// item whose kick chain exhausts MaxLoop parks in the stash instead
+	// of forcing a rehash (Kirsch, Mitzenmacher & Wieder's classic cuckoo
+	// improvement — a tiny stash drops the failure probability by orders
+	// of magnitude). Lookups always scan the whole stash.
+	StashSize int
+	// PosFunc, when non-nil, overrides the bucket addressing function.
+	// It maps (table j, table-j LSH value, probe offset δ, table width w)
+	// to a bucket position in [0, w). The secure index injects its
+	// PRF-based addressing here so that the plaintext and secure designs
+	// share one insertion engine.
+	PosFunc func(table int, key uint64, delta, width int) int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Tables < 1:
+		return fmt.Errorf("cuckoo: tables must be >= 1, got %d", p.Tables)
+	case p.Capacity < p.Tables:
+		return fmt.Errorf("cuckoo: capacity %d below table count %d", p.Capacity, p.Tables)
+	case p.ProbeRange < 0:
+		return fmt.Errorf("cuckoo: probe range must be >= 0, got %d", p.ProbeRange)
+	case p.MaxLoop < 1:
+		return fmt.Errorf("cuckoo: max loop must be >= 1, got %d", p.MaxLoop)
+	case p.StashSize < 0:
+		return fmt.Errorf("cuckoo: stash size must be >= 0, got %d", p.StashSize)
+	}
+	return nil
+}
+
+// slot is one bucket of a table.
+type slot struct {
+	id       uint64
+	occupied bool
+}
+
+// Stats aggregates observable insertion behaviour, reported in Fig. 4(c).
+type Stats struct {
+	// Kicks is the total number of cuckoo kick-away operations.
+	Kicks int
+	// ProbeHits counts insertions resolved by a random probe bucket.
+	ProbeHits int
+	// PrimaryHits counts insertions resolved by a primary bucket.
+	PrimaryHits int
+	// StashHits counts insertions that parked in the stash.
+	StashHits int
+}
+
+// Index is a plaintext LSH + cuckoo hash index mapping item identifiers to
+// buckets chosen by their LSH metadata.
+type Index struct {
+	params Params
+	w      int // buckets per table
+	tables [][]slot
+	stash  []slot
+	meta   map[uint64]lsh.Metadata
+	rng    *rand.Rand
+	stats  Stats
+}
+
+// New creates an empty index.
+func New(p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := (p.Capacity + p.Tables - 1) / p.Tables
+	tables := make([][]slot, p.Tables)
+	for j := range tables {
+		tables[j] = make([]slot, w)
+	}
+	return &Index{
+		params: p,
+		w:      w,
+		tables: tables,
+		stash:  make([]slot, p.StashSize),
+		meta:   make(map[uint64]lsh.Metadata),
+		rng:    rand.New(rand.NewSource(p.Seed)),
+	}, nil
+}
+
+// Params returns the index configuration.
+func (x *Index) Params() Params { return x.params }
+
+// Len returns the number of stored items.
+func (x *Index) Len() int { return len(x.meta) }
+
+// Width returns w, the number of buckets per table.
+func (x *Index) Width() int { return x.w }
+
+// Stats returns a copy of the accumulated insertion statistics.
+func (x *Index) Stats() Stats { return x.stats }
+
+// ResetStats zeroes the statistics counters.
+func (x *Index) ResetStats() { x.stats = Stats{} }
+
+// position mixes a table's LSH value (and probe offset δ, 0 for primary)
+// into a bucket position. It is the plaintext analogue of the secure
+// index's PRF f(k_j, V[j] || δ). When Params.PosFunc is set it takes over.
+func (x *Index) position(table int, key uint64, delta int) int {
+	if x.params.PosFunc != nil {
+		return x.params.PosFunc(table, key, delta, x.w)
+	}
+	z := key ^ uint64(table)*0x9E3779B97F4A7C15 ^ uint64(delta)*0xBF58476D1CE4E5B9
+	// splitmix64 finalizer for good bucket dispersion.
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(x.w))
+}
+
+// Insert places id with metadata meta, performing primary insertion, random
+// probing and cuckoo kick-aways exactly as Algorithm 1. It returns ErrFull
+// when MaxLoop kicks did not find room (the caller rehashes), and
+// ErrDuplicateID when id is already present.
+func (x *Index) Insert(id uint64, meta lsh.Metadata) error {
+	if len(meta) != x.params.Tables {
+		return fmt.Errorf("cuckoo: metadata has %d tables, index has %d", len(meta), x.params.Tables)
+	}
+	if _, ok := x.meta[id]; ok {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	x.meta[id] = meta
+
+	curID, curMeta := id, meta
+	for loop := 0; loop <= x.params.MaxLoop; loop++ {
+		// Primary insertion (Algorithm 2).
+		if x.tryInsert(curID, curMeta, 0) {
+			x.stats.PrimaryHits++
+			return nil
+		}
+		// Random probe (Algorithm 3).
+		if x.tryProbe(curID, curMeta) {
+			x.stats.ProbeHits++
+			return nil
+		}
+		// Cuckoo kick-away: evict a random primary bucket.
+		j := x.rng.Intn(x.params.Tables)
+		pos := x.position(j, curMeta[j], 0)
+		victim := x.tables[j][pos].id
+		x.tables[j][pos] = slot{id: curID, occupied: true}
+		x.stats.Kicks++
+		curID = victim
+		curMeta = x.meta[victim]
+	}
+	// Kick budget exhausted: try to park the homeless item in the stash.
+	for i := range x.stash {
+		if !x.stash[i].occupied {
+			x.stash[i] = slot{id: curID, occupied: true}
+			x.stats.StashHits++
+			return nil
+		}
+	}
+	// The last evicted item is left without a bucket. Its identifier stays
+	// in x.meta (as does the originally inserted id, which may now occupy a
+	// slot somewhere in the chain), so Items() reports the complete logical
+	// content and the caller can rebuild with fresh LSH parameters.
+	return fmt.Errorf("%w after %d kicks", ErrFull, x.params.MaxLoop)
+}
+
+// tryInsert attempts to place id in the δ-offset bucket of any table.
+func (x *Index) tryInsert(id uint64, meta lsh.Metadata, delta int) bool {
+	for j := 0; j < x.params.Tables; j++ {
+		pos := x.position(j, meta[j], delta)
+		if !x.tables[j][pos].occupied {
+			x.tables[j][pos] = slot{id: id, occupied: true}
+			return true
+		}
+	}
+	return false
+}
+
+// tryProbe attempts the d random probe buckets of every table.
+func (x *Index) tryProbe(id uint64, meta lsh.Metadata) bool {
+	for delta := 1; delta <= x.params.ProbeRange; delta++ {
+		if x.tryInsert(id, meta, delta) {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the identifiers stored in all l·(d+1) buckets addressed by
+// meta: the candidate set for similarity ranking.
+func (x *Index) Lookup(meta lsh.Metadata) []uint64 {
+	if len(meta) != x.params.Tables {
+		return nil
+	}
+	out := make([]uint64, 0, x.params.Tables*(x.params.ProbeRange+1)+len(x.stash))
+	for j := 0; j < x.params.Tables; j++ {
+		for delta := 0; delta <= x.params.ProbeRange; delta++ {
+			s := x.tables[j][x.position(j, meta[j], delta)]
+			if s.occupied {
+				out = append(out, s.id)
+			}
+		}
+	}
+	for _, s := range x.stash {
+		if s.occupied {
+			out = append(out, s.id)
+		}
+	}
+	return out
+}
+
+// Delete removes id, which must have been inserted with the given metadata.
+func (x *Index) Delete(id uint64, meta lsh.Metadata) error {
+	if len(meta) != x.params.Tables {
+		return fmt.Errorf("cuckoo: metadata has %d tables, index has %d", len(meta), x.params.Tables)
+	}
+	for j := 0; j < x.params.Tables; j++ {
+		for delta := 0; delta <= x.params.ProbeRange; delta++ {
+			pos := x.position(j, meta[j], delta)
+			if s := x.tables[j][pos]; s.occupied && s.id == id {
+				x.tables[j][pos] = slot{}
+				delete(x.meta, id)
+				return nil
+			}
+		}
+	}
+	for i, s := range x.stash {
+		if s.occupied && s.id == id {
+			x.stash[i] = slot{}
+			delete(x.meta, id)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %d", ErrNotFound, id)
+}
+
+// Contains reports whether id is reachable via meta's buckets.
+func (x *Index) Contains(id uint64, meta lsh.Metadata) bool {
+	for _, got := range x.Lookup(meta) {
+		if got == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Items returns every stored identifier with its metadata, for rebuilds.
+func (x *Index) Items() map[uint64]lsh.Metadata {
+	out := make(map[uint64]lsh.Metadata, len(x.meta))
+	for id, m := range x.meta {
+		out[id] = m
+	}
+	return out
+}
+
+// Walk calls fn for every occupied bucket with its table index, bucket
+// position and stored identifier. The secure index's encryption phase uses
+// it to mask exactly the occupied buckets. Stash slots are reported via
+// WalkStash.
+func (x *Index) Walk(fn func(table, pos int, id uint64)) {
+	for j, tbl := range x.tables {
+		for pos, s := range tbl {
+			if s.occupied {
+				fn(j, pos, s.id)
+			}
+		}
+	}
+}
+
+// WalkStash calls fn for every occupied stash slot.
+func (x *Index) WalkStash(fn func(pos int, id uint64)) {
+	for pos, s := range x.stash {
+		if s.occupied {
+			fn(pos, s.id)
+		}
+	}
+}
+
+// MetaOf returns the metadata id was inserted with.
+func (x *Index) MetaOf(id uint64) (lsh.Metadata, bool) {
+	m, ok := x.meta[id]
+	return m, ok
+}
+
+// LoadFactor returns the fraction of occupied buckets.
+func (x *Index) LoadFactor() float64 {
+	return float64(len(x.meta)) / float64(x.w*x.params.Tables)
+}

@@ -1,0 +1,295 @@
+package cuckoo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pisd/internal/lsh"
+)
+
+func testParams() Params {
+	return Params{Tables: 4, Capacity: 400, ProbeRange: 3, MaxLoop: 100, Seed: 1}
+}
+
+func randMeta(rng *rand.Rand, tables int) lsh.Metadata {
+	m := make(lsh.Metadata, tables)
+	for j := range m {
+		m[j] = rng.Uint64()
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero tables", func(p *Params) { p.Tables = 0 }},
+		{"capacity below tables", func(p *Params) { p.Capacity = 2 }},
+		{"negative probes", func(p *Params) { p.ProbeRange = -1 }},
+		{"zero maxloop", func(p *Params) { p.MaxLoop = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := testParams()
+			tt.mut(&p)
+			if _, err := New(p); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	x, err := New(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	inserted := map[uint64]lsh.Metadata{}
+	for id := uint64(1); id <= 200; id++ {
+		m := randMeta(rng, 4)
+		if err := x.Insert(id, m); err != nil {
+			t.Fatalf("insert %d: %v", id, err)
+		}
+		inserted[id] = m
+	}
+	if x.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", x.Len())
+	}
+	for id, m := range inserted {
+		if !x.Contains(id, m) {
+			t.Errorf("id %d not reachable via its metadata", id)
+		}
+	}
+}
+
+func TestInsertRejectsDuplicateAndBadMeta(t *testing.T) {
+	x, _ := New(testParams())
+	rng := rand.New(rand.NewSource(3))
+	m := randMeta(rng, 4)
+	if err := x.Insert(7, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Insert(7, m); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate insert err = %v", err)
+	}
+	if err := x.Insert(8, randMeta(rng, 3)); err == nil {
+		t.Error("short metadata accepted")
+	}
+}
+
+func TestSharedMetadataCollisions(t *testing.T) {
+	// Many items with identical metadata must still all be stored thanks to
+	// probing and kick-aways, up to the bucket budget for that metadata.
+	p := Params{Tables: 4, Capacity: 4000, ProbeRange: 8, MaxLoop: 200, Seed: 5}
+	x, _ := New(p)
+	rng := rand.New(rand.NewSource(9))
+	shared := randMeta(rng, 4)
+	// l*(d+1) = 36 addressable buckets; insert 20 identical-metadata items.
+	for id := uint64(1); id <= 20; id++ {
+		if err := x.Insert(id, shared); err != nil {
+			t.Fatalf("insert %d with shared metadata: %v", id, err)
+		}
+	}
+	got := x.Lookup(shared)
+	if len(got) != 20 {
+		t.Fatalf("Lookup returned %d ids, want 20", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate id %d in lookup", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestInsertFullTriggersErrFull(t *testing.T) {
+	// More identical-metadata items than addressable buckets cannot fit.
+	p := Params{Tables: 2, Capacity: 64, ProbeRange: 1, MaxLoop: 50, Seed: 5}
+	x, _ := New(p)
+	shared := lsh.Metadata{42, 43}
+	budget := p.Tables * (p.ProbeRange + 1) // 4 addressable buckets
+	var err error
+	for id := uint64(1); id <= uint64(budget)+1; id++ {
+		if err = x.Insert(id, shared); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrFull) {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	// Items() must still report every logically inserted id for rebuild.
+	if got := len(x.Items()); got != budget+1 {
+		t.Errorf("Items len = %d, want %d", got, budget+1)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	x, _ := New(testParams())
+	rng := rand.New(rand.NewSource(4))
+	m := randMeta(rng, 4)
+	if err := x.Insert(11, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Delete(11, m); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if x.Contains(11, m) {
+		t.Error("deleted id still reachable")
+	}
+	if x.Len() != 0 {
+		t.Errorf("Len after delete = %d", x.Len())
+	}
+	if err := x.Delete(11, m); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second delete err = %v", err)
+	}
+}
+
+func TestDeleteThenReinsert(t *testing.T) {
+	x, _ := New(testParams())
+	rng := rand.New(rand.NewSource(6))
+	m := randMeta(rng, 4)
+	for round := 0; round < 5; round++ {
+		if err := x.Insert(1, m); err != nil {
+			t.Fatalf("round %d insert: %v", round, err)
+		}
+		if err := x.Delete(1, m); err != nil {
+			t.Fatalf("round %d delete: %v", round, err)
+		}
+	}
+}
+
+func TestHighLoadFactorFill(t *testing.T) {
+	// At τ = 0.9 with random metadata the index should still fill without
+	// ErrFull given enough probes and kicks.
+	const n = 900
+	p := Params{Tables: 10, Capacity: 1000, ProbeRange: 10, MaxLoop: 500, Seed: 7}
+	x, _ := New(p)
+	rng := rand.New(rand.NewSource(8))
+	for id := uint64(1); id <= n; id++ {
+		if err := x.Insert(id, randMeta(rng, 10)); err != nil {
+			t.Fatalf("insert %d at load %.2f: %v", id, x.LoadFactor(), err)
+		}
+	}
+	if lf := x.LoadFactor(); lf < 0.89 || lf > 0.91 {
+		t.Errorf("LoadFactor = %v, want ~0.9", lf)
+	}
+	if x.Stats().Kicks == 0 {
+		t.Log("note: no kicks needed at τ=0.9 (unusual but not wrong)")
+	}
+}
+
+func TestNoLossInvariant(t *testing.T) {
+	// Property-style check: after many inserts and random deletes, Lookup
+	// finds exactly the surviving ids.
+	p := Params{Tables: 6, Capacity: 600, ProbeRange: 5, MaxLoop: 200, Seed: 10}
+	x, _ := New(p)
+	rng := rand.New(rand.NewSource(11))
+	live := map[uint64]lsh.Metadata{}
+	for id := uint64(1); id <= 400; id++ {
+		m := randMeta(rng, 6)
+		if err := x.Insert(id, m); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		live[id] = m
+	}
+	for id, m := range live {
+		if rng.Intn(2) == 0 {
+			if err := x.Delete(id, m); err != nil {
+				t.Fatalf("delete %d: %v", id, err)
+			}
+			delete(live, id)
+		}
+	}
+	for id, m := range live {
+		if !x.Contains(id, m) {
+			t.Errorf("live id %d lost", id)
+		}
+	}
+	if x.Len() != len(live) {
+		t.Errorf("Len = %d, want %d", x.Len(), len(live))
+	}
+}
+
+func TestPositionInRangeAndSpread(t *testing.T) {
+	x, _ := New(testParams())
+	seen := map[int]bool{}
+	for key := uint64(0); key < 1000; key++ {
+		pos := x.position(0, key, 0)
+		if pos < 0 || pos >= x.Width() {
+			t.Fatalf("position %d out of [0,%d)", pos, x.Width())
+		}
+		seen[pos] = true
+	}
+	// 1000 keys into 100 buckets should cover most buckets.
+	if len(seen) < x.Width()*3/4 {
+		t.Errorf("positions cover only %d/%d buckets", len(seen), x.Width())
+	}
+}
+
+func TestLookupBadMeta(t *testing.T) {
+	x, _ := New(testParams())
+	if got := x.Lookup(lsh.Metadata{1}); got != nil {
+		t.Errorf("Lookup with wrong arity = %v, want nil", got)
+	}
+	if err := x.Delete(1, lsh.Metadata{1}); err == nil {
+		t.Error("Delete with wrong arity should error")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p := Params{Tables: 2, Capacity: 40, ProbeRange: 4, MaxLoop: 100, Seed: 12}
+	x, _ := New(p)
+	shared := lsh.Metadata{5, 6}
+	for id := uint64(1); id <= 8; id++ {
+		if err := x.Insert(id, shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := x.Stats()
+	if s.PrimaryHits == 0 || s.ProbeHits == 0 {
+		t.Errorf("expected both primary and probe hits, got %+v", s)
+	}
+	x.ResetStats()
+	if x.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	p := Params{Tables: 10, Capacity: 2 * 1000 * 1000, ProbeRange: 10, MaxLoop: 500, Seed: 1}
+	x, err := New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	metas := make([]lsh.Metadata, b.N)
+	for i := range metas {
+		metas[i] = randMeta(rng, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Insert(uint64(i+1), metas[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	p := Params{Tables: 10, Capacity: 125000, ProbeRange: 4, MaxLoop: 500, Seed: 1}
+	x, _ := New(p)
+	rng := rand.New(rand.NewSource(1))
+	for id := uint64(1); id <= 100000; id++ {
+		if err := x.Insert(id, randMeta(rng, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := randMeta(rng, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Lookup(m)
+	}
+}

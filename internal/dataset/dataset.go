@@ -1,0 +1,185 @@
+// Package dataset generates the synthetic user-profile workloads that
+// substitute for the paper's MIRFlickr-1M–derived population (DESIGN.md §5).
+//
+// The generator follows the structure the paper's pipeline induces: each
+// user's image profile is a normalized Bag-of-Words histogram dominated by
+// the visual words of the topics the user photographs. We model T topics as
+// sparse non-negative "visual word" distributions over the m-dimensional
+// vocabulary, assign each user a small topic mixture (their interests), and
+// emit the L2-normalized noisy mixture as the profile. Users sharing topics
+// therefore have nearby profiles — the property social discovery exploits —
+// while profiles remain high-dimensional and noisy like real BoW vectors.
+//
+// The package scales to the paper's million-user population: generation is
+// O(users · topic sparsity), not O(users · dim).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pisd/internal/vec"
+)
+
+// Config parameterizes a synthetic population.
+type Config struct {
+	// Users is n, the population size.
+	Users int
+	// Dim is m, the vocabulary size (profile dimensionality).
+	Dim int
+	// Topics is the number of latent interest topics.
+	Topics int
+	// TopicsPerUser is how many topics each user mixes (>=1).
+	TopicsPerUser int
+	// ActiveWords is how many vocabulary words a topic activates.
+	ActiveWords int
+	// Noise is the per-entry Gaussian noise scale added before
+	// normalization; it controls intra-topic spread.
+	Noise float64
+	// PersonalWeight scales a per-user idiosyncratic sparse component
+	// mixed into every profile. Real BoW profiles are never pure topic
+	// mixtures: each user's particular photos activate their own visual
+	// words. Without this, users sharing topics are exact LSH duplicates
+	// across all tables, which no real population exhibits.
+	PersonalWeight float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the experiments: a
+// 1000-word vocabulary (the paper's vocabulary size) with 40 topics.
+func DefaultConfig(users int) Config {
+	return Config{
+		Users:          users,
+		Dim:            1000,
+		Topics:         40,
+		TopicsPerUser:  2,
+		ActiveWords:    80,
+		Noise:          0.02,
+		PersonalWeight: 0.6,
+		Seed:           1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Users < 1:
+		return fmt.Errorf("dataset: users must be >= 1, got %d", c.Users)
+	case c.Dim < 1:
+		return fmt.Errorf("dataset: dim must be >= 1, got %d", c.Dim)
+	case c.Topics < 1:
+		return fmt.Errorf("dataset: topics must be >= 1, got %d", c.Topics)
+	case c.TopicsPerUser < 1 || c.TopicsPerUser > c.Topics:
+		return fmt.Errorf("dataset: topics per user %d out of range [1,%d]", c.TopicsPerUser, c.Topics)
+	case c.ActiveWords < 1 || c.ActiveWords > c.Dim:
+		return fmt.Errorf("dataset: active words %d out of range [1,%d]", c.ActiveWords, c.Dim)
+	case c.Noise < 0:
+		return fmt.Errorf("dataset: noise must be >= 0, got %v", c.Noise)
+	case c.PersonalWeight < 0:
+		return fmt.Errorf("dataset: personal weight must be >= 0, got %v", c.PersonalWeight)
+	}
+	return nil
+}
+
+// Dataset is a generated population.
+type Dataset struct {
+	Config Config
+	// Profiles[i] is user i's L2-normalized image profile S.
+	Profiles [][]float64
+	// UserTopics[i] lists the topic ids mixed into user i's profile.
+	UserTopics [][]int
+	// TopicCenters[t] is topic t's normalized visual-word distribution.
+	TopicCenters [][]float64
+}
+
+// Generate builds a population.
+func Generate(c Config) (*Dataset, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	centers := make([][]float64, c.Topics)
+	for t := range centers {
+		centers[t] = sparseTopic(rng, c.Dim, c.ActiveWords)
+	}
+	ds := &Dataset{
+		Config:       c,
+		Profiles:     make([][]float64, c.Users),
+		UserTopics:   make([][]int, c.Users),
+		TopicCenters: centers,
+	}
+	for i := 0; i < c.Users; i++ {
+		ds.Profiles[i], ds.UserTopics[i] = mixUser(rng, c, centers)
+	}
+	return ds, nil
+}
+
+// sparseTopic draws a topic center: ActiveWords random vocabulary entries
+// with exponential weights, L2-normalized.
+func sparseTopic(rng *rand.Rand, dim, active int) []float64 {
+	center := make([]float64, dim)
+	for k := 0; k < active; k++ {
+		w := rng.Intn(dim)
+		center[w] += rng.ExpFloat64()
+	}
+	return vec.Normalize(center)
+}
+
+// mixUser draws a user's topic set and profile.
+func mixUser(rng *rand.Rand, c Config, centers [][]float64) ([]float64, []int) {
+	topics := rng.Perm(c.Topics)[:c.TopicsPerUser]
+	profile := make([]float64, c.Dim)
+	for _, t := range topics {
+		weight := 0.5 + rng.Float64()
+		for w, v := range centers[t] {
+			if v != 0 {
+				profile[w] += weight * v
+			}
+		}
+	}
+	if c.PersonalWeight > 0 {
+		personal := sparseTopic(rng, c.Dim, c.ActiveWords/2+1)
+		for w, v := range personal {
+			if v != 0 {
+				profile[w] += c.PersonalWeight * v
+			}
+		}
+	}
+	if c.Noise > 0 {
+		// Sparse non-negative noise: BoW histograms never go negative.
+		perturbations := c.Dim / 10
+		for k := 0; k < perturbations; k++ {
+			w := rng.Intn(c.Dim)
+			profile[w] += rng.Float64() * c.Noise
+		}
+	}
+	return vec.Normalize(profile), topics
+}
+
+// Queries samples nq query profiles from the same topic model (fresh users,
+// not members of the population), returning profiles and their topic sets.
+func (ds *Dataset) Queries(nq int, seed int64) ([][]float64, [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	profiles := make([][]float64, nq)
+	topics := make([][]int, nq)
+	for i := 0; i < nq; i++ {
+		profiles[i], topics[i] = mixUser(rng, ds.Config, ds.TopicCenters)
+	}
+	return profiles, topics
+}
+
+// SharedTopics counts how many topics two users share.
+func SharedTopics(a, b []int) int {
+	set := make(map[int]struct{}, len(a))
+	for _, t := range a {
+		set[t] = struct{}{}
+	}
+	n := 0
+	for _, t := range b {
+		if _, ok := set[t]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"pisd/internal/vec"
+)
+
+func smallConfig() Config {
+	return Config{
+		Users:         200,
+		Dim:           100,
+		Topics:        8,
+		TopicsPerUser: 2,
+		ActiveWords:   20,
+		Noise:         0.02,
+		Seed:          1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero users", func(c *Config) { c.Users = 0 }},
+		{"zero dim", func(c *Config) { c.Dim = 0 }},
+		{"zero topics", func(c *Config) { c.Topics = 0 }},
+		{"too many topics per user", func(c *Config) { c.TopicsPerUser = 99 }},
+		{"zero topics per user", func(c *Config) { c.TopicsPerUser = 0 }},
+		{"too many active words", func(c *Config) { c.ActiveWords = 1000 }},
+		{"negative noise", func(c *Config) { c.Noise = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := smallConfig()
+			tt.mut(&c)
+			if _, err := Generate(c); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	c := smallConfig()
+	ds, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Profiles) != c.Users || len(ds.UserTopics) != c.Users {
+		t.Fatalf("population size mismatch")
+	}
+	if len(ds.TopicCenters) != c.Topics {
+		t.Fatalf("topic count mismatch")
+	}
+	for i, p := range ds.Profiles {
+		if len(p) != c.Dim {
+			t.Fatalf("profile %d has dim %d", i, len(p))
+		}
+		if math.Abs(vec.Norm(p)-1) > 1e-9 {
+			t.Fatalf("profile %d not unit norm: %v", i, vec.Norm(p))
+		}
+		for _, x := range p {
+			if x < 0 {
+				t.Fatalf("profile %d has negative entry (not a BoW histogram)", i)
+			}
+		}
+		if len(ds.UserTopics[i]) != c.TopicsPerUser {
+			t.Fatalf("user %d has %d topics", i, len(ds.UserTopics[i]))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Profiles {
+		for j := range a.Profiles[i] {
+			if a.Profiles[i][j] != b.Profiles[i][j] {
+				t.Fatal("same seed should generate identical populations")
+			}
+		}
+	}
+	c := smallConfig()
+	c.Seed = 2
+	d, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a.Profiles[0] {
+		if a.Profiles[0][j] != d.Profiles[0][j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds generated identical first profile")
+	}
+}
+
+// Users sharing topics must be closer on average than users sharing none —
+// the homophily structure the discovery pipeline relies on.
+func TestTopicStructureInducesLocality(t *testing.T) {
+	c := smallConfig()
+	c.Users = 400
+	ds, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharedSum, disjointSum float64
+	var sharedN, disjointN int
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			d := vec.Distance(ds.Profiles[i], ds.Profiles[j])
+			if SharedTopics(ds.UserTopics[i], ds.UserTopics[j]) > 0 {
+				sharedSum += d
+				sharedN++
+			} else {
+				disjointSum += d
+				disjointN++
+			}
+		}
+	}
+	if sharedN == 0 || disjointN == 0 {
+		t.Skip("degenerate sample")
+	}
+	sharedAvg := sharedSum / float64(sharedN)
+	disjointAvg := disjointSum / float64(disjointN)
+	if sharedAvg >= disjointAvg {
+		t.Errorf("topic locality violated: shared avg %.3f >= disjoint avg %.3f", sharedAvg, disjointAvg)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, topics := ds.Queries(10, 7)
+	if len(qs) != 10 || len(topics) != 10 {
+		t.Fatalf("query count mismatch")
+	}
+	for i, q := range qs {
+		if math.Abs(vec.Norm(q)-1) > 1e-9 {
+			t.Fatalf("query %d not unit norm", i)
+		}
+	}
+	// Deterministic in seed.
+	qs2, _ := ds.Queries(10, 7)
+	for j := range qs[0] {
+		if qs[0][j] != qs2[0][j] {
+			t.Fatal("queries not deterministic in seed")
+		}
+	}
+}
+
+func TestSharedTopics(t *testing.T) {
+	if got := SharedTopics([]int{1, 2, 3}, []int{3, 4, 1}); got != 2 {
+		t.Errorf("SharedTopics = %d, want 2", got)
+	}
+	if got := SharedTopics(nil, []int{1}); got != 0 {
+		t.Errorf("SharedTopics = %d, want 0", got)
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig(10).Validate(); err != nil {
+		t.Errorf("DefaultConfig invalid: %v", err)
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"pisd/internal/core"
+)
+
+// Ablations measures the design choices DESIGN.md §8 calls out:
+//
+//   - random probing (d) off vs on — its effect on insertion kicks and on
+//     whether the build succeeds at all at high load;
+//   - cuckoo kick-away off (MaxLoop=1, i.e. items that collide everywhere
+//     fail) vs on — load factor achievable without eviction;
+//   - a cuckoo stash (this repository's extension of the paper's rehash
+//     step) — how few extra always-scanned buckets rescue the builds that
+//     would otherwise need a full rehash;
+//   - the (l, d) accuracy/bandwidth trade-off is covered by Fig. 5(c).
+func Ablations(s Scale) ([]*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	probe, err := ablationProbeRange(s)
+	if err != nil {
+		return nil, err
+	}
+	kick, err := ablationKickAway(s)
+	if err != nil {
+		return nil, err
+	}
+	stash, err := ablationStash(s)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{probe, kick, stash}, nil
+}
+
+// ablationProbeRange sweeps d at fixed τ and reports kicks and build
+// outcome: random probing is what absorbs dense LSH buckets.
+func ablationProbeRange(s Scale) (*Table, error) {
+	const (
+		tables = 10
+		tau    = 0.8
+	)
+	n := s.IndexUsers / 2
+	if n < 2000 {
+		n = 2000
+	}
+	keys, err := experimentKeys(tables, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	metas := denseMetas(n, tables, s.Seed)
+	items := itemsFrom(metas)
+
+	t := &Table{
+		ID:    "Ablation A",
+		Title: fmt.Sprintf("Random probe range d vs insertion behaviour (n=%d, l=10, τ=0.8)", n),
+		Header: []string{
+			"d", "build outcome", "kicks", "primary hits", "probe hits",
+		},
+	}
+	for _, d := range []int{10, 20, 30, 40, 60} {
+		p := core.Params{
+			Tables:     tables,
+			Capacity:   core.CapacityFor(n, tau),
+			ProbeRange: d,
+			MaxLoop:    5000,
+			Seed:       s.Seed,
+		}
+		idx, err := core.Build(keys, items, p)
+		if errors.Is(err, core.ErrNeedRehash) {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", d), "FAILS (rehash needed)", "-", "-", "-",
+			})
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		st := idx.BuildStats()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", d),
+			"ok",
+			fmt.Sprintf("%d", st.Kicks),
+			fmt.Sprintf("%d", st.PrimaryHits),
+			fmt.Sprintf("%d", st.ProbeHits),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"with too little probing, dense LSH values exhaust their d+1 bucket budget per table and the build fails; widening d restores feasibility",
+	)
+	return t, nil
+}
+
+// ablationKickAway compares MaxLoop=1 (no cuckoo eviction chains) with the
+// full design across load factors.
+func ablationKickAway(s Scale) (*Table, error) {
+	const (
+		tables = 10
+		d      = 30
+	)
+	n := s.IndexUsers / 2
+	if n < 2000 {
+		n = 2000
+	}
+	keys, err := experimentKeys(tables, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	metas := denseMetas(n, tables, s.Seed)
+	items := itemsFrom(metas)
+
+	t := &Table{
+		ID:    "Ablation B",
+		Title: fmt.Sprintf("Cuckoo kick-away off vs on across load factors (n=%d, l=10, d=30)", n),
+		Header: []string{
+			"load factor", "no kicks (MaxLoop=1)", "full design", "kicks (full)",
+		},
+	}
+	for _, tau := range []float64{0.70, 0.78, 0.82} {
+		outcome := func(maxLoop int) (string, int, error) {
+			p := core.Params{
+				Tables:     tables,
+				Capacity:   core.CapacityFor(n, tau),
+				ProbeRange: d,
+				MaxLoop:    maxLoop,
+				Seed:       s.Seed,
+			}
+			idx, err := core.Build(keys, items, p)
+			if errors.Is(err, core.ErrNeedRehash) {
+				return "FAILS", 0, nil
+			}
+			if err != nil {
+				return "", 0, err
+			}
+			return "ok", idx.BuildStats().Kicks, nil
+		}
+		noKick, _, err := outcome(1)
+		if err != nil {
+			return nil, err
+		}
+		full, kicks, err := outcome(1000)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", tau*100),
+			noKick,
+			full,
+			fmt.Sprintf("%d", kicks),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"kick-aways buy load factor: the same capacity that fails without eviction fills with it (the paper's motivation for combining LSH with cuckoo hashing)",
+	)
+	return t, nil
+}
+
+// ablationStash demonstrates the stash extension on a workload with a
+// guaranteed overflow: one "viral interest" clone group (identical LSH
+// metadata) slightly exceeds its l·(d+1) bucket budget, so the plain
+// design must rehash while a stash of a few slots absorbs the excess.
+func ablationStash(s Scale) (*Table, error) {
+	const (
+		tables   = 10
+		d        = 30
+		tau      = 0.8
+		overflow = 5
+	)
+	n := s.IndexUsers / 2
+	if n < 2000 {
+		n = 2000
+	}
+	keys, err := experimentKeys(tables, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	budget := tables * (d + 1)
+	group := budget + overflow
+	metas := uniqueMetas(n, tables, s.Seed)
+	// The clone group: `group` users sharing one metadata vector.
+	cloneMeta := metas[0]
+	for i := 1; i < group && i < len(metas); i++ {
+		metas[i] = cloneMeta
+	}
+	items := itemsFrom(metas)
+
+	t := &Table{
+		ID:    "Ablation C",
+		Title: fmt.Sprintf("Cuckoo stash vs rehash under a %d-user viral bucket (budget %d, n=%d, l=10, d=30)", group, budget, n),
+		Header: []string{
+			"stash size", "build outcome", "stash used", "kicks", "extra trapdoor bytes",
+		},
+	}
+	for _, stashSize := range []int{0, 8, 32, 128} {
+		p := core.Params{
+			Tables:     tables,
+			Capacity:   core.CapacityFor(n, tau),
+			ProbeRange: d,
+			MaxLoop:    50, // kicks within a clone group never free a bucket
+			Seed:       s.Seed,
+			StashSize:  stashSize,
+		}
+		idx, err := core.Build(keys, items, p)
+		if errors.Is(err, core.ErrNeedRehash) {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", stashSize), "FAILS (rehash needed)", "-", "-",
+				fmt.Sprintf("%d", stashSize*core.BucketSize),
+			})
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		st := idx.BuildStats()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", stashSize),
+			"ok",
+			fmt.Sprintf("%d", st.StashHits),
+			fmt.Sprintf("%d", st.Kicks),
+			fmt.Sprintf("%d", stashSize*core.BucketSize),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"a small always-scanned stash absorbs the overflow items whose kick chains exhaust MaxLoop, avoiding the full rehash+rebuild of Algorithm 1",
+	)
+	return t, nil
+}

@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. V) on the synthetic substrate described in DESIGN.md:
+//
+//   - Fig. 3  — qualitative social discovery consistency
+//   - user-client overhead (Sec. V-C prose table)
+//   - Fig. 4(a) — index space overhead, ours vs KIK12
+//   - Fig. 4(b) — per-query bandwidth, ours vs KIK12
+//   - Fig. 4(c) — search/delete/insert latency and kick-aways vs load
+//   - Fig. 5(a) — index building cost vs load factor
+//   - Fig. 5(b) — accuracy, baseline vs ours vs KIK12
+//   - Fig. 5(c) — accuracy vs (l, d) parameters
+//
+// Each experiment returns a typed Table whose rows mirror the series the
+// paper plots; the cmd/pisd-experiments binary renders them. Scales are
+// configurable: the defaults fit a laptop, Paper() reproduces the paper's
+// n = 1M operating points.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale bounds the experiment workloads.
+type Scale struct {
+	// IndexUsers is n for the index-centric experiments (Fig. 4, 5(a)).
+	IndexUsers int
+	// AccuracyUsers is n for the accuracy experiments (Fig. 5(b), 5(c)),
+	// which need brute-force ground truth.
+	AccuracyUsers int
+	// Queries is the number of query profiles averaged per accuracy
+	// point (the paper uses 100).
+	Queries int
+	// PipelineUsers is the population of the full image-pipeline
+	// experiment (Fig. 3).
+	PipelineUsers int
+	// Dim is the profile dimensionality (vocabulary size; paper: 1000).
+	Dim int
+	// Seed drives all synthetic generation.
+	Seed int64
+}
+
+// Default returns a scale that completes every experiment on a single
+// core in minutes.
+func Default() Scale {
+	return Scale{
+		IndexUsers:    100_000,
+		AccuracyUsers: 10_000,
+		Queries:       50,
+		PipelineUsers: 2_000,
+		Dim:           1000,
+		Seed:          1,
+	}
+}
+
+// Quick returns a scale small enough for unit tests and smoke runs.
+func Quick() Scale {
+	return Scale{
+		IndexUsers:    5_000,
+		AccuracyUsers: 2_000,
+		Queries:       10,
+		PipelineUsers: 300,
+		Dim:           200,
+		Seed:          1,
+	}
+}
+
+// Paper returns the paper's full operating point (1M users, 100 queries).
+// Requires tens of GB of RAM and hours on one core.
+func Paper() Scale {
+	return Scale{
+		IndexUsers:    1_000_000,
+		AccuracyUsers: 100_000,
+		Queries:       100,
+		PipelineUsers: 10_000,
+		Dim:           1000,
+		Seed:          1,
+	}
+}
+
+// Validate reports whether the scale is usable.
+func (s Scale) Validate() error {
+	switch {
+	case s.IndexUsers < 100:
+		return fmt.Errorf("experiments: index users %d too small", s.IndexUsers)
+	case s.AccuracyUsers < 100:
+		return fmt.Errorf("experiments: accuracy users %d too small", s.AccuracyUsers)
+	case s.Queries < 1:
+		return fmt.Errorf("experiments: queries %d too small", s.Queries)
+	case s.PipelineUsers < 10:
+		return fmt.Errorf("experiments: pipeline users %d too small", s.PipelineUsers)
+	case s.Dim < 16:
+		return fmt.Errorf("experiments: dim %d too small", s.Dim)
+	}
+	return nil
+}
+
+// Table is one regenerated figure or table: a header, data rows and notes
+// recording the paper's reported shape for comparison.
+type Table struct {
+	// ID is the paper artefact this reproduces, e.g. "Fig. 4(a)".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, already formatted.
+	Rows [][]string
+	// Notes records the paper-reported shape and any scale caveats.
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// humanBytes formats a byte count with binary units.
+func humanBytes(b float64) string {
+	units := []string{"B", "KB", "MB", "GB", "TB", "PB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.2f %s", b, units[i])
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestScaleValidate(t *testing.T) {
+	for _, s := range []Scale{Quick(), Default(), Paper()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("scale %+v invalid: %v", s, err)
+		}
+	}
+	bad := Quick()
+	bad.Queries = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid scale accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:     "T1",
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"T1", "demo", "bbbb", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{512, "512.00 B"},
+		{2048, "2.00 KB"},
+		{3 * 1 << 20, "3.00 MB"},
+		{1.5 * (1 << 40), "1.50 TB"},
+	}
+	for _, tt := range tests {
+		if got := humanBytes(tt.in); got != tt.want {
+			t.Errorf("humanBytes(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSyntheticMetasShape(t *testing.T) {
+	metas := mixedMetas(500, 6, 1)
+	if len(metas) != 500 {
+		t.Fatalf("len = %d", len(metas))
+	}
+	// Skew: at least one bucket value in table 0 should repeat.
+	counts := map[uint64]int{}
+	maxCount := 0
+	for _, m := range metas {
+		if len(m) != 6 {
+			t.Fatal("wrong arity")
+		}
+		counts[m[0]]++
+		if counts[m[0]] > maxCount {
+			maxCount = counts[m[0]]
+		}
+	}
+	if maxCount < 3 {
+		t.Errorf("no bucket skew: max repeat %d", maxCount)
+	}
+	// Deterministic.
+	again := mixedMetas(500, 6, 1)
+	for i := range metas {
+		if !metas[i].Equal(again[i]) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestFig4aSpaceQuick(t *testing.T) {
+	tbl, err := Fig4aSpace(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(paperSweepN)+1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Quadratic vs linear: the KIK12/ours ratio must grow with n.
+	ratio := func(row []string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatalf("parse ratio %q: %v", row[3], err)
+		}
+		return v
+	}
+	for i := 1; i < len(paperSweepN); i++ {
+		if ratio(tbl.Rows[i]) <= ratio(tbl.Rows[i-1]) {
+			t.Error("KIK12/ours ratio not increasing in n")
+		}
+	}
+	// Headline: at 1M, KIK12 is TB-scale and ours MB-scale.
+	last := tbl.Rows[len(paperSweepN)-1]
+	if !strings.Contains(last[1], "TB") {
+		t.Errorf("KIK12 @1M = %s, want TB scale", last[1])
+	}
+	if !strings.Contains(last[2], "MB") {
+		t.Errorf("ours @1M = %s, want MB scale", last[2])
+	}
+}
+
+func TestFig4bBandwidthQuick(t *testing.T) {
+	tbl, err := Fig4bBandwidth(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ours must be constant across the n sweep; KIK12 must grow.
+	if tbl.Rows[0][2] != tbl.Rows[len(tbl.Rows)-1][2] {
+		t.Error("our trapdoor bandwidth varies with n")
+	}
+	if tbl.Rows[0][1] == tbl.Rows[len(tbl.Rows)-1][1] {
+		t.Error("KIK12 bandwidth does not vary with n")
+	}
+}
+
+func TestFig4cOperationsQuick(t *testing.T) {
+	_, rows, err := Fig4cOperations(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.SearchMicros <= 0 || r.DeleteMicros <= 0 {
+			t.Errorf("non-positive latency at τ=%.2f: %+v", r.Tau, r)
+		}
+	}
+}
+
+func TestFig5aBuildCostQuick(t *testing.T) {
+	_, rows, err := Fig5aBuildCost(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	okCount := 0
+	for _, r := range rows {
+		if !r.NeededRehash {
+			okCount++
+			if r.InsertSecs < 0 || r.EncryptSecs <= 0 {
+				t.Errorf("bad timings: %+v", r)
+			}
+		}
+	}
+	if okCount == 0 {
+		t.Error("every load factor needed rehash")
+	}
+}
+
+func TestFig5bAccuracyQuick(t *testing.T) {
+	tbl, err := Fig5bAccuracy(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", cell, err)
+		}
+		return v
+	}
+	// Paper shape at every K: baseline >= ours >= KIK12, with a tolerance
+	// for sampling noise at the tiny Quick scale (10 queries).
+	for _, row := range tbl.Rows {
+		base, ours, kik := parse(row[1]), parse(row[2]), parse(row[3])
+		if base <= 0 || base > 1.001 || ours <= 0 || ours > 1.001 {
+			t.Errorf("accuracy out of range: %v", row)
+		}
+		if ours > base+0.1 {
+			t.Errorf("K=%s: ours %.3f above baseline %.3f", row[0], ours, base)
+		}
+		if kik > ours+0.1 {
+			t.Errorf("K=%s: KIK12 %.3f above ours %.3f", row[0], kik, ours)
+		}
+	}
+}
+
+func TestClientOverheadQuick(t *testing.T) {
+	tbl, err := TableClientOverhead(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFig3QualitativeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline")
+	}
+	tbl, err := Fig3Qualitative(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Consistency note must report a percentage.
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "topic consistency") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("consistency note missing")
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	tables, err := Ablations(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", Quick(), &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestMetricsComparisonQuick(t *testing.T) {
+	tbl, err := ExpMetricsComparison(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestLeakageAuditQuick(t *testing.T) {
+	tbl, err := ExpLeakageAudit(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The hot-target workload must show fewer distinct trapdoors.
+	if tbl.Rows[0][1] == tbl.Rows[1][1] {
+		t.Log("hot-target workload produced no repeats at this scale (possible but unusual)")
+	}
+}
+
+func TestCloudRankQuick(t *testing.T) {
+	tbl, err := ExpCloudRank(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// ASPE ranking must agree with front-end ranking.
+	if tbl.Rows[1][3] != "100%" {
+		t.Errorf("rank agreement %s, want 100%%", tbl.Rows[1][3])
+	}
+	if tbl.Rows[0][1] != tbl.Rows[1][1] {
+		t.Errorf("accuracies differ: %s vs %s", tbl.Rows[0][1], tbl.Rows[1][1])
+	}
+}
+
+func TestScalingQuick(t *testing.T) {
+	tbl, err := ExpScaling(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}

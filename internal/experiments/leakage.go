@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pisd/internal/core"
+	"pisd/internal/leakage"
+)
+
+// ExpLeakageAudit quantifies the pattern leakage of a realistic query
+// sequence against the secure index — the empirical counterpart of the
+// security analysis (Sec. IV, Definitions 3–5). It records real trapdoor
+// positions and recovered identifiers, verifies the implementation leaks
+// exactly the proven profile, and reports how much linkage accumulates
+// with and without repeat queries.
+func ExpLeakageAudit(s Scale) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	const tables = 10
+	n := s.AccuracyUsers
+	keys, err := experimentKeys(tables, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	metas := mixedMetas(n, tables, s.Seed)
+	p := core.Params{
+		Tables:     tables,
+		Capacity:   core.CapacityFor(n, 0.8),
+		ProbeRange: 30,
+		MaxLoop:    5000,
+		Seed:       s.Seed,
+	}
+	idx, err := core.Build(keys, itemsFrom(metas), p)
+	if err != nil {
+		return nil, fmt.Errorf("leakage: %w", err)
+	}
+
+	record := func(log *leakage.Log, metaIdx int) error {
+		meta := metas[metaIdx]
+		pt, err := core.GenPosTpdr(keys, meta, p)
+		if err != nil {
+			return err
+		}
+		td, err := core.GenTpdr(keys, meta, p)
+		if err != nil {
+			return err
+		}
+		ids, err := idx.SecRec(td)
+		if err != nil {
+			return err
+		}
+		return log.Record(meta, pt, ids)
+	}
+
+	t := &Table{
+		ID:    "Leakage",
+		Title: fmt.Sprintf("Pattern leakage audit over %d queries (n=%d, l=10, d=30)", s.Queries, n),
+		Header: []string{
+			"workload", "distinct trapdoors", "linkable pairs", "avg shared tables", "ids observed",
+		},
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 55))
+
+	// Workload A: all-distinct targets — only LSH-value overlaps link.
+	distinct := leakage.NewLog(tables)
+	for q := 0; q < s.Queries; q++ {
+		if err := record(distinct, rng.Intn(n)); err != nil {
+			return nil, err
+		}
+	}
+	if err := distinct.Verify(); err != nil {
+		return nil, fmt.Errorf("leakage profile inconsistent: %w", err)
+	}
+	// Workload B: a hot target queried for 30% of requests — repeats are
+	// fully linkable, the inherent SSE leakage the paper discusses.
+	hot := leakage.NewLog(tables)
+	hotTarget := rng.Intn(n)
+	for q := 0; q < s.Queries; q++ {
+		target := hotTarget
+		if rng.Float64() > 0.3 {
+			target = rng.Intn(n)
+		}
+		if err := record(hot, target); err != nil {
+			return nil, err
+		}
+	}
+	if err := hot.Verify(); err != nil {
+		return nil, fmt.Errorf("leakage profile inconsistent: %w", err)
+	}
+
+	for _, wl := range []struct {
+		name string
+		log  *leakage.Log
+	}{
+		{"distinct targets", distinct},
+		{"30% hot target", hot},
+	} {
+		rep := wl.log.Summarize()
+		t.Rows = append(t.Rows, []string{
+			wl.name,
+			fmt.Sprintf("%d/%d", rep.DistinctTrapdoors, rep.Queries),
+			fmt.Sprintf("%d", rep.LinkablePairs),
+			fmt.Sprintf("%.2f", rep.AvgSharedTables),
+			fmt.Sprintf("%d", rep.IDsObserved),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"deterministic trapdoors make repeat queries fully linkable (Definition 4); batching with decoys (frontend.DiscoverBatch) trades bandwidth against this linkage",
+		"Verify() confirmed the implementation leaks exactly the proven profile: equal metadata <=> equal positions, nothing else",
+	)
+	return t, nil
+}

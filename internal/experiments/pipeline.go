@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pisd/internal/baseline"
+	"pisd/internal/bow"
+	"pisd/internal/core"
+	"pisd/internal/imaging"
+	"pisd/internal/lsh"
+	"pisd/internal/surf"
+	"pisd/internal/vec"
+)
+
+// fig3VocabWords is the visual-word vocabulary size of the full-pipeline
+// experiment. The paper trains 1000 words on 14k images; our procedural
+// corpus has far less visual diversity, so a proportionally smaller
+// vocabulary keeps training meaningful (see EXPERIMENTS.md).
+const fig3VocabWords = 192
+
+// pipelineCorpus is the rendered image pool: per topic, a set of extracted
+// per-image descriptor sets and their precomputed BoW vectors.
+type pipelineCorpus struct {
+	vocab *bow.Vocabulary
+	// bows[topic][img] is the BoW histogram of one pooled image.
+	bows map[imaging.Topic][][]float64
+}
+
+// buildPipelineCorpus renders imagesPerTopic images for every topic,
+// extracts SURF descriptors, trains the shared vocabulary on a sample and
+// precomputes per-image BoW vectors. Users then "prefer" images from the
+// pool — like Flickr users favoriting overlapping photos — so profile
+// generation stays honest (aggregated per-image BoW) while the expensive
+// extraction runs once per pooled image.
+func buildPipelineCorpus(imagesPerTopic int, seed int64) (*pipelineCorpus, error) {
+	opts := surf.DefaultOptions()
+	type extracted struct {
+		topic imaging.Topic
+		descs []surf.Descriptor
+	}
+	var pool []extracted
+	var sample []surf.Descriptor
+	for _, topic := range imaging.AllTopics() {
+		for i := 0; i < imagesPerTopic; i++ {
+			im, err := imaging.Render(topic, seed+int64(i)*977, 96, 96)
+			if err != nil {
+				return nil, err
+			}
+			descs, err := surf.Extract(im, opts)
+			if err != nil {
+				return nil, err
+			}
+			if len(descs) == 0 {
+				continue
+			}
+			pool = append(pool, extracted{topic: topic, descs: descs})
+			// 1-in-3 sample for vocabulary training (paper: 10% of 1M).
+			if i%3 == 0 {
+				sample = append(sample, descs...)
+			}
+		}
+	}
+	if len(sample) < fig3VocabWords {
+		return nil, fmt.Errorf("experiments: only %d descriptors sampled", len(sample))
+	}
+	vocab, err := bow.Train(sample, bow.TrainConfig{Words: fig3VocabWords, MaxIters: 8, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	corpus := &pipelineCorpus{vocab: vocab, bows: make(map[imaging.Topic][][]float64)}
+	for _, e := range pool {
+		corpus.bows[e.topic] = append(corpus.bows[e.topic], vocab.BoW(e.descs))
+	}
+	return corpus, nil
+}
+
+// userProfile aggregates imagesPerUser pooled images from the user's
+// topics into a normalized profile (GenProf semantics).
+func (c *pipelineCorpus) userProfile(rng *rand.Rand, topics []imaging.Topic, imagesPerUser int) []float64 {
+	profile := make([]float64, c.vocab.Size())
+	for i := 0; i < imagesPerUser; i++ {
+		topic := topics[rng.Intn(len(topics))]
+		pool := c.bows[topic]
+		img := pool[rng.Intn(len(pool))]
+		for w, v := range img {
+			profile[w] += v
+		}
+	}
+	return vec.Normalize(profile)
+}
+
+// Fig3Qualitative reproduces Fig. 3: run the complete image pipeline
+// (procedural photos → SURF → BoW → profiles → secure index), pick target
+// users who photograph flowers and dogs, and report the topics of their
+// top-5 securely discovered users. The reported consistency is the
+// fraction of recommendations sharing at least one topic with the target
+// (the paper's figure shows 5/5).
+func Fig3Qualitative(s Scale) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	const (
+		imagesPerTopic = 24
+		imagesPerUser  = 5
+		topK           = 5
+		targets        = 10
+	)
+	corpus, err := buildPipelineCorpus(imagesPerTopic, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 13))
+	all := imaging.AllTopics()
+
+	// Population: every user photographs two topics. User 0 is the
+	// paper's exemplar target: flowers and dogs.
+	n := s.PipelineUsers
+	userTopics := make([][]imaging.Topic, n)
+	profiles := make([][]float64, n)
+	userTopics[0] = []imaging.Topic{imaging.TopicFlower, imaging.TopicDog}
+	for i := 1; i < n; i++ {
+		a := all[rng.Intn(len(all))]
+		b := all[rng.Intn(len(all))]
+		userTopics[i] = []imaging.Topic{a, b}
+	}
+	for i := 0; i < n; i++ {
+		profiles[i] = corpus.userProfile(rng, userTopics[i], imagesPerUser)
+	}
+
+	// Secure index over the profiles. With only NumTopics procedural
+	// classes the population has far denser same-interest clusters than a
+	// real photo site, so the probe range gets headroom over the paper's
+	// qualitative d=4 to keep the cuckoo budget feasible (see
+	// EXPERIMENTS.md).
+	dim := corpus.vocab.Size()
+	family, err := lsh.New(lshParamsForDim(dim, 10, 2, 0.8, s.Seed))
+	if err != nil {
+		return nil, err
+	}
+	metas := family.HashAll(profiles)
+	keys, err := experimentKeys(10, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := core.Params{
+		Tables:     10,
+		Capacity:   core.CapacityFor(n, 0.75),
+		ProbeRange: 30,
+		MaxLoop:    5000,
+		Seed:       s.Seed,
+	}
+	idx, err := core.Build(keys, itemsFrom(metas), p)
+	if err != nil {
+		return nil, fmt.Errorf("fig3: %w", err)
+	}
+
+	t := &Table{
+		ID:    "Fig. 3",
+		Title: fmt.Sprintf("Qualitative social discovery (full image pipeline, n=%d users x %d images)", n, imagesPerUser),
+		Header: []string{
+			"target user (topics)", "top-5 recommended users (topics)", "sharing >=1 topic",
+		},
+	}
+	shareSum, totalSum := 0, 0
+	for ti := 0; ti < targets; ti++ {
+		target := ti // user 0 first: the flower+dog exemplar
+		td, err := core.GenTpdr(keys, metas[target], p)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := idx.SecRec(td)
+		if err != nil {
+			return nil, err
+		}
+		candidates := make([]int, 0, len(ids))
+		for _, id := range ids {
+			if int(id-1) != target {
+				candidates = append(candidates, int(id-1))
+			}
+		}
+		top := baseline.RankCandidates(profiles, profiles[target], candidates, topK)
+		var cells []string
+		shared := 0
+		for _, m := range top {
+			u := int(m.ID)
+			cells = append(cells, fmt.Sprintf("u%d(%s)", u, topicNames(userTopics[u])))
+			if topicsOverlap(userTopics[target], userTopics[u]) {
+				shared++
+			}
+		}
+		shareSum += shared
+		totalSum += len(top)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("u%d(%s)", target, topicNames(userTopics[target])),
+			strings.Join(cells, " "),
+			fmt.Sprintf("%d/%d", shared, len(top)),
+		})
+	}
+	consistency := float64(shareSum) / float64(totalSum)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("overall topic consistency of recommendations: %.0f%%", consistency*100),
+		"paper: all top-5 users for the flower+dog target share flowers or dogs — consistency with human perception",
+	)
+	return t, nil
+}
+
+func topicNames(topics []imaging.Topic) string {
+	names := make([]string, 0, len(topics))
+	seen := map[string]bool{}
+	for _, t := range topics {
+		if !seen[t.String()] {
+			names = append(names, t.String())
+			seen[t.String()] = true
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+func topicsOverlap(a, b []imaging.Topic) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

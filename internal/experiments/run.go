@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Experiment names accepted by Run.
+const (
+	ExpFig3     = "fig3"
+	ExpClient   = "client"
+	ExpFig4a    = "fig4a"
+	ExpFig4b    = "fig4b"
+	ExpFig4c    = "fig4c"
+	ExpFig5a    = "fig5a"
+	ExpFig5b    = "fig5b"
+	ExpFig5c    = "fig5c"
+	ExpAblation = "ablations"
+	ExpMetrics  = "metrics"
+	ExpLeakage  = "leakage"
+	// ExpCloudRankName compares front-end vs ASPE cloud-side ranking.
+	ExpCloudRankName = "cloudrank"
+	// ExpScalingName measures discovery cost across population sizes.
+	ExpScalingName = "scaling"
+)
+
+// AllExperiments lists every experiment in paper order.
+func AllExperiments() []string {
+	return []string{
+		ExpFig3, ExpClient, ExpFig4a, ExpFig4b, ExpFig4c,
+		ExpFig5a, ExpFig5b, ExpFig5c, ExpAblation, ExpMetrics, ExpLeakage,
+		ExpCloudRankName, ExpScalingName,
+	}
+}
+
+// Run executes one named experiment and renders its tables to w.
+func Run(name string, s Scale, w io.Writer) error {
+	start := time.Now()
+	var tables []*Table
+	switch name {
+	case ExpFig3:
+		t, err := Fig3Qualitative(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpClient:
+		t, err := TableClientOverhead(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpFig4a:
+		t, err := Fig4aSpace(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpFig4b:
+		t, err := Fig4bBandwidth(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpFig4c:
+		t, _, err := Fig4cOperations(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpFig5a:
+		t, _, err := Fig5aBuildCost(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpFig5b:
+		t, err := Fig5bAccuracy(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpFig5c:
+		t, err := Fig5cParamAccuracy(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpMetrics:
+		t, err := ExpMetricsComparison(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpLeakage:
+		t, err := ExpLeakageAudit(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpCloudRankName:
+		t, err := ExpCloudRank(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpScalingName:
+		t, err := ExpScaling(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpAblation:
+		ts, err := Ablations(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, ts...)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, AllExperiments())
+	}
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return err
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(s Scale, w io.Writer) error {
+	for _, name := range AllExperiments() {
+		if err := Run(name, s, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

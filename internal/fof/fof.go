@@ -1,0 +1,106 @@
+// Package fof implements the friend-of-friend social-graph filtering the
+// paper composes with distance ranking (Sec. III-C: "one can use
+// Friend-of-Friend approach to further filter the ranking results"): an
+// undirected friendship graph plus helpers to filter or re-rank discovery
+// candidates by social proximity.
+package fof
+
+import "sort"
+
+// Graph is an undirected friendship graph over user identifiers.
+// The zero value is not usable; construct with NewGraph.
+type Graph struct {
+	adj map[uint64]map[uint64]struct{}
+}
+
+// NewGraph returns an empty friendship graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[uint64]map[uint64]struct{})}
+}
+
+// AddFriendship records a mutual friendship between a and b. Self-links
+// are ignored.
+func (g *Graph) AddFriendship(a, b uint64) {
+	if a == b {
+		return
+	}
+	g.link(a, b)
+	g.link(b, a)
+}
+
+func (g *Graph) link(a, b uint64) {
+	set, ok := g.adj[a]
+	if !ok {
+		set = make(map[uint64]struct{})
+		g.adj[a] = set
+	}
+	set[b] = struct{}{}
+}
+
+// AreFriends reports whether a and b are directly connected.
+func (g *Graph) AreFriends(a, b uint64) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Friends returns a's direct friends in ascending id order.
+func (g *Graph) Friends(a uint64) []uint64 {
+	out := make([]uint64, 0, len(g.adj[a]))
+	for f := range g.adj[a] {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FriendsOfFriends returns the set of users at exactly distance two from a
+// (friends of friends who are not already friends and not a itself), with
+// the number of mutual friends as the value.
+func (g *Graph) FriendsOfFriends(a uint64) map[uint64]int {
+	out := make(map[uint64]int)
+	for f := range g.adj[a] {
+		for ff := range g.adj[f] {
+			if ff == a {
+				continue
+			}
+			if _, direct := g.adj[a][ff]; direct {
+				continue
+			}
+			out[ff]++
+		}
+	}
+	return out
+}
+
+// Filter keeps only the candidates that are friends-of-friends of target
+// (strict FoF filtering), preserving the candidates' ranking order.
+func (g *Graph) Filter(target uint64, candidates []uint64) []uint64 {
+	fof := g.FriendsOfFriends(target)
+	out := make([]uint64, 0, len(candidates))
+	for _, c := range candidates {
+		if _, ok := fof[c]; ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Boost stably partitions candidates so that friends-of-friends of target
+// come first (socially close recommendations ahead of strangers), each
+// partition preserving the original distance-ranked order.
+func (g *Graph) Boost(target uint64, candidates []uint64) []uint64 {
+	fof := g.FriendsOfFriends(target)
+	front := make([]uint64, 0, len(candidates))
+	back := make([]uint64, 0, len(candidates))
+	for _, c := range candidates {
+		if _, ok := fof[c]; ok {
+			front = append(front, c)
+		} else {
+			back = append(back, c)
+		}
+	}
+	return append(front, back...)
+}
+
+// Len returns the number of users with at least one friendship.
+func (g *Graph) Len() int { return len(g.adj) }

@@ -1,0 +1,93 @@
+package fof
+
+import (
+	"reflect"
+	"testing"
+)
+
+// triangle plus tail: 1-2, 1-3, 2-3, 3-4, 4-5
+func testGraph() *Graph {
+	g := NewGraph()
+	g.AddFriendship(1, 2)
+	g.AddFriendship(1, 3)
+	g.AddFriendship(2, 3)
+	g.AddFriendship(3, 4)
+	g.AddFriendship(4, 5)
+	return g
+}
+
+func TestAreFriendsSymmetric(t *testing.T) {
+	g := testGraph()
+	if !g.AreFriends(1, 2) || !g.AreFriends(2, 1) {
+		t.Error("friendship not symmetric")
+	}
+	if g.AreFriends(1, 4) {
+		t.Error("1 and 4 should not be friends")
+	}
+}
+
+func TestSelfLinkIgnored(t *testing.T) {
+	g := NewGraph()
+	g.AddFriendship(7, 7)
+	if g.AreFriends(7, 7) {
+		t.Error("self-friendship recorded")
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len = %d, want 0", g.Len())
+	}
+}
+
+func TestFriendsSorted(t *testing.T) {
+	g := testGraph()
+	if got := g.Friends(3); !reflect.DeepEqual(got, []uint64{1, 2, 4}) {
+		t.Errorf("Friends(3) = %v", got)
+	}
+	if got := g.Friends(99); len(got) != 0 {
+		t.Errorf("Friends(unknown) = %v", got)
+	}
+}
+
+func TestFriendsOfFriends(t *testing.T) {
+	g := testGraph()
+	// 1's friends: 2,3. Their friends: 1(skip),3(direct),2(direct),4.
+	fof := g.FriendsOfFriends(1)
+	if len(fof) != 1 {
+		t.Fatalf("FoF(1) = %v", fof)
+	}
+	if fof[4] != 1 {
+		t.Errorf("mutual count for 4 = %d, want 1", fof[4])
+	}
+	// 5's FoF: via 4 -> 3.
+	fof5 := g.FriendsOfFriends(5)
+	if len(fof5) != 1 || fof5[3] != 1 {
+		t.Errorf("FoF(5) = %v", fof5)
+	}
+}
+
+func TestFilterPreservesOrder(t *testing.T) {
+	g := testGraph()
+	got := g.Filter(1, []uint64{5, 4, 2, 9})
+	if !reflect.DeepEqual(got, []uint64{4}) {
+		t.Errorf("Filter = %v, want [4]", got)
+	}
+}
+
+func TestBoostStablePartition(t *testing.T) {
+	g := testGraph()
+	got := g.Boost(1, []uint64{5, 4, 9, 2})
+	// FoF of 1 is {4}; 2 is a direct friend, not FoF.
+	want := []uint64{4, 5, 9, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Boost = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	if got := g.Filter(1, []uint64{1, 2}); len(got) != 0 {
+		t.Errorf("Filter on empty graph = %v", got)
+	}
+	if got := g.Boost(1, []uint64{2, 3}); !reflect.DeepEqual(got, []uint64{2, 3}) {
+		t.Errorf("Boost on empty graph = %v", got)
+	}
+}

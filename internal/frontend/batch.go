@@ -1,0 +1,73 @@
+package frontend
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pisd/internal/core"
+	"pisd/internal/lsh"
+)
+
+// Batched discovery (Sec. IV remark): deterministic trapdoors leak the
+// similarity-search pattern, and the paper suggests that "to mitigate such
+// statistical information leakage, one trick is to batch the social
+// discovery requests for multiple randomly selected target users at once".
+// DiscoverBatch implements that mitigation: it interleaves the real
+// targets' trapdoors with decoy trapdoors for random metadata in a
+// shuffled order, issues them all, and unbatches the real results. The
+// cloud observes a larger anonymity set per round at the cost of
+// proportionally more bandwidth (exactly the trade-off the paper names).
+func (f *Frontend) DiscoverBatch(server DiscoveryServer, targets [][]float64, k, decoys int, rng *rand.Rand) ([][]Match, error) {
+	if !f.built {
+		return nil, fmt.Errorf("frontend: no index built yet")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("frontend: no targets")
+	}
+	if decoys < 0 {
+		return nil, fmt.Errorf("frontend: negative decoy count")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+
+	type slot struct {
+		target  int // index into targets, -1 for decoys
+		profile []float64
+		meta    lsh.Metadata
+	}
+	slots := make([]slot, 0, len(targets)+decoys)
+	for i, p := range targets {
+		slots = append(slots, slot{target: i, profile: p, meta: f.family.Hash(p)})
+	}
+	for d := 0; d < decoys; d++ {
+		meta := make(lsh.Metadata, f.params.Tables)
+		for j := range meta {
+			meta[j] = rng.Uint64()
+		}
+		slots = append(slots, slot{target: -1, meta: meta})
+	}
+	// Shuffle so the cloud cannot separate targets from decoys by order.
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+
+	out := make([][]Match, len(targets))
+	for _, s := range slots {
+		td, err := core.GenTpdr(f.keys, s.meta, f.params)
+		if err != nil {
+			return nil, err
+		}
+		ids, encProfiles, err := server.SecRec(td)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: batched discovery: %w", err)
+		}
+		if s.target < 0 {
+			continue // decoy: result discarded
+		}
+		matches, err := f.rank(s.profile, ids, encProfiles, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		out[s.target] = matches
+	}
+	return out, nil
+}

@@ -1,0 +1,399 @@
+// Package frontend implements the trusted on-premise service front end SF
+// of the paper's architecture (Fig. 1): it owns the secret keys, shares the
+// LSH parameters with user clients, builds the secure index over the
+// uploaded image profiles, issues discovery trapdoors, and decrypts and
+// distance-ranks the cloud's encrypted matches into recommendations.
+package frontend
+
+import (
+	"errors"
+	"fmt"
+
+	"pisd/internal/core"
+	"pisd/internal/crypt"
+	"pisd/internal/fof"
+	"pisd/internal/lsh"
+	"pisd/internal/vec"
+)
+
+// Config parameterizes a front end.
+type Config struct {
+	// LSH defines the shared hash family h (pre-shared with users).
+	LSH lsh.Params
+	// LoadFactor is the index load factor τ ∈ (0, 1].
+	LoadFactor float64
+	// ProbeRange is d, the random probe range.
+	ProbeRange int
+	// MaxLoop bounds cuckoo kicks per insertion.
+	MaxLoop int
+	// MaxRehash bounds full index rebuilds with fresh LSH parameters.
+	MaxRehash int
+	// Seed drives non-cryptographic randomness (kick choices).
+	Seed int64
+	// KeySeed, when non-empty, derives keys deterministically (tests and
+	// reproducible benchmarks only); empty means fresh random keys.
+	KeySeed string
+	// CompactProfiles encrypts profiles with float32 entries, halving S*
+	// to the paper's ~4 KB per 1000-dim profile. Ranking precision is
+	// unaffected (profiles are unit-norm histograms).
+	CompactProfiles bool
+}
+
+// DefaultConfig returns the paper's default operating point: l = 10
+// tables, d = 4 probes, τ = 0.8.
+func DefaultConfig(dim int) Config {
+	return Config{
+		LSH:        lsh.Params{Dim: dim, Tables: 10, Atoms: 4, Width: 0.7, Seed: 1},
+		LoadFactor: 0.8,
+		ProbeRange: 4,
+		MaxLoop:    500,
+		MaxRehash:  3,
+		Seed:       1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.LSH.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.LoadFactor <= 0 || c.LoadFactor > 1:
+		return fmt.Errorf("frontend: load factor %v out of (0,1]", c.LoadFactor)
+	case c.ProbeRange < 0:
+		return fmt.Errorf("frontend: probe range must be >= 0, got %d", c.ProbeRange)
+	case c.MaxLoop < 1:
+		return fmt.Errorf("frontend: max loop must be >= 1, got %d", c.MaxLoop)
+	case c.MaxRehash < 0:
+		return fmt.Errorf("frontend: max rehash must be >= 0, got %d", c.MaxRehash)
+	}
+	return nil
+}
+
+// Upload is one user's contribution to Service frontend initialization:
+// the small image profile S and metadata V sent to SF (service flow
+// step 2). Meta may be nil, in which case SF computes it from the shared
+// LSH parameters (useful when clients are trusted thin).
+type Upload struct {
+	ID      uint64
+	Profile []float64
+	Meta    lsh.Metadata
+}
+
+// Match is one discovery result: a recommended user and their profile
+// distance to the target.
+type Match struct {
+	ID       uint64
+	Distance float64
+}
+
+// DiscoveryServer is the cloud surface the front end drives for static
+// discovery. cloud.Server and the transport client both implement it.
+type DiscoveryServer interface {
+	SecRec(t *core.Trapdoor) (ids []uint64, encProfiles [][]byte, err error)
+}
+
+// Frontend is the trusted service front end.
+type Frontend struct {
+	cfg    Config
+	keys   *crypt.KeySet
+	family *lsh.Family
+	params core.Params
+	built  bool
+}
+
+// New creates a front end, generating keys via Gen(1^λ) and instantiating
+// the shared LSH family.
+func New(cfg Config) (*Frontend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var keys *crypt.KeySet
+	var err error
+	if cfg.KeySeed != "" {
+		keys, err = crypt.GenDeterministic(cfg.KeySeed, cfg.LSH.Tables)
+	} else {
+		keys, err = crypt.Gen(cfg.LSH.Tables)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	family, err := lsh.New(cfg.LSH)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	return &Frontend{cfg: cfg, keys: keys, family: family}, nil
+}
+
+// SharedLSHParams returns the LSH parameter set h that SF pre-shares with
+// every user client for ComputeLSH.
+func (f *Frontend) SharedLSHParams() lsh.Params { return f.family.Params() }
+
+// ComputeMeta hashes a profile with the current shared family — what a
+// user client computes as V = ComputeLSH(S, h).
+func (f *Frontend) ComputeMeta(profile []float64) lsh.Metadata {
+	return f.family.Hash(profile)
+}
+
+// IndexParams returns the parameters of the most recently built index.
+func (f *Frontend) IndexParams() (core.Params, error) {
+	if !f.built {
+		return core.Params{}, errors.New("frontend: no index built yet")
+	}
+	return f.params, nil
+}
+
+// EncryptProfile produces S* = Enc(ks, S), honouring CompactProfiles.
+func (f *Frontend) EncryptProfile(profile []float64) ([]byte, error) {
+	if f.cfg.CompactProfiles {
+		return crypt.EncProfileCompact(f.keys.KS, profile)
+	}
+	return crypt.EncProfile(f.keys.KS, profile)
+}
+
+// DecryptProfile recovers S from S*.
+func (f *Frontend) DecryptProfile(ct []byte) ([]float64, error) {
+	return crypt.DecProfile(f.keys.KS, ct)
+}
+
+// prepare derives index params and items for the given uploads, hashing
+// profiles whose metadata is absent or stale (after a rehash).
+func (f *Frontend) prepare(uploads []Upload, forceRehash bool) ([]core.Item, core.Params, error) {
+	items := make([]core.Item, len(uploads))
+	for i, u := range uploads {
+		if len(u.Profile) != f.cfg.LSH.Dim && (u.Meta == nil || forceRehash) {
+			return nil, core.Params{}, fmt.Errorf("frontend: upload %d profile dim %d, want %d", u.ID, len(u.Profile), f.cfg.LSH.Dim)
+		}
+		meta := u.Meta
+		if meta == nil || forceRehash {
+			meta = f.family.Hash(u.Profile)
+		}
+		items[i] = core.Item{ID: u.ID, Meta: meta}
+	}
+	p := core.Params{
+		Tables:     f.cfg.LSH.Tables,
+		Capacity:   core.CapacityFor(len(uploads), f.cfg.LoadFactor),
+		ProbeRange: f.cfg.ProbeRange,
+		MaxLoop:    f.cfg.MaxLoop,
+		Seed:       f.cfg.Seed,
+	}
+	return items, p, nil
+}
+
+// BuildIndex implements ConSecIdx over the uploads: it builds the static
+// secure index I and the encrypted profile set {S*}. When cuckoo insertion
+// fails it performs the rehash() step of Algorithm 1 — fresh LSH
+// parameters, recomputed metadata, full rebuild — up to MaxRehash times.
+func (f *Frontend) BuildIndex(uploads []Upload) (*core.Index, map[uint64][]byte, error) {
+	items, p, err := f.prepare(uploads, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	var idx *core.Index
+	for attempt := 0; ; attempt++ {
+		idx, err = core.Build(f.keys, items, p)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, core.ErrNeedRehash) || attempt >= f.cfg.MaxRehash {
+			return nil, nil, fmt.Errorf("frontend: build index: %w", err)
+		}
+		family, rerr := f.family.Rehash(f.cfg.LSH.Seed + int64(attempt) + 1)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("frontend: rehash: %w", rerr)
+		}
+		f.family = family
+		if items, p, err = f.prepare(uploads, true); err != nil {
+			return nil, nil, err
+		}
+	}
+	f.params = p
+	f.built = true
+
+	encProfiles, err := f.encryptProfiles(uploads)
+	if err != nil {
+		return nil, nil, err
+	}
+	return idx, encProfiles, nil
+}
+
+// encryptProfiles produces {S*} for a batch of uploads.
+func (f *Frontend) encryptProfiles(uploads []Upload) (map[uint64][]byte, error) {
+	encProfiles := make(map[uint64][]byte, len(uploads))
+	for _, u := range uploads {
+		ct, err := f.EncryptProfile(u.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: encrypt profile %d: %w", u.ID, err)
+		}
+		encProfiles[u.ID] = ct
+	}
+	return encProfiles, nil
+}
+
+// BuildDynamicIndex builds the updatable index variant plus its front-end
+// client (Sec. III-D).
+func (f *Frontend) BuildDynamicIndex(uploads []Upload) (*core.DynIndex, *core.DynClient, map[uint64][]byte, error) {
+	items, p, err := f.prepare(uploads, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	idx, client, err := core.BuildDynamic(f.keys, items, p)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("frontend: build dynamic index: %w", err)
+	}
+	f.params = p
+	f.built = true
+	encProfiles, err := f.encryptProfiles(uploads)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return idx, client, encProfiles, nil
+}
+
+// Trapdoor issues the secure discovery trapdoor t = GenTpdr(K, V) for a
+// target profile.
+func (f *Frontend) Trapdoor(profile []float64) (*core.Trapdoor, error) {
+	if !f.built {
+		return nil, errors.New("frontend: no index built yet")
+	}
+	return core.GenTpdr(f.keys, f.family.Hash(profile), f.params)
+}
+
+// TrapdoorForMeta issues a trapdoor from precomputed metadata.
+func (f *Frontend) TrapdoorForMeta(meta lsh.Metadata) (*core.Trapdoor, error) {
+	if !f.built {
+		return nil, errors.New("frontend: no index built yet")
+	}
+	return core.GenTpdr(f.keys, meta, f.params)
+}
+
+// Discover runs the full privacy-preserving discovery flow for a target
+// profile: trapdoor → SecRec at the cloud → decrypt matches → exact
+// distance ranking → top-k recommendations (GetRec). excludeID removes the
+// target's own identifier from the results (pass 0 to keep everything).
+func (f *Frontend) Discover(server DiscoveryServer, targetProfile []float64, k int, excludeID uint64) ([]Match, error) {
+	td, err := f.Trapdoor(targetProfile)
+	if err != nil {
+		return nil, err
+	}
+	ids, encProfiles, err := server.SecRec(td)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: discovery request: %w", err)
+	}
+	return f.rank(targetProfile, ids, encProfiles, k, excludeID)
+}
+
+// rank implements GetRec(K, M): decrypt the matched profiles and order by
+// Euclidean distance to the target.
+func (f *Frontend) rank(target []float64, ids []uint64, encProfiles [][]byte, k int, excludeID uint64) ([]Match, error) {
+	if len(ids) != len(encProfiles) {
+		return nil, fmt.Errorf("frontend: %d ids but %d profiles", len(ids), len(encProfiles))
+	}
+	tk := vec.NewTopK(k)
+	for i, ct := range encProfiles {
+		if excludeID != 0 && ids[i] == excludeID {
+			continue
+		}
+		s, err := crypt.DecProfile(f.keys.KS, ct)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: decrypt match %d: %w", ids[i], err)
+		}
+		tk.Offer(ids[i], vec.Distance(target, s))
+	}
+	scored := tk.Sorted()
+	out := make([]Match, len(scored))
+	for i, s := range scored {
+		out[i] = Match{ID: s.ID, Distance: s.Score}
+	}
+	return out, nil
+}
+
+// DiscoverFoF is Discover followed by friend-of-friend boosting: among the
+// distance-ranked candidates, friends-of-friends of the target user are
+// promoted (Sec. III-C).
+func (f *Frontend) DiscoverFoF(server DiscoveryServer, graph *fof.Graph, targetID uint64, targetProfile []float64, k int) ([]Match, error) {
+	matches, err := f.Discover(server, targetProfile, k*2, targetID)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, len(matches))
+	byID := make(map[uint64]Match, len(matches))
+	for i, m := range matches {
+		ids[i] = m.ID
+		byID[m.ID] = m
+	}
+	boosted := graph.Boost(targetID, ids)
+	if len(boosted) > k {
+		boosted = boosted[:k]
+	}
+	out := make([]Match, len(boosted))
+	for i, id := range boosted {
+		out[i] = byID[id]
+	}
+	return out, nil
+}
+
+// DynSearch runs discovery against a dynamic index: the client recovers
+// candidate ids from the bucket store, then fetches and ranks their
+// encrypted profiles.
+func (f *Frontend) DynSearch(client *core.DynClient, store core.BucketStore, fetch ProfileFetcher, targetProfile []float64, k int, excludeID uint64) ([]Match, error) {
+	ids, err := client.Search(store, f.family.Hash(targetProfile))
+	if err != nil {
+		return nil, fmt.Errorf("frontend: dynamic search: %w", err)
+	}
+	encProfiles, err := fetch.FetchProfiles(ids)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: fetch profiles: %w", err)
+	}
+	return f.rank(targetProfile, ids, encProfiles, k, excludeID)
+}
+
+// ProfileFetcher is the cloud surface returning encrypted profiles by id.
+type ProfileFetcher interface {
+	FetchProfiles(ids []uint64) ([][]byte, error)
+}
+
+// ExportKeys serializes the front end's secret key material for secure
+// storage. The blob contains every key; protect it like the keys
+// themselves. Restore with ConfigWithKeys + NewWithKeys.
+func (f *Frontend) ExportKeys() ([]byte, error) {
+	return f.keys.MarshalBinary()
+}
+
+// NewWithKeys creates a front end from previously exported key material
+// instead of generating fresh keys: the restart path. The key blob's table
+// count must match cfg.LSH.Tables (trapdoors and the persisted index are
+// bound to both).
+func NewWithKeys(cfg Config, keyBlob []byte) (*Frontend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	keys := &crypt.KeySet{}
+	if err := keys.UnmarshalBinary(keyBlob); err != nil {
+		return nil, fmt.Errorf("frontend: restore keys: %w", err)
+	}
+	if keys.NumTables() != cfg.LSH.Tables {
+		return nil, fmt.Errorf("frontend: restored keys cover %d tables, config has %d",
+			keys.NumTables(), cfg.LSH.Tables)
+	}
+	family, err := lsh.New(cfg.LSH)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	return &Frontend{cfg: cfg, keys: keys, family: family}, nil
+}
+
+// RestoreIndexParams marks the front end as serving an existing index with
+// the given parameters (e.g. after both SF and CS restarted and the index
+// was reloaded at the cloud), enabling trapdoor issue without a rebuild.
+func (f *Frontend) RestoreIndexParams(p core.Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Tables != f.cfg.LSH.Tables {
+		return fmt.Errorf("frontend: index covers %d tables, config has %d", p.Tables, f.cfg.LSH.Tables)
+	}
+	f.params = p
+	f.built = true
+	return nil
+}

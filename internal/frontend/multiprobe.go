@@ -1,0 +1,65 @@
+package frontend
+
+import (
+	"fmt"
+
+	"pisd/internal/core"
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+	"pisd/internal/vec"
+)
+
+// DiscoverMultiProbe is Discover with query-directed multi-probe recall
+// (Lv et al., the paper's [19]): besides the exact trapdoor it issues
+// trapdoors for the `variants` cheapest neighbouring-bucket metadata
+// vectors, merges the recovered candidates and ranks them together. Each
+// variant costs one additional constant-bandwidth round, buying recall —
+// the same accuracy/bandwidth dial as raising d or l (Fig. 5(c)), but
+// tunable per query without rebuilding the index.
+func (f *Frontend) DiscoverMultiProbe(server DiscoveryServer, targetProfile []float64, k int, excludeID uint64, variants int) ([]Match, error) {
+	if !f.built {
+		return nil, fmt.Errorf("frontend: no index built yet")
+	}
+	if variants < 0 {
+		return nil, fmt.Errorf("frontend: negative variant count")
+	}
+	metas := []lsh.Metadata{f.family.Hash(targetProfile)}
+	for _, pv := range f.family.ProbeSequence(targetProfile, variants) {
+		metas = append(metas, pv.Meta)
+	}
+
+	seen := make(map[uint64][]byte)
+	for _, m := range metas {
+		td, err := core.GenTpdr(f.keys, m, f.params)
+		if err != nil {
+			return nil, err
+		}
+		ids, encProfiles, err := server.SecRec(td)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: multi-probe discovery: %w", err)
+		}
+		for i, id := range ids {
+			if _, dup := seen[id]; !dup {
+				seen[id] = encProfiles[i]
+			}
+		}
+	}
+
+	tk := vec.NewTopK(k)
+	for id, ct := range seen {
+		if excludeID != 0 && id == excludeID {
+			continue
+		}
+		s, err := crypt.DecProfile(f.keys.KS, ct)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: decrypt match %d: %w", id, err)
+		}
+		tk.Offer(id, vec.Distance(targetProfile, s))
+	}
+	scored := tk.Sorted()
+	out := make([]Match, len(scored))
+	for i, s := range scored {
+		out[i] = Match{ID: s.ID, Distance: s.Score}
+	}
+	return out, nil
+}

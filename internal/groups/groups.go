@@ -1,0 +1,153 @@
+// Package groups implements the paper's second motivating application
+// (Sec. I: "suggesting new friends and discovering new social groups with
+// similar interests"): turning per-user secure discovery results into
+// social groups. The front end runs its usual privacy-preserving top-k
+// discovery for each member, then clusters the resulting neighbourhood
+// graph — the cloud never sees anything beyond the ordinary trapdoor
+// queries.
+//
+// Grouping is mutual-kNN clustering: an edge connects two users when each
+// appears in the other's top-k (the standard robust construction — one-way
+// edges let hub users glue unrelated interest clusters together), and
+// groups are the connected components, ranked by cohesion.
+package groups
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Neighbor is one discovery result for a user.
+type Neighbor struct {
+	ID       uint64
+	Distance float64
+}
+
+// Group is one discovered social group.
+type Group struct {
+	// Members in ascending id order.
+	Members []uint64
+	// Cohesion is the mean profile distance over the group's edges;
+	// smaller = tighter shared interests.
+	Cohesion float64
+}
+
+// Options tunes group discovery.
+type Options struct {
+	// MinSize drops groups with fewer members (default 2).
+	MinSize int
+	// Mutual requires edges to be reciprocal top-k hits (default true
+	// via DefaultOptions; one-way edges over-merge through hub users).
+	Mutual bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{MinSize: 2, Mutual: true}
+}
+
+// Discover clusters the neighbourhood lists into groups. neighbors maps
+// each user to their (already ranked) discovery results; users absent
+// from the map can still appear as neighbours and join groups through
+// mutual edges only if they have their own list (otherwise mutuality
+// cannot be established and the edge is dropped).
+func Discover(neighbors map[uint64][]Neighbor, opts Options) ([]Group, error) {
+	if opts.MinSize < 1 {
+		return nil, fmt.Errorf("groups: min size must be >= 1, got %d", opts.MinSize)
+	}
+	// Edge set with distances.
+	type edge struct {
+		a, b uint64
+		dist float64
+	}
+	inList := func(list []Neighbor, id uint64) (float64, bool) {
+		for _, n := range list {
+			if n.ID == id {
+				return n.Distance, true
+			}
+		}
+		return 0, false
+	}
+	var edges []edge
+	for u, list := range neighbors {
+		for _, n := range list {
+			if n.ID == u {
+				continue
+			}
+			if opts.Mutual {
+				if u > n.ID {
+					continue // handle each unordered pair once, from the smaller id
+				}
+				back, ok := inList(neighbors[n.ID], u)
+				if !ok {
+					continue
+				}
+				edges = append(edges, edge{a: u, b: n.ID, dist: (n.Distance + back) / 2})
+			} else {
+				edges = append(edges, edge{a: u, b: n.ID, dist: n.Distance})
+			}
+		}
+	}
+
+	// Union-find over all endpoint ids.
+	parent := make(map[uint64]uint64)
+	var find func(uint64) uint64
+	find = func(x uint64) uint64 {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	ensure := func(x uint64) {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+	}
+	for _, e := range edges {
+		ensure(e.a)
+		ensure(e.b)
+		ra, rb := find(e.a), find(e.b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	// Aggregate components.
+	members := make(map[uint64][]uint64)
+	for x := range parent {
+		r := find(x)
+		members[r] = append(members[r], x)
+	}
+	distSum := make(map[uint64]float64)
+	edgeCount := make(map[uint64]int)
+	for _, e := range edges {
+		r := find(e.a)
+		distSum[r] += e.dist
+		edgeCount[r]++
+	}
+
+	var out []Group
+	for r, ms := range members {
+		if len(ms) < opts.MinSize {
+			continue
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		g := Group{Members: ms}
+		if edgeCount[r] > 0 {
+			g.Cohesion = distSum[r] / float64(edgeCount[r])
+		}
+		out = append(out, g)
+	}
+	// Largest and tightest groups first; id tiebreak for determinism.
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		if out[i].Cohesion != out[j].Cohesion {
+			return out[i].Cohesion < out[j].Cohesion
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out, nil
+}

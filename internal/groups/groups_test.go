@@ -1,0 +1,137 @@
+package groups
+
+import (
+	"reflect"
+	"testing"
+)
+
+func nb(pairs ...interface{}) []Neighbor {
+	out := make([]Neighbor, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Neighbor{ID: uint64(pairs[i].(int)), Distance: pairs[i+1].(float64)})
+	}
+	return out
+}
+
+func TestDiscoverMutualComponents(t *testing.T) {
+	// Two tight pairs {1,2} and {3,4,5}; user 6 likes 1 but not mutually.
+	neighbors := map[uint64][]Neighbor{
+		1: nb(2, 0.1),
+		2: nb(1, 0.1),
+		3: nb(4, 0.2, 5, 0.3),
+		4: nb(3, 0.2),
+		5: nb(3, 0.3),
+		6: nb(1, 0.5), // one-way: 1 does not list 6
+	}
+	groups, err := Discover(neighbors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups: %+v", len(groups), groups)
+	}
+	// Largest first.
+	if !reflect.DeepEqual(groups[0].Members, []uint64{3, 4, 5}) {
+		t.Errorf("group 0 = %v", groups[0].Members)
+	}
+	if !reflect.DeepEqual(groups[1].Members, []uint64{1, 2}) {
+		t.Errorf("group 1 = %v", groups[1].Members)
+	}
+	if groups[1].Cohesion != 0.1 {
+		t.Errorf("pair cohesion = %v", groups[1].Cohesion)
+	}
+	// User 6's one-way edge must not create a group.
+	for _, g := range groups {
+		for _, m := range g.Members {
+			if m == 6 {
+				t.Error("one-way admirer joined a group under mutual mode")
+			}
+		}
+	}
+}
+
+func TestDiscoverNonMutualMerges(t *testing.T) {
+	neighbors := map[uint64][]Neighbor{
+		1: nb(2, 0.4),
+		2: nb(3, 0.4),
+		3: nb(1, 0.4),
+	}
+	opts := Options{MinSize: 2, Mutual: false}
+	groups, err := Discover(neighbors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || !reflect.DeepEqual(groups[0].Members, []uint64{1, 2, 3}) {
+		t.Fatalf("non-mutual groups: %+v", groups)
+	}
+	// Under mutual mode the same input yields nothing (no reciprocity).
+	groups, err = Discover(neighbors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("mutual mode groups: %+v", groups)
+	}
+}
+
+func TestMinSizeFilter(t *testing.T) {
+	neighbors := map[uint64][]Neighbor{
+		1: nb(2, 0.1),
+		2: nb(1, 0.1),
+	}
+	opts := Options{MinSize: 3, Mutual: true}
+	groups, err := Discover(neighbors, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Fatalf("pair survived MinSize=3: %+v", groups)
+	}
+	if _, err := Discover(neighbors, Options{MinSize: 0}); err == nil {
+		t.Error("MinSize=0 accepted")
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	neighbors := map[uint64][]Neighbor{
+		1: nb(1, 0.0, 2, 0.2),
+		2: nb(1, 0.2),
+	}
+	groups, err := Discover(neighbors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 || len(groups[0].Members) != 2 {
+		t.Fatalf("groups: %+v", groups)
+	}
+}
+
+func TestCohesionOrdering(t *testing.T) {
+	neighbors := map[uint64][]Neighbor{
+		1: nb(2, 0.9),
+		2: nb(1, 0.9),
+		3: nb(4, 0.1),
+		4: nb(3, 0.1),
+	}
+	groups, err := Discover(neighbors, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups: %+v", groups)
+	}
+	// Equal size: tighter cohesion first.
+	if groups[0].Cohesion > groups[1].Cohesion {
+		t.Errorf("cohesion order wrong: %+v", groups)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	groups, err := Discover(nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Errorf("groups from nothing: %+v", groups)
+	}
+}

@@ -1,0 +1,135 @@
+// Package imaging provides the image substrate of the reproduction: a
+// grayscale image type, integral images (the summed-area tables SURF's box
+// filters run on), and a procedural generator that renders "topic" images —
+// the offline substitute for the MIRFlickr-1M photo collection the paper
+// samples (DESIGN.md §5.1).
+//
+// Every topic is a parameterized drawing program (petals, fur, windows,
+// waves, ...). Images of one topic share structural statistics, so their
+// SURF descriptors quantize to overlapping visual words and users who
+// photograph the same topics end up with nearby BoW profiles — the exact
+// property the paper's social discovery exploits.
+package imaging
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a grayscale image with float64 intensities in [0, 1],
+// row-major.
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x, y); out-of-bounds reads return 0.
+func (im *Image) At(x, y int) float64 {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the intensity at (x, y), clamping to [0, 1]; out-of-bounds
+// writes are ignored.
+func (im *Image) Set(x, y int, v float64) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	if v < 0 {
+		v = 0
+	} else if v > 1 {
+		v = 1
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Add accumulates v into (x, y) with clamping.
+func (im *Image) Add(x, y int, v float64) {
+	im.Set(x, y, im.At(x, y)+v)
+}
+
+// Integral is a summed-area table over an Image: I(x, y) is the sum of all
+// pixels strictly above and to the left, so box sums are four lookups.
+type Integral struct {
+	W, H int
+	sum  []float64 // (W+1) x (H+1)
+}
+
+// NewIntegral computes the integral image of im.
+func NewIntegral(im *Image) *Integral {
+	w, h := im.W, im.H
+	it := &Integral{W: w, H: h, sum: make([]float64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 1; y <= h; y++ {
+		var rowSum float64
+		for x := 1; x <= w; x++ {
+			rowSum += im.Pix[(y-1)*w+(x-1)]
+			it.sum[y*stride+x] = it.sum[(y-1)*stride+x] + rowSum
+		}
+	}
+	return it
+}
+
+// BoxSum returns the sum of the pixel rectangle starting at (row, col) with
+// the given number of rows and cols, clipped to the image bounds — the
+// BoxIntegral primitive of SURF's box filters.
+func (it *Integral) BoxSum(row, col, rows, cols int) float64 {
+	r1 := clamp(row, 0, it.H)
+	c1 := clamp(col, 0, it.W)
+	r2 := clamp(row+rows, 0, it.H)
+	c2 := clamp(col+cols, 0, it.W)
+	if r2 <= r1 || c2 <= c1 {
+		return 0
+	}
+	stride := it.W + 1
+	a := it.sum[r1*stride+c1]
+	b := it.sum[r1*stride+c2]
+	c := it.sum[r2*stride+c1]
+	d := it.sum[r2*stride+c2]
+	return d - b - c + a
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Stats returns the mean and standard deviation of the image intensities.
+func (im *Image) Stats() (mean, std float64) {
+	n := float64(len(im.Pix))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range im.Pix {
+		mean += v
+	}
+	mean /= n
+	for _, v := range im.Pix {
+		d := v - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / n)
+}
+
+// Validate reports structural problems (used by tests and loaders).
+func (im *Image) Validate() error {
+	if im.W < 1 || im.H < 1 {
+		return fmt.Errorf("imaging: invalid dimensions %dx%d", im.W, im.H)
+	}
+	if len(im.Pix) != im.W*im.H {
+		return fmt.Errorf("imaging: pixel buffer %d does not match %dx%d", len(im.Pix), im.W, im.H)
+	}
+	return nil
+}

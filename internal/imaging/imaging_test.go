@@ -1,0 +1,160 @@
+package imaging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageSetAtClamp(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(1, 1, 0.5)
+	if got := im.At(1, 1); got != 0.5 {
+		t.Errorf("At = %v", got)
+	}
+	im.Set(1, 1, 2.0)
+	if got := im.At(1, 1); got != 1.0 {
+		t.Errorf("clamp high = %v", got)
+	}
+	im.Set(1, 1, -1.0)
+	if got := im.At(1, 1); got != 0.0 {
+		t.Errorf("clamp low = %v", got)
+	}
+	// Out of bounds is a no-op read 0.
+	im.Set(-1, 0, 1)
+	im.Set(0, 99, 1)
+	if im.At(-1, 0) != 0 || im.At(0, 99) != 0 {
+		t.Error("out-of-bounds access not zero")
+	}
+}
+
+func TestImageValidate(t *testing.T) {
+	if err := NewImage(4, 4).Validate(); err != nil {
+		t.Errorf("valid image rejected: %v", err)
+	}
+	bad := &Image{W: 2, H: 2, Pix: make([]float64, 3)}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched buffer accepted")
+	}
+	if err := (&Image{W: 0, H: 1}).Validate(); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestIntegralAgainstNaiveSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := NewImage(17, 13)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float64()
+	}
+	it := NewIntegral(im)
+	naive := func(r, c, rows, cols int) float64 {
+		var s float64
+		for y := r; y < r+rows; y++ {
+			for x := c; x < c+cols; x++ {
+				if y >= 0 && y < im.H && x >= 0 && x < im.W {
+					s += im.At(x, y)
+				}
+			}
+		}
+		return s
+	}
+	cases := [][4]int{
+		{0, 0, 13, 17},   // whole image
+		{2, 3, 4, 5},     // interior
+		{-2, -2, 5, 5},   // clipped top-left
+		{10, 14, 10, 10}, // clipped bottom-right
+		{5, 5, 0, 3},     // empty
+	}
+	for _, c := range cases {
+		got := it.BoxSum(c[0], c[1], c[2], c[3])
+		want := naive(c[0], c[1], c[2], c[3])
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("BoxSum%v = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestIntegralBoxSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	im := NewImage(20, 20)
+	for i := range im.Pix {
+		im.Pix[i] = rng.Float64()
+	}
+	it := NewIntegral(im)
+	f := func(r, c int8, rows, cols uint8) bool {
+		got := it.BoxSum(int(r), int(c), int(rows)%22, int(cols)%22)
+		var want float64
+		for y := int(r); y < int(r)+int(rows)%22; y++ {
+			for x := int(c); x < int(c)+int(cols)%22; x++ {
+				if y >= 0 && y < 20 && x >= 0 && x < 20 {
+					want += im.At(x, y)
+				}
+			}
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderAllTopics(t *testing.T) {
+	for _, topic := range AllTopics() {
+		im, err := Render(topic, 7, 96, 96)
+		if err != nil {
+			t.Fatalf("Render(%v): %v", topic, err)
+		}
+		if err := im.Validate(); err != nil {
+			t.Fatalf("Render(%v) invalid: %v", topic, err)
+		}
+		_, std := im.Stats()
+		if std < 0.01 {
+			t.Errorf("topic %v renders nearly flat (std=%.4f)", topic, std)
+		}
+	}
+}
+
+func TestRenderRejectsBadInput(t *testing.T) {
+	if _, err := Render(TopicFlower, 1, 4, 4); err == nil {
+		t.Error("tiny image accepted")
+	}
+	if _, err := Render(Topic(99), 1, 64, 64); err == nil {
+		t.Error("unknown topic accepted")
+	}
+}
+
+func TestRenderVariesWithSeed(t *testing.T) {
+	a, err := Render(TopicDog, 1, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render(TopicDog, 2, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Pix {
+		if a.Pix[i] == b.Pix[i] {
+			same++
+		}
+	}
+	if same == len(a.Pix) {
+		t.Error("different seeds render identical images")
+	}
+}
+
+func TestTopicNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, topic := range AllTopics() {
+		name := topic.String()
+		if seen[name] {
+			t.Fatalf("duplicate topic name %q", name)
+		}
+		seen[name] = true
+	}
+	if Topic(99).String() == "" {
+		t.Error("unknown topic has empty name")
+	}
+}

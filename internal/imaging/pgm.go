@@ -1,0 +1,121 @@
+package imaging
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// PGM (portable graymap) encoding for the grayscale Image type, so user
+// clients can persist, inspect and upload the rendered corpus with any
+// standard image viewer. Binary P5 format with 8-bit depth.
+
+// WritePGM encodes the image in binary PGM (P5).
+func WritePGM(w io.Writer, im *Image) error {
+	if err := im.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("imaging: write pgm header: %w", err)
+	}
+	row := make([]byte, im.W)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			v := im.At(x, y)
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			row[x] = byte(v*255 + 0.5)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return fmt.Errorf("imaging: write pgm row: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM decodes a binary PGM (P5) image with 8-bit depth.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imaging: unsupported pgm magic %q", magic)
+	}
+	w, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxVal, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w < 1 || h < 1 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imaging: implausible pgm dimensions %dx%d", w, h)
+	}
+	if maxVal != 255 {
+		return nil, fmt.Errorf("imaging: unsupported pgm depth %d (want 255)", maxVal)
+	}
+	im := NewImage(w, h)
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("imaging: read pgm pixels: %w", err)
+	}
+	for i, b := range buf {
+		im.Pix[i] = float64(b) / 255
+	}
+	return im, nil
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("imaging: pgm header: %w", err)
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", fmt.Errorf("imaging: pgm comment: %w", err)
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("imaging: pgm header token %q is not a number", tok)
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<28 {
+			return 0, fmt.Errorf("imaging: pgm header number too large")
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,68 @@
+package imaging
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im, err := Render(TopicFlower, 3, 48, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatalf("WritePGM: %v", err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("shape %dx%d, want %dx%d", got.W, got.H, im.W, im.H)
+	}
+	// 8-bit quantization: within 1/255 per pixel.
+	for i := range im.Pix {
+		if math.Abs(got.Pix[i]-im.Pix[i]) > 1.0/255+1e-9 {
+			t.Fatalf("pixel %d: %v vs %v", i, got.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestPGMHeaderVariants(t *testing.T) {
+	// Comments and flexible whitespace are legal in PGM headers.
+	data := "P5 # a comment\n# another\n 4\t2\n255\n" + string(make([]byte, 8))
+	im, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadPGM with comments: %v", err)
+	}
+	if im.W != 4 || im.H != 2 {
+		t.Errorf("shape %dx%d", im.W, im.H)
+	}
+}
+
+func TestPGMRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":      "P6\n2 2\n255\n" + string(make([]byte, 4)),
+		"bad depth":      "P5\n2 2\n65535\n" + string(make([]byte, 8)),
+		"non-numeric":    "P5\nx 2\n255\n",
+		"truncated body": "P5\n4 4\n255\n\x00\x00",
+		"empty":          "",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadPGM(strings.NewReader(data)); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestWritePGMRejectsInvalidImage(t *testing.T) {
+	bad := &Image{W: 2, H: 2, Pix: make([]float64, 3)}
+	if err := WritePGM(&bytes.Buffer{}, bad); err == nil {
+		t.Error("invalid image accepted")
+	}
+}

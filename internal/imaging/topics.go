@@ -1,0 +1,412 @@
+package imaging
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Topic identifies one procedural image class.
+type Topic int
+
+// The topic catalogue. Names mirror the interest classes of the paper's
+// qualitative experiment (flowers, dogs, ...) plus further common photo
+// subjects so the population has a rich interest space.
+const (
+	TopicFlower Topic = iota + 1
+	TopicDog
+	TopicCat
+	TopicBeach
+	TopicMountain
+	TopicBuilding
+	TopicFood
+	TopicCar
+	TopicTree
+	TopicSky
+	TopicWater
+	TopicSign
+	numTopics
+)
+
+// NumTopics is the number of distinct procedural topics.
+const NumTopics = int(numTopics) - 1
+
+// AllTopics lists every topic in order.
+func AllTopics() []Topic {
+	out := make([]Topic, 0, NumTopics)
+	for t := TopicFlower; t < numTopics; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// String returns the topic's human-readable name.
+func (t Topic) String() string {
+	switch t {
+	case TopicFlower:
+		return "flower"
+	case TopicDog:
+		return "dog"
+	case TopicCat:
+		return "cat"
+	case TopicBeach:
+		return "beach"
+	case TopicMountain:
+		return "mountain"
+	case TopicBuilding:
+		return "building"
+	case TopicFood:
+		return "food"
+	case TopicCar:
+		return "car"
+	case TopicTree:
+		return "tree"
+	case TopicSky:
+		return "sky"
+	case TopicWater:
+		return "water"
+	case TopicSign:
+		return "sign"
+	default:
+		return fmt.Sprintf("topic(%d)", int(t))
+	}
+}
+
+// Render draws one image of the topic. seed varies the instance: different
+// seeds give different flowers, but all of them remain flowers. The
+// returned image is w×h with intensities in [0, 1].
+func Render(topic Topic, seed int64, w, h int) (*Image, error) {
+	if w < 16 || h < 16 {
+		return nil, fmt.Errorf("imaging: image %dx%d too small to render", w, h)
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(topic)<<32))
+	im := NewImage(w, h)
+	switch topic {
+	case TopicFlower:
+		renderFlower(im, rng)
+	case TopicDog:
+		renderFurAnimal(im, rng, 0.45, 5)
+	case TopicCat:
+		renderFurAnimal(im, rng, 0.7, 9)
+	case TopicBeach:
+		renderBeach(im, rng)
+	case TopicMountain:
+		renderMountain(im, rng)
+	case TopicBuilding:
+		renderBuilding(im, rng)
+	case TopicFood:
+		renderFood(im, rng)
+	case TopicCar:
+		renderCar(im, rng)
+	case TopicTree:
+		renderTree(im, rng)
+	case TopicSky:
+		renderSky(im, rng)
+	case TopicWater:
+		renderWater(im, rng)
+	case TopicSign:
+		renderSign(im, rng)
+	default:
+		return nil, fmt.Errorf("imaging: unknown topic %d", int(topic))
+	}
+	addSensorNoise(im, rng, 0.02)
+	return im, nil
+}
+
+// --- drawing primitives ---
+
+// fillBackground sets every pixel to a base level with a soft vertical
+// gradient.
+func fillBackground(im *Image, base, gradient float64) {
+	for y := 0; y < im.H; y++ {
+		v := base + gradient*float64(y)/float64(im.H)
+		for x := 0; x < im.W; x++ {
+			im.Set(x, y, v)
+		}
+	}
+}
+
+// drawDisk draws a filled disk with soft edges.
+func drawDisk(im *Image, cx, cy, r, intensity float64) {
+	x0, x1 := int(cx-r-1), int(cx+r+1)
+	y0, y1 := int(cy-r-1), int(cy+r+1)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			d := math.Sqrt(dx*dx + dy*dy)
+			if d <= r {
+				im.Set(x, y, intensity)
+			} else if d <= r+1 {
+				im.Set(x, y, im.At(x, y)*(d-r)+intensity*(r+1-d))
+			}
+		}
+	}
+}
+
+// drawRect fills an axis-aligned rectangle.
+func drawRect(im *Image, x0, y0, x1, y1 int, intensity float64) {
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			im.Set(x, y, intensity)
+		}
+	}
+}
+
+// drawLine draws a 1px line with simple interpolation.
+func drawLine(im *Image, x0, y0, x1, y1 float64, intensity float64) {
+	steps := int(math.Max(math.Abs(x1-x0), math.Abs(y1-y0))) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		im.Set(int(x0+t*(x1-x0)), int(y0+t*(y1-y0)), intensity)
+	}
+}
+
+// addSensorNoise perturbs every pixel with uniform noise of the given
+// amplitude, emulating capture noise so identical renders never repeat.
+func addSensorNoise(im *Image, rng *rand.Rand, amp float64) {
+	for i, v := range im.Pix {
+		nv := v + (rng.Float64()*2-1)*amp
+		if nv < 0 {
+			nv = 0
+		} else if nv > 1 {
+			nv = 1
+		}
+		im.Pix[i] = nv
+	}
+}
+
+// --- topic programs ---
+
+func renderFlower(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.25+rng.Float64()*0.1, 0.1)
+	flowers := 1 + rng.Intn(3)
+	for f := 0; f < flowers; f++ {
+		cx := float64(im.W) * (0.25 + rng.Float64()*0.5)
+		cy := float64(im.H) * (0.25 + rng.Float64()*0.5)
+		petals := 5 + rng.Intn(4)
+		rad := float64(im.W) * (0.08 + rng.Float64()*0.08)
+		phase := rng.Float64() * math.Pi
+		for p := 0; p < petals; p++ {
+			ang := phase + 2*math.Pi*float64(p)/float64(petals)
+			px := cx + math.Cos(ang)*rad
+			py := cy + math.Sin(ang)*rad
+			drawDisk(im, px, py, rad*0.55, 0.85)
+		}
+		drawDisk(im, cx, cy, rad*0.45, 0.55)
+	}
+}
+
+// renderFurAnimal draws a blobby silhouette with high-frequency fur
+// texture; stripePeriod differentiates dogs (coarse) from cats (striped).
+func renderFurAnimal(im *Image, rng *rand.Rand, bodyLevel float64, stripePeriod int) {
+	fillBackground(im, 0.6+rng.Float64()*0.1, -0.1)
+	cx := float64(im.W) * (0.35 + rng.Float64()*0.3)
+	cy := float64(im.H) * (0.45 + rng.Float64()*0.2)
+	body := float64(im.W) * (0.16 + rng.Float64()*0.06)
+	drawDisk(im, cx, cy, body, bodyLevel)                        // body
+	drawDisk(im, cx+body*0.9, cy-body*0.7, body*0.55, bodyLevel) // head
+	// ears
+	drawDisk(im, cx+body*1.15, cy-body*1.2, body*0.18, bodyLevel-0.15)
+	drawDisk(im, cx+body*0.65, cy-body*1.2, body*0.18, bodyLevel-0.15)
+	// fur: short oriented strokes over the body with per-species period
+	strokes := 250 + rng.Intn(100)
+	for s := 0; s < strokes; s++ {
+		ang := rng.Float64() * math.Pi
+		x := cx + (rng.Float64()*2-1)*body
+		y := cy + (rng.Float64()*2-1)*body
+		length := 1 + float64(s%stripePeriod)
+		shade := bodyLevel + (rng.Float64()-0.5)*0.3
+		drawLine(im, x, y, x+math.Cos(ang)*length, y+math.Sin(ang)*length, shade)
+	}
+}
+
+func renderBeach(im *Image, rng *rand.Rand) {
+	horizon := im.H/2 + rng.Intn(im.H/6)
+	for y := 0; y < im.H; y++ {
+		var v float64
+		if y < horizon {
+			v = 0.75 - 0.2*float64(y)/float64(horizon) // sky
+		} else {
+			v = 0.55 + 0.25*float64(y-horizon)/float64(im.H-horizon) // sand
+		}
+		for x := 0; x < im.W; x++ {
+			im.Set(x, y, v)
+		}
+	}
+	// waves: horizontal sinusoidal bright lines above the sand
+	waves := 4 + rng.Intn(4)
+	for k := 0; k < waves; k++ {
+		yBase := float64(horizon) - float64(k*3+rng.Intn(3))
+		amp := 1.5 + rng.Float64()*2
+		freq := 0.1 + rng.Float64()*0.1
+		for x := 0; x < im.W; x++ {
+			y := yBase + amp*math.Sin(freq*float64(x)+rng.Float64())
+			im.Set(x, int(y), 0.9)
+		}
+	}
+}
+
+func renderMountain(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.8, -0.15)
+	ridges := 2 + rng.Intn(2)
+	for r := 0; r < ridges; r++ {
+		base := im.H - r*im.H/6 - rng.Intn(im.H/8)
+		peak := im.H/4 + rng.Intn(im.H/4)
+		shade := 0.25 + 0.15*float64(r)
+		// jagged ridge line via midpoint-ish jitter
+		y := float64(base - peak)
+		for x := 0; x < im.W; x++ {
+			y += (rng.Float64()*2 - 1) * 3
+			if y < float64(im.H/6) {
+				y = float64(im.H / 6)
+			}
+			if y > float64(base) {
+				y = float64(base)
+			}
+			for yy := int(y); yy < base; yy++ {
+				im.Set(x, yy, shade)
+			}
+		}
+	}
+}
+
+func renderBuilding(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.7, -0.1)
+	bx0 := im.W/8 + rng.Intn(im.W/8)
+	bx1 := im.W - im.W/8 - rng.Intn(im.W/8)
+	by0 := im.H/6 + rng.Intn(im.H/8)
+	drawRect(im, bx0, by0, bx1, im.H-1, 0.35)
+	// window grid
+	cols := 4 + rng.Intn(4)
+	rows := 5 + rng.Intn(4)
+	cw := (bx1 - bx0) / (cols*2 + 1)
+	ch := (im.H - by0) / (rows*2 + 1)
+	if cw < 1 || ch < 1 {
+		return
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			wx := bx0 + cw*(2*c+1)
+			wy := by0 + ch*(2*r+1)
+			lit := 0.85
+			if rng.Intn(3) == 0 {
+				lit = 0.15
+			}
+			drawRect(im, wx, wy, wx+cw-1, wy+ch-1, lit)
+		}
+	}
+}
+
+func renderFood(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.35, 0.05)
+	cx, cy := float64(im.W)/2, float64(im.H)/2
+	plate := float64(im.W) * (0.3 + rng.Float64()*0.08)
+	drawDisk(im, cx, cy, plate, 0.9)      // plate
+	drawDisk(im, cx, cy, plate*0.85, 0.8) // inner rim
+	items := 4 + rng.Intn(5)
+	for i := 0; i < items; i++ {
+		ang := rng.Float64() * 2 * math.Pi
+		rr := rng.Float64() * plate * 0.55
+		drawDisk(im, cx+math.Cos(ang)*rr, cy+math.Sin(ang)*rr,
+			plate*(0.12+rng.Float64()*0.12), 0.3+rng.Float64()*0.35)
+	}
+}
+
+func renderCar(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.65, -0.05)
+	// road
+	drawRect(im, 0, im.H*3/4, im.W-1, im.H-1, 0.3)
+	bx0 := im.W/6 + rng.Intn(im.W/6)
+	bw := im.W / 2
+	by1 := im.H * 3 / 4
+	by0 := by1 - im.H/5
+	drawRect(im, bx0, by0, bx0+bw, by1, 0.5)                  // body
+	drawRect(im, bx0+bw/5, by0-im.H/8, bx0+bw*4/5, by0, 0.55) // cabin
+	wheelR := float64(im.H) / 12
+	drawDisk(im, float64(bx0)+float64(bw)*0.22, float64(by1), wheelR, 0.1)
+	drawDisk(im, float64(bx0)+float64(bw)*0.78, float64(by1), wheelR, 0.1)
+	drawDisk(im, float64(bx0)+float64(bw)*0.22, float64(by1), wheelR*0.4, 0.7)
+	drawDisk(im, float64(bx0)+float64(bw)*0.78, float64(by1), wheelR*0.4, 0.7)
+}
+
+func renderTree(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.75, -0.1)
+	trees := 1 + rng.Intn(3)
+	for t := 0; t < trees; t++ {
+		tx := float64(im.W) * (0.2 + rng.Float64()*0.6)
+		trunkTop := float64(im.H) * (0.35 + rng.Float64()*0.1)
+		for dx := -1; dx <= 1; dx++ {
+			drawLine(im, tx+float64(dx), float64(im.H-1), tx+float64(dx), trunkTop, 0.2)
+		}
+		// canopy: cluster of dark leaf blobs
+		blobs := 12 + rng.Intn(10)
+		canopyR := float64(im.W) * 0.12
+		for b := 0; b < blobs; b++ {
+			ang := rng.Float64() * 2 * math.Pi
+			rr := rng.Float64() * canopyR
+			drawDisk(im, tx+math.Cos(ang)*rr, trunkTop-canopyR/2+math.Sin(ang)*rr*0.7,
+				canopyR*(0.25+rng.Float64()*0.2), 0.3+rng.Float64()*0.15)
+		}
+	}
+}
+
+func renderSky(im *Image, rng *rand.Rand) {
+	for y := 0; y < im.H; y++ {
+		v := 0.85 - 0.3*float64(y)/float64(im.H)
+		for x := 0; x < im.W; x++ {
+			im.Set(x, y, v)
+		}
+	}
+	clouds := 3 + rng.Intn(4)
+	for c := 0; c < clouds; c++ {
+		cx := rng.Float64() * float64(im.W)
+		cy := rng.Float64() * float64(im.H) * 0.6
+		puffs := 4 + rng.Intn(5)
+		for p := 0; p < puffs; p++ {
+			drawDisk(im, cx+(rng.Float64()*2-1)*12, cy+(rng.Float64()*2-1)*5,
+				5+rng.Float64()*7, 0.95)
+		}
+	}
+}
+
+func renderWater(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.45, 0.1)
+	phase := rng.Float64() * math.Pi
+	fy := 0.25 + rng.Float64()*0.15
+	fx := 0.08 + rng.Float64()*0.08
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			ripple := 0.15 * math.Sin(fx*float64(x)+fy*float64(y)+phase) *
+				math.Sin(0.5*fy*float64(y)-phase)
+			im.Add(x, y, ripple)
+		}
+	}
+	// Specular sparkle where sunlight catches wave crests.
+	sparkles := 25 + rng.Intn(20)
+	for s := 0; s < sparkles; s++ {
+		cx := rng.Float64() * float64(im.W)
+		cy := rng.Float64() * float64(im.H)
+		drawDisk(im, cx, cy, 1.2+rng.Float64()*1.8, 0.95)
+	}
+}
+
+func renderSign(im *Image, rng *rand.Rand) {
+	fillBackground(im, 0.55, 0)
+	sx0 := im.W/6 + rng.Intn(im.W/10)
+	sx1 := im.W - sx0
+	sy0 := im.H/5 + rng.Intn(im.H/10)
+	sy1 := im.H - sy0
+	drawRect(im, sx0, sy0, sx1, sy1, 0.9)
+	drawRect(im, sx0+2, sy0+2, sx1-2, sy1-2, 0.85)
+	// "text": horizontal dark bars of varying lengths
+	lines := 3 + rng.Intn(4)
+	lh := (sy1 - sy0) / (lines*2 + 1)
+	if lh < 1 {
+		return
+	}
+	for k := 0; k < lines; k++ {
+		y0 := sy0 + lh*(2*k+1)
+		length := (sx1 - sx0 - 8) * (40 + rng.Intn(60)) / 100
+		drawRect(im, sx0+4, y0, sx0+4+length, y0+lh-1, 0.1)
+	}
+}

@@ -1,0 +1,218 @@
+// Package kik12 implements the comparison baseline the paper evaluates
+// against (denoted KIK12): the secure LSH index of Kuzu, Islam and
+// Kantarcioglu, "Efficient similarity search over encrypted data",
+// ICDE 2012, as characterized in Sec. III-B and V-C of the PISD paper.
+//
+// Structure: one hash table per LSH function. Every distinct LSH bucket
+// stores an n-bit binary vector marking which of the n users fall into that
+// bucket; each vector is symmetrically encrypted, and bucket tags are PRF
+// values of the LSH outputs. A query sends l tags and retrieves l encrypted
+// n-bit vectors (bandwidth l·n/8), and candidates are ranked by their
+// occurrence count across the returned vectors ("score-based ranking").
+//
+// The design's padded index size is l·n buckets of n bits — the O(n²)
+// growth of Fig. 4(a); this package reports both the measured footprint of
+// the materialized buckets and the paper's closed-form padded size.
+package kik12
+
+import (
+	"fmt"
+	"sort"
+
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+)
+
+// Params configures the baseline index.
+type Params struct {
+	// Tables is l, the number of LSH hash tables.
+	Tables int
+	// Users is n; every bucket vector carries one bit per user.
+	Users int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Tables < 1:
+		return fmt.Errorf("kik12: tables must be >= 1, got %d", p.Tables)
+	case p.Users < 1:
+		return fmt.Errorf("kik12: users must be >= 1, got %d", p.Users)
+	}
+	return nil
+}
+
+// vectorBytes returns ⌈n/8⌉, the plaintext size of one bucket bit-vector.
+func (p Params) vectorBytes() int { return (p.Users + 7) / 8 }
+
+// Index is the cloud-resident baseline index: per table, a map from PRF
+// tags to encrypted bucket bit-vectors.
+type Index struct {
+	params Params
+	tables []map[uint64][]byte
+}
+
+// Trapdoor is a baseline query: one PRF tag per table.
+type Trapdoor struct {
+	Tags []uint64
+}
+
+// SizeBytes returns the wire size of the trapdoor (8 bytes per tag).
+func (t *Trapdoor) SizeBytes() int { return 8 * len(t.Tags) }
+
+// Build constructs the baseline index over users 0..n-1 with the given
+// per-user metadata (metas[i][j] is user i's LSH value in table j).
+func Build(keys *crypt.KeySet, metas []lsh.Metadata, p Params) (*Index, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if keys == nil || keys.NumTables() < p.Tables {
+		return nil, fmt.Errorf("kik12: key set missing table keys")
+	}
+	if len(metas) != p.Users {
+		return nil, fmt.Errorf("kik12: %d metadata entries for %d users", len(metas), p.Users)
+	}
+	idx := &Index{params: p, tables: make([]map[uint64][]byte, p.Tables)}
+	vb := p.vectorBytes()
+	for j := 0; j < p.Tables; j++ {
+		groups := make(map[uint64][]int)
+		for i, m := range metas {
+			if len(m) != p.Tables {
+				return nil, fmt.Errorf("kik12: user %d metadata has %d tables, want %d", i, len(m), p.Tables)
+			}
+			groups[m[j]] = append(groups[m[j]], i)
+		}
+		idx.tables[j] = make(map[uint64][]byte, len(groups))
+		for lshVal, users := range groups {
+			bits := make([]byte, vb)
+			for _, u := range users {
+				bits[u/8] |= 1 << (u % 8)
+			}
+			ct, err := crypt.Enc(keys.KS, bits)
+			if err != nil {
+				return nil, fmt.Errorf("kik12: encrypt bucket: %w", err)
+			}
+			tag := crypt.Pos(keys.Table[j], lsh.Metadata{lshVal}.Bytes(0))
+			idx.tables[j][tag] = ct
+		}
+	}
+	return idx, nil
+}
+
+// NewTrapdoor derives the l PRF tags for a query metadata vector.
+func NewTrapdoor(keys *crypt.KeySet, meta lsh.Metadata, p Params) (*Trapdoor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if keys == nil || keys.NumTables() < p.Tables {
+		return nil, fmt.Errorf("kik12: key set missing table keys")
+	}
+	if len(meta) != p.Tables {
+		return nil, fmt.Errorf("kik12: metadata has %d tables, want %d", len(meta), p.Tables)
+	}
+	t := &Trapdoor{Tags: make([]uint64, p.Tables)}
+	for j := 0; j < p.Tables; j++ {
+		t.Tags[j] = crypt.Pos(keys.Table[j], lsh.Metadata{meta[j]}.Bytes(0))
+	}
+	return t, nil
+}
+
+// Search returns the l encrypted bucket vectors addressed by the trapdoor;
+// a nil entry means the bucket does not exist (the real system would return
+// padding of the same size — bandwidth accounting below always charges the
+// full vector).
+func (x *Index) Search(t *Trapdoor) ([][]byte, error) {
+	if t == nil || len(t.Tags) != x.params.Tables {
+		return nil, fmt.Errorf("kik12: malformed trapdoor")
+	}
+	out := make([][]byte, x.params.Tables)
+	for j, tag := range t.Tags {
+		out[j] = x.tables[j][tag]
+	}
+	return out, nil
+}
+
+// Rank decrypts the returned vectors and ranks users by their occurrence
+// count across tables (highest first; ties broken by user id). It returns
+// at most k user indices — the baseline's "score-based ranking".
+func Rank(keys *crypt.KeySet, vectors [][]byte, p Params, k int) ([]int, error) {
+	counts := make(map[int]int)
+	for _, ct := range vectors {
+		if ct == nil {
+			continue
+		}
+		bits, err := crypt.Dec(keys.KS, ct)
+		if err != nil {
+			return nil, fmt.Errorf("kik12: decrypt bucket: %w", err)
+		}
+		for u := 0; u < p.Users; u++ {
+			if bits[u/8]&(1<<(u%8)) != 0 {
+				counts[u]++
+			}
+		}
+	}
+	users := make([]int, 0, len(counts))
+	for u := range counts {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(a, b int) bool {
+		if counts[users[a]] != counts[users[b]] {
+			return counts[users[a]] > counts[users[b]]
+		}
+		return users[a] < users[b]
+	})
+	if k > 0 && len(users) > k {
+		users = users[:k]
+	}
+	return users, nil
+}
+
+// Candidates decrypts the returned vectors and reports every user present
+// in at least one bucket, with its occurrence count.
+func Candidates(keys *crypt.KeySet, vectors [][]byte, p Params) (map[int]int, error) {
+	counts := make(map[int]int)
+	for _, ct := range vectors {
+		if ct == nil {
+			continue
+		}
+		bits, err := crypt.Dec(keys.KS, ct)
+		if err != nil {
+			return nil, fmt.Errorf("kik12: decrypt bucket: %w", err)
+		}
+		for u := 0; u < p.Users; u++ {
+			if bits[u/8]&(1<<(u%8)) != 0 {
+				counts[u]++
+			}
+		}
+	}
+	return counts, nil
+}
+
+// MeasuredSizeBytes returns the actual footprint of materialized buckets
+// (tags plus ciphertexts).
+func (x *Index) MeasuredSizeBytes() int {
+	total := 0
+	for _, tbl := range x.tables {
+		for _, ct := range tbl {
+			total += 8 + len(ct)
+		}
+	}
+	return total
+}
+
+// PaddedSizeBytes returns the paper's closed-form padded index size:
+// l·n buckets of n bits each, i.e. about l·n²/8 bytes.
+func PaddedSizeBytes(users, tables int) float64 {
+	return float64(tables) * float64(users) * float64(users) / 8
+}
+
+// QueryBandwidthBytes returns the per-query bandwidth: l tags plus l
+// encrypted n-bit vectors, i.e. the paper's l·n/8 bytes (+ constant
+// encryption overhead).
+func QueryBandwidthBytes(users, tables int) float64 {
+	perVector := float64((users+7)/8 + crypt.Overhead)
+	return float64(tables)*8 + float64(tables)*perVector
+}
+
+// Params returns the index parameters.
+func (x *Index) Params() Params { return x.params }

@@ -1,0 +1,245 @@
+package kik12
+
+import (
+	"math/rand"
+	"testing"
+
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+)
+
+func testKeys(t *testing.T, l int) *crypt.KeySet {
+	t.Helper()
+	keys, err := crypt.GenDeterministic("kik12-test", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys
+}
+
+// clusteredMetas builds n users in g groups; users of one group share all
+// LSH values, so retrieval and ranking are fully predictable.
+func clusteredMetas(rng *rand.Rand, n, groups, tables int) ([]lsh.Metadata, []int) {
+	groupMeta := make([]lsh.Metadata, groups)
+	for g := range groupMeta {
+		m := make(lsh.Metadata, tables)
+		for j := range m {
+			m[j] = rng.Uint64()
+		}
+		groupMeta[g] = m
+	}
+	metas := make([]lsh.Metadata, n)
+	assign := make([]int, n)
+	for i := range metas {
+		g := i % groups
+		assign[i] = g
+		metas[i] = groupMeta[g]
+	}
+	return metas, assign
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Tables: 0, Users: 1}).Validate(); err == nil {
+		t.Error("zero tables accepted")
+	}
+	if err := (Params{Tables: 1, Users: 0}).Validate(); err == nil {
+		t.Error("zero users accepted")
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	keys := testKeys(t, 4)
+	p := Params{Tables: 4, Users: 3}
+	if _, err := Build(nil, make([]lsh.Metadata, 3), p); err == nil {
+		t.Error("nil keys accepted")
+	}
+	if _, err := Build(keys, make([]lsh.Metadata, 2), p); err == nil {
+		t.Error("wrong user count accepted")
+	}
+	metas := []lsh.Metadata{{1}, {1}, {1}} // wrong arity
+	if _, err := Build(keys, metas, p); err == nil {
+		t.Error("wrong metadata arity accepted")
+	}
+}
+
+func TestSearchRecoversGroupMembers(t *testing.T) {
+	const n, groups, tables = 64, 8, 4
+	keys := testKeys(t, tables)
+	p := Params{Tables: tables, Users: n}
+	rng := rand.New(rand.NewSource(1))
+	metas, assign := clusteredMetas(rng, n, groups, tables)
+	idx, err := Build(keys, metas, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for q := 0; q < groups; q++ {
+		td, err := NewTrapdoor(keys, metas[q], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vectors, err := idx.Search(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, err := Candidates(keys, vectors, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			if assign[u] == assign[q] {
+				if counts[u] != tables {
+					t.Fatalf("group member %d count = %d, want %d", u, counts[u], tables)
+				}
+			} else if counts[u] != 0 {
+				t.Fatalf("non-member %d count = %d, want 0", u, counts[u])
+			}
+		}
+	}
+}
+
+func TestRankOrdersByOccurrence(t *testing.T) {
+	// Three users: user 0 shares both tables with the query, user 1 one
+	// table, user 2 none.
+	const tables = 2
+	keys := testKeys(t, tables)
+	p := Params{Tables: tables, Users: 3}
+	metas := []lsh.Metadata{
+		{10, 20},
+		{10, 99},
+		{98, 97},
+	}
+	idx, err := Build(keys, metas, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := NewTrapdoor(keys, lsh.Metadata{10, 20}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors, err := idx.Search(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := Rank(keys, vectors, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %v, want exactly users 0 and 1", ranked)
+	}
+	if ranked[0] != 0 || ranked[1] != 1 {
+		t.Errorf("rank order %v, want [0 1]", ranked)
+	}
+	top1, err := Rank(keys, vectors, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top1) != 1 || top1[0] != 0 {
+		t.Errorf("top-1 = %v, want [0]", top1)
+	}
+}
+
+func TestSearchMissingBucket(t *testing.T) {
+	keys := testKeys(t, 2)
+	p := Params{Tables: 2, Users: 2}
+	metas := []lsh.Metadata{{1, 2}, {3, 4}}
+	idx, err := Build(keys, metas, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := NewTrapdoor(keys, lsh.Metadata{999, 998}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors, err := idx.Search(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vectors {
+		if v != nil {
+			t.Error("missing bucket returned data")
+		}
+	}
+	counts, err := Candidates(keys, vectors, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 0 {
+		t.Errorf("candidates from missing buckets: %v", counts)
+	}
+}
+
+func TestSearchMalformedTrapdoor(t *testing.T) {
+	keys := testKeys(t, 2)
+	p := Params{Tables: 2, Users: 2}
+	idx, err := Build(keys, []lsh.Metadata{{1, 2}, {3, 4}}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Search(nil); err == nil {
+		t.Error("nil trapdoor accepted")
+	}
+	if _, err := idx.Search(&Trapdoor{Tags: []uint64{1}}); err == nil {
+		t.Error("short trapdoor accepted")
+	}
+}
+
+func TestBucketsAreEncrypted(t *testing.T) {
+	// Decrypting a bucket with the wrong key must fail authentication:
+	// the cloud cannot read the bit-vectors.
+	keys := testKeys(t, 2)
+	other := testKeys(t, 2)
+	other.KS = other.KR // any different key
+	p := Params{Tables: 2, Users: 4}
+	metas := []lsh.Metadata{{1, 2}, {1, 2}, {3, 4}, {3, 4}}
+	idx, err := Build(keys, metas, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, _ := NewTrapdoor(keys, metas[0], p)
+	vectors, _ := idx.Search(td)
+	if _, err := Rank(other, vectors, p, 5); err == nil {
+		t.Error("wrong key decrypted bucket vectors")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	const n = 128
+	keys := testKeys(t, 4)
+	p := Params{Tables: 4, Users: n}
+	rng := rand.New(rand.NewSource(2))
+	metas, _ := clusteredMetas(rng, n, 16, 4)
+	idx, err := Build(keys, metas, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := idx.MeasuredSizeBytes()
+	// 4 tables x 16 groups x (8-byte tag + 16-byte vector + overhead).
+	want := 4 * 16 * (8 + n/8 + crypt.Overhead)
+	if measured != want {
+		t.Errorf("MeasuredSizeBytes = %d, want %d", measured, want)
+	}
+	// Closed forms reproduce the paper's headline numbers:
+	// 1M users, l=10 → ~1.13 TB index, ~1220 KB query after removing the
+	// constant encryption overhead.
+	tb := PaddedSizeBytes(1_000_000, 10) / (1 << 40)
+	if tb < 1.0 || tb > 1.3 {
+		t.Errorf("padded size at 1M users = %.2f TB, want ~1.14", tb)
+	}
+	kb := QueryBandwidthBytes(1_000_000, 10) / 1024
+	if kb < 1200 || kb > 1250 {
+		t.Errorf("query bandwidth at 1M users = %.0f KB, want ~1221", kb)
+	}
+}
+
+func TestTrapdoorSize(t *testing.T) {
+	keys := testKeys(t, 3)
+	p := Params{Tables: 3, Users: 2}
+	td, err := NewTrapdoor(keys, lsh.Metadata{1, 2, 3}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.SizeBytes() != 24 {
+		t.Errorf("SizeBytes = %d, want 24", td.SizeBytes())
+	}
+}

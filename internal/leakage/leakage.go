@@ -1,0 +1,232 @@
+// Package leakage quantifies the information the cloud provably learns
+// from a sequence of secure discovery queries — the paper's Definitions
+// 3–5 (Sec. IV): the access pattern AP, the similarity search pattern SSP
+// and the intersection pattern IP. The security theorem states that the
+// cloud's view is simulatable from exactly this trace; this package
+// computes the trace from a real query log so deployments can audit how
+// much pattern information accumulates, and tests can pin the leakage
+// profile down (no more, no less).
+package leakage
+
+import (
+	"fmt"
+
+	"pisd/internal/core"
+	"pisd/internal/lsh"
+)
+
+// QueryRecord is the observable outcome of one secure discovery: the
+// metadata the front end queried (known to SF, not to CS), the positions
+// the trapdoor addressed and the identifiers the cloud recovered (both
+// visible to CS).
+type QueryRecord struct {
+	// Meta is the queried metadata V (SF-side ground truth, used to
+	// verify the leakage profile).
+	Meta lsh.Metadata
+	// Positions[j] are the d+1 bucket positions addressed in table j.
+	Positions [][]uint64
+	// IDs are the identifiers the cloud recovered (the access pattern).
+	IDs []uint64
+}
+
+// Log collects query records.
+type Log struct {
+	tables  int
+	records []QueryRecord
+}
+
+// NewLog creates a log for an index with the given table count.
+func NewLog(tables int) *Log {
+	return &Log{tables: tables}
+}
+
+// Record appends one query's observables. The position trapdoor must
+// cover every table.
+func (l *Log) Record(meta lsh.Metadata, td *core.PositionTrapdoor, ids []uint64) error {
+	if td == nil || len(td.Tables) != l.tables {
+		return fmt.Errorf("leakage: trapdoor covers %d tables, want %d", len(td.Tables), l.tables)
+	}
+	if len(meta) != l.tables {
+		return fmt.Errorf("leakage: metadata arity %d, want %d", len(meta), l.tables)
+	}
+	positions := make([][]uint64, l.tables)
+	for j := range positions {
+		positions[j] = append([]uint64(nil), td.Tables[j]...)
+	}
+	l.records = append(l.records, QueryRecord{
+		Meta:      append(lsh.Metadata(nil), meta...),
+		Positions: positions,
+		IDs:       append([]uint64(nil), ids...),
+	})
+	return nil
+}
+
+// Len returns the number of recorded queries.
+func (l *Log) Len() int { return len(l.records) }
+
+// AccessPattern returns AP (Definition 3): per query, the set of
+// recovered identifiers.
+func (l *Log) AccessPattern() [][]uint64 {
+	out := make([][]uint64, len(l.records))
+	for i, r := range l.records {
+		out[i] = append([]uint64(nil), r.IDs...)
+	}
+	return out
+}
+
+// SimilaritySearchPattern returns SSP (Definition 4): the symmetric q×q
+// matrix whose [i][j] entry is the per-table equality vector ν with
+// ν[m] = 1 iff V_i[m] = V_j[m].
+func (l *Log) SimilaritySearchPattern() [][][]bool {
+	q := len(l.records)
+	out := make([][][]bool, q)
+	for i := range out {
+		out[i] = make([][]bool, q)
+		for j := range out[i] {
+			nu := make([]bool, l.tables)
+			for m := 0; m < l.tables; m++ {
+				nu[m] = l.records[i].Meta[m] == l.records[j].Meta[m]
+			}
+			out[i][j] = nu
+		}
+	}
+	return out
+}
+
+// TableIntersection is one entry of IP: for a query pair and one table,
+// the bucket positions both queries addressed.
+type TableIntersection struct {
+	Positions []uint64
+}
+
+// IntersectionPattern returns IP (Definition 5): per query pair, per
+// table, the intersection of addressed positions.
+func (l *Log) IntersectionPattern() [][][]TableIntersection {
+	q := len(l.records)
+	out := make([][][]TableIntersection, q)
+	for i := range out {
+		out[i] = make([][]TableIntersection, q)
+		for j := range out[i] {
+			inter := make([]TableIntersection, l.tables)
+			for m := 0; m < l.tables; m++ {
+				inter[m] = TableIntersection{
+					Positions: intersect(l.records[i].Positions[m], l.records[j].Positions[m]),
+				}
+			}
+			out[i][j] = inter
+		}
+	}
+	return out
+}
+
+func intersect(a, b []uint64) []uint64 {
+	set := make(map[uint64]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	var out []uint64
+	seen := make(map[uint64]struct{})
+	for _, x := range b {
+		if _, ok := set[x]; ok {
+			if _, dup := seen[x]; !dup {
+				seen[x] = struct{}{}
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+// Verify checks the leakage profile's internal consistency: whenever two
+// queries share a table's metadata value (SSP), their trapdoors address
+// identical positions in that table (IP covers the full probe set), and
+// whenever they differ, intersections are only chance collisions. A
+// violation means the implementation leaks differently than proven.
+func (l *Log) Verify() error {
+	ssp := l.SimilaritySearchPattern()
+	for i := range l.records {
+		for j := range l.records {
+			for m := 0; m < l.tables; m++ {
+				same := equalPositions(l.records[i].Positions[m], l.records[j].Positions[m])
+				if ssp[i][j][m] && !same {
+					return fmt.Errorf("leakage: queries %d,%d share V[%d] but address different positions", i, j, m)
+				}
+				if !ssp[i][j][m] && same && len(l.records[i].Positions[m]) > 0 {
+					// Full positional identity without metadata equality
+					// would require a complete PRF collision across d+1
+					// probes — flag it.
+					return fmt.Errorf("leakage: queries %d,%d differ in V[%d] but address identical positions", i, j, m)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func equalPositions(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Report summarizes the accumulated pattern leakage.
+type Report struct {
+	// Queries is the number of recorded queries.
+	Queries int
+	// DistinctTrapdoors counts distinct full trapdoors (repeat queries
+	// are fully linkable — the inherent SSE leakage).
+	DistinctTrapdoors int
+	// LinkablePairs counts query pairs sharing at least one table value.
+	LinkablePairs int
+	// AvgSharedTables is the mean number of shared tables over linkable
+	// pairs (how precisely the cloud can gauge query similarity).
+	AvgSharedTables float64
+	// IDsObserved counts distinct identifiers surfaced across all
+	// queries (access-pattern exposure of the population).
+	IDsObserved int
+}
+
+// Summarize computes the report.
+func (l *Log) Summarize() Report {
+	rep := Report{Queries: len(l.records)}
+	seenTrapdoor := make(map[string]struct{})
+	ids := make(map[uint64]struct{})
+	for _, r := range l.records {
+		key := ""
+		for _, m := range r.Meta {
+			key += fmt.Sprintf("%x,", m)
+		}
+		seenTrapdoor[key] = struct{}{}
+		for _, id := range r.IDs {
+			ids[id] = struct{}{}
+		}
+	}
+	rep.DistinctTrapdoors = len(seenTrapdoor)
+	rep.IDsObserved = len(ids)
+
+	var sharedSum int
+	for i := 0; i < len(l.records); i++ {
+		for j := i + 1; j < len(l.records); j++ {
+			shared := 0
+			for m := 0; m < l.tables; m++ {
+				if l.records[i].Meta[m] == l.records[j].Meta[m] {
+					shared++
+				}
+			}
+			if shared > 0 {
+				rep.LinkablePairs++
+				sharedSum += shared
+			}
+		}
+	}
+	if rep.LinkablePairs > 0 {
+		rep.AvgSharedTables = float64(sharedSum) / float64(rep.LinkablePairs)
+	}
+	return rep
+}

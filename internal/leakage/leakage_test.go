@@ -1,0 +1,165 @@
+package leakage
+
+import (
+	"math/rand"
+	"testing"
+
+	"pisd/internal/core"
+	"pisd/internal/crypt"
+	"pisd/internal/lsh"
+)
+
+// harness builds a small secure index and a log of real queries.
+func harness(t *testing.T) (*crypt.KeySet, *core.Index, core.Params, []lsh.Metadata) {
+	t.Helper()
+	keys, err := crypt.GenDeterministic("leakage-test", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	metas := make([]lsh.Metadata, 200)
+	for i := range metas {
+		m := make(lsh.Metadata, 4)
+		for j := range m {
+			m[j] = uint64(rng.Intn(30)) // dense values: overlaps common
+		}
+		metas[i] = m
+	}
+	items := make([]core.Item, len(metas))
+	for i, m := range metas {
+		items[i] = core.Item{ID: uint64(i + 1), Meta: m}
+	}
+	p := core.Params{Tables: 4, Capacity: core.CapacityFor(200, 0.7), ProbeRange: 6, MaxLoop: 500, Seed: 1}
+	idx, err := core.Build(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return keys, idx, p, metas
+}
+
+func record(t *testing.T, l *Log, keys *crypt.KeySet, idx *core.Index, p core.Params, meta lsh.Metadata) {
+	t.Helper()
+	pt, err := core.GenPosTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := core.GenTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := idx.SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(meta, pt, ids); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	l := NewLog(4)
+	if err := l.Record(lsh.Metadata{1}, &core.PositionTrapdoor{Tables: make([][]uint64, 4)}, nil); err == nil {
+		t.Error("short metadata accepted")
+	}
+	if err := l.Record(lsh.Metadata{1, 2, 3, 4}, &core.PositionTrapdoor{Tables: make([][]uint64, 2)}, nil); err == nil {
+		t.Error("short trapdoor accepted")
+	}
+}
+
+func TestPatternsOnRealQueries(t *testing.T) {
+	keys, idx, p, metas := harness(t)
+	l := NewLog(p.Tables)
+	queries := []lsh.Metadata{metas[0], metas[1], metas[0], metas[2]}
+	for _, q := range queries {
+		record(t, l, keys, idx, p, q)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+
+	// SSP: identical queries share every table; diagonal all-true.
+	ssp := l.SimilaritySearchPattern()
+	for m := 0; m < p.Tables; m++ {
+		if !ssp[0][2][m] {
+			t.Fatalf("repeat query not fully linkable in table %d", m)
+		}
+		if !ssp[1][1][m] {
+			t.Fatal("diagonal must be all true")
+		}
+	}
+
+	// IP: repeat query intersects itself on all d+1 positions per table.
+	ip := l.IntersectionPattern()
+	for m := 0; m < p.Tables; m++ {
+		if got := len(ip[0][2][m].Positions); got != p.ProbeRange+1 {
+			// Positions within one table can collide mod w, so the
+			// deduplicated intersection may be smaller — but never larger.
+			if got > p.ProbeRange+1 || got == 0 {
+				t.Fatalf("repeat query intersection size %d", got)
+			}
+		}
+	}
+
+	// AP: recovered ids recorded per query.
+	ap := l.AccessPattern()
+	if len(ap) != 4 {
+		t.Fatalf("AP len = %d", len(ap))
+	}
+
+	// The leakage profile must be internally consistent.
+	if err := l.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsInconsistency(t *testing.T) {
+	_, _, p, metas := harness(t)
+	l := NewLog(p.Tables)
+	// Hand-craft inconsistent records: same metadata, different positions.
+	pt1 := &core.PositionTrapdoor{Tables: [][]uint64{{1}, {2}, {3}, {4}}}
+	pt2 := &core.PositionTrapdoor{Tables: [][]uint64{{9}, {2}, {3}, {4}}}
+	if err := l.Record(metas[0], pt1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record(metas[0], pt2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Verify(); err == nil {
+		t.Fatal("inconsistent log passed Verify")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	keys, idx, p, metas := harness(t)
+	l := NewLog(p.Tables)
+	record(t, l, keys, idx, p, metas[0])
+	record(t, l, keys, idx, p, metas[0]) // repeat: fully linkable
+	record(t, l, keys, idx, p, metas[5])
+	rep := l.Summarize()
+	if rep.Queries != 3 {
+		t.Errorf("Queries = %d", rep.Queries)
+	}
+	if rep.DistinctTrapdoors != 2 {
+		t.Errorf("DistinctTrapdoors = %d, want 2", rep.DistinctTrapdoors)
+	}
+	if rep.LinkablePairs < 1 {
+		t.Errorf("LinkablePairs = %d, want >= 1 (the repeat)", rep.LinkablePairs)
+	}
+	if rep.AvgSharedTables <= 0 {
+		t.Errorf("AvgSharedTables = %v", rep.AvgSharedTables)
+	}
+	if rep.IDsObserved == 0 {
+		t.Error("no ids observed despite non-empty index")
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l := NewLog(3)
+	if err := l.Verify(); err != nil {
+		t.Errorf("empty log Verify: %v", err)
+	}
+	rep := l.Summarize()
+	if rep.Queries != 0 || rep.DistinctTrapdoors != 0 {
+		t.Errorf("empty summary %+v", rep)
+	}
+}

@@ -1,0 +1,232 @@
+package lsh
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// The paper adopts Euclidean distance but notes that "various metrics,
+// e.g., Euclidean, cosine, Jaccard distances, etc., work well" and leaves
+// their comparison to future work (Sec. III-A). This file provides the
+// matching LSH families so the secure index — which only ever sees opaque
+// Metadata values — can be driven by any of the three:
+//
+//   - Family (lsh.go): p-stable E2LSH for Euclidean distance;
+//   - SignFamily: random-hyperplane SimHash for cosine distance
+//     (Charikar, STOC'02);
+//   - MinHashFamily: min-wise hashing for Jaccard similarity of the
+//     profiles' visual-word supports (Broder et al.).
+//
+// All three implement Hasher and are deterministic in their parameters,
+// preserving the pre-shared-parameter deployment model.
+
+// Hasher is the interface the secure-index pipeline needs from an LSH
+// family: per-table composite hash values for a profile vector.
+type Hasher interface {
+	// Hash returns the l-entry metadata vector of v.
+	Hash(v []float64) Metadata
+	// NumTables returns l.
+	NumTables() int
+}
+
+// Compile-time checks.
+var (
+	_ Hasher = (*Family)(nil)
+	_ Hasher = (*SignFamily)(nil)
+	_ Hasher = (*MinHashFamily)(nil)
+)
+
+// NumTables implements Hasher for the Euclidean family.
+func (f *Family) NumTables() int { return f.params.Tables }
+
+// SignParams defines a SimHash family.
+type SignParams struct {
+	// Dim is the vector dimensionality.
+	Dim int
+	// Tables is l.
+	Tables int
+	// Bits is the number of hyperplanes (sign bits) per table; two
+	// vectors collide in a table when all bits agree.
+	Bits int
+	// Seed drives hyperplane generation.
+	Seed int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p SignParams) Validate() error {
+	switch {
+	case p.Dim < 1:
+		return fmt.Errorf("lsh: sign dim must be >= 1, got %d", p.Dim)
+	case p.Tables < 1:
+		return fmt.Errorf("lsh: sign tables must be >= 1, got %d", p.Tables)
+	case p.Bits < 1 || p.Bits > 64:
+		return fmt.Errorf("lsh: sign bits must be in [1,64], got %d", p.Bits)
+	}
+	return nil
+}
+
+// SignFamily is the random-hyperplane (SimHash) family for cosine
+// distance: h(v) packs the signs of Bits random projections.
+type SignFamily struct {
+	params SignParams
+	// planes[j][b] is hyperplane b of table j.
+	planes [][][]float64
+}
+
+// NewSign instantiates a SimHash family.
+func NewSign(p SignParams) (*SignFamily, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	f := &SignFamily{params: p, planes: make([][][]float64, p.Tables)}
+	for j := range f.planes {
+		f.planes[j] = make([][]float64, p.Bits)
+		for b := range f.planes[j] {
+			plane := make([]float64, p.Dim)
+			for i := range plane {
+				plane[i] = rng.NormFloat64()
+			}
+			f.planes[j][b] = plane
+		}
+	}
+	return f, nil
+}
+
+// Params returns the defining parameters.
+func (f *SignFamily) Params() SignParams { return f.params }
+
+// NumTables implements Hasher.
+func (f *SignFamily) NumTables() int { return f.params.Tables }
+
+// HashTable returns table j's packed sign bits for v.
+func (f *SignFamily) HashTable(v []float64, j int) uint64 {
+	var bits uint64
+	for b, plane := range f.planes[j] {
+		var dot float64
+		n := len(v)
+		if len(plane) < n {
+			n = len(plane)
+		}
+		for i := 0; i < n; i++ {
+			dot += plane[i] * v[i]
+		}
+		if dot >= 0 {
+			bits |= 1 << uint(b)
+		}
+	}
+	return bits
+}
+
+// Hash implements Hasher.
+func (f *SignFamily) Hash(v []float64) Metadata {
+	m := make(Metadata, f.params.Tables)
+	for j := range m {
+		m[j] = f.HashTable(v, j)
+	}
+	return m
+}
+
+// MinHashParams defines a MinHash family over vector supports.
+type MinHashParams struct {
+	// Dim is the vector dimensionality (the universe of visual words).
+	Dim int
+	// Tables is l.
+	Tables int
+	// Hashes is the number of min-wise hash functions folded into each
+	// table's value; two vectors collide when all of them agree.
+	Hashes int
+	// Seed drives hash-function generation.
+	Seed int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p MinHashParams) Validate() error {
+	switch {
+	case p.Dim < 1:
+		return fmt.Errorf("lsh: minhash dim must be >= 1, got %d", p.Dim)
+	case p.Tables < 1:
+		return fmt.Errorf("lsh: minhash tables must be >= 1, got %d", p.Tables)
+	case p.Hashes < 1:
+		return fmt.Errorf("lsh: minhash hashes must be >= 1, got %d", p.Hashes)
+	}
+	return nil
+}
+
+// MinHashFamily hashes the support set {i : v[i] > 0} of a profile — the
+// set of visual words the user's images exhibit — with min-wise
+// independent permutations, so collision probability equals the Jaccard
+// similarity of two users' visual-word sets.
+type MinHashFamily struct {
+	params MinHashParams
+	// perm[j][h][w] is the rank of word w under permutation h of table j,
+	// stored as random 32-bit keys (min over keys ≙ min over permutation).
+	perm [][][]uint32
+}
+
+// NewMinHash instantiates a MinHash family.
+func NewMinHash(p MinHashParams) (*MinHashFamily, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	f := &MinHashFamily{params: p, perm: make([][][]uint32, p.Tables)}
+	for j := range f.perm {
+		f.perm[j] = make([][]uint32, p.Hashes)
+		for h := range f.perm[j] {
+			keys := make([]uint32, p.Dim)
+			for w := range keys {
+				keys[w] = rng.Uint32()
+			}
+			f.perm[j][h] = keys
+		}
+	}
+	return f, nil
+}
+
+// Params returns the defining parameters.
+func (f *MinHashFamily) Params() MinHashParams { return f.params }
+
+// NumTables implements Hasher.
+func (f *MinHashFamily) NumTables() int { return f.params.Tables }
+
+// HashTable folds the Hashes min-values of table j over v's support.
+func (f *MinHashFamily) HashTable(v []float64, j int) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, keys := range f.perm[j] {
+		min := ^uint32(0)
+		empty := true
+		n := len(v)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		for w := 0; w < n; w++ {
+			if v[w] > 0 {
+				empty = false
+				if keys[w] < min {
+					min = keys[w]
+				}
+			}
+		}
+		if empty {
+			min = ^uint32(0)
+		}
+		buf[0] = byte(min >> 24)
+		buf[1] = byte(min >> 16)
+		buf[2] = byte(min >> 8)
+		buf[3] = byte(min)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Hash implements Hasher.
+func (f *MinHashFamily) Hash(v []float64) Metadata {
+	m := make(Metadata, f.params.Tables)
+	for j := range m {
+		m[j] = f.HashTable(v, j)
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pisd/internal/vec"
+)
+
+func TestSignParamsValidate(t *testing.T) {
+	good := SignParams{Dim: 8, Tables: 4, Bits: 16, Seed: 1}
+	if _, err := NewSign(good); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for _, mut := range []func(*SignParams){
+		func(p *SignParams) { p.Dim = 0 },
+		func(p *SignParams) { p.Tables = 0 },
+		func(p *SignParams) { p.Bits = 0 },
+		func(p *SignParams) { p.Bits = 65 },
+	} {
+		p := good
+		mut(&p)
+		if _, err := NewSign(p); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestMinHashParamsValidate(t *testing.T) {
+	good := MinHashParams{Dim: 8, Tables: 4, Hashes: 2, Seed: 1}
+	if _, err := NewMinHash(good); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for _, mut := range []func(*MinHashParams){
+		func(p *MinHashParams) { p.Dim = 0 },
+		func(p *MinHashParams) { p.Tables = 0 },
+		func(p *MinHashParams) { p.Hashes = 0 },
+	} {
+		p := good
+		mut(&p)
+		if _, err := NewMinHash(p); err == nil {
+			t.Errorf("invalid params accepted: %+v", p)
+		}
+	}
+}
+
+func TestSignFamilyDeterministicAndScaleInvariant(t *testing.T) {
+	p := SignParams{Dim: 16, Tables: 6, Bits: 8, Seed: 3}
+	f1, err := NewSign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewSign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		v := randomVec(rng, 16)
+		if !f1.Hash(v).Equal(f2.Hash(v)) {
+			t.Fatal("same params must hash identically")
+		}
+		// Cosine hashing ignores positive scaling.
+		scaled := vec.Scale(vec.Clone(v), 3.7)
+		if !f1.Hash(v).Equal(f1.Hash(scaled)) {
+			t.Fatal("sign hash must be scale invariant")
+		}
+	}
+}
+
+// SimHash locality: small-angle pairs collide in more tables than
+// large-angle pairs.
+func TestSignFamilyCosineLocality(t *testing.T) {
+	p := SignParams{Dim: 32, Tables: 16, Bits: 4, Seed: 5}
+	f, err := NewSign(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	var nearSum, farSum float64
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		base := vec.Normalize(randomVec(rng, 32))
+		near := vec.Normalize(perturb(rng, base, 0.2))
+		far := vec.Normalize(randomVec(rng, 32))
+		nearSum += float64(collisions(f, base, near))
+		farSum += float64(collisions(f, base, far))
+	}
+	if nearSum/trials <= farSum/trials {
+		t.Errorf("cosine locality violated: near %.2f <= far %.2f", nearSum/trials, farSum/trials)
+	}
+}
+
+// MinHash locality: profiles with overlapping supports collide in more
+// tables than disjoint-support profiles.
+func TestMinHashJaccardLocality(t *testing.T) {
+	p := MinHashParams{Dim: 200, Tables: 16, Hashes: 1, Seed: 7}
+	f, err := NewMinHash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	sparse := func(lo, hi int) []float64 {
+		v := make([]float64, 200)
+		for w := lo; w < hi; w++ {
+			if rng.Float64() < 0.5 {
+				v[w] = rng.Float64()
+			}
+		}
+		return v
+	}
+	var overlapSum, disjointSum float64
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		a := sparse(0, 100)
+		b := sparse(50, 150) // overlaps a on [50,100)
+		c := sparse(100, 200)
+		overlapSum += float64(collisions(f, a, b))
+		disjointSum += float64(collisions(f, a, c))
+	}
+	if overlapSum/trials <= disjointSum/trials {
+		t.Errorf("jaccard locality violated: overlap %.2f <= disjoint %.2f",
+			overlapSum/trials, disjointSum/trials)
+	}
+}
+
+func TestMinHashEmptySupport(t *testing.T) {
+	p := MinHashParams{Dim: 16, Tables: 3, Hashes: 2, Seed: 9}
+	f, err := NewMinHash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]float64, 16)
+	m1 := f.Hash(zero)
+	m2 := f.Hash(zero)
+	if !m1.Equal(m2) {
+		t.Error("empty-support hash not deterministic")
+	}
+}
+
+func TestHasherInterfaceShapes(t *testing.T) {
+	e, err := New(Params{Dim: 8, Tables: 5, Atoms: 2, Width: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgn, err := NewSign(SignParams{Dim: 8, Tables: 5, Bits: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mh, err := NewMinHash(MinHashParams{Dim: 8, Tables: 5, Hashes: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, 0, 0.5, 0, 0, 0.2, 0, 0}
+	for _, h := range []Hasher{e, sgn, mh} {
+		if h.NumTables() != 5 {
+			t.Errorf("%T NumTables = %d", h, h.NumTables())
+		}
+		if got := h.Hash(v); len(got) != 5 {
+			t.Errorf("%T Hash len = %d", h, len(got))
+		}
+	}
+}
+
+func collisions(h Hasher, a, b []float64) int {
+	ma, mb := h.Hash(a), h.Hash(b)
+	n := 0
+	for j := range ma {
+		if ma[j] == mb[j] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSignBitsMonotoneWithAngle(t *testing.T) {
+	// With more bits per table, collision probability of unrelated
+	// vectors drops.
+	rng := rand.New(rand.NewSource(10))
+	collisionRate := func(bits int) float64 {
+		f, err := NewSign(SignParams{Dim: 16, Tables: 32, Bits: bits, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		const trials = 60
+		for i := 0; i < trials; i++ {
+			total += collisions(f, randomVec(rng, 16), randomVec(rng, 16))
+		}
+		return float64(total) / float64(trials*32)
+	}
+	if r1, r8 := collisionRate(1), collisionRate(8); r1 <= r8 {
+		t.Errorf("collision rate should drop with bits: 1-bit %.3f <= 8-bit %.3f", r1, r8)
+	}
+	if math.IsNaN(collisionRate(4)) {
+		t.Fatal("NaN rate")
+	}
+}

@@ -1,0 +1,191 @@
+// Package lsh implements the locality-sensitive hashing substrate of PISD:
+// the p-stable (Gaussian) E2LSH family for Euclidean distance of Andoni &
+// Indyk, composed into l table-level hash functions as used by the paper's
+// ComputeLSH(S, h) user function (Sec. II-C and III-A).
+//
+// Each of the l tables owns k atomic functions h_{a,b}(v) = ⌊(a·v + b)/W⌋;
+// a table's value for a vector is the 64-bit FNV-1a digest of its k atom
+// outputs. Two vectors agree on a table exactly when all k atoms agree,
+// which sharpens the collision-probability gap between near and far points.
+//
+// The family is generated deterministically from Params (including a seed),
+// so the service front end can pre-share the parameters h with every user
+// client, exactly as the paper's SF shares the LSH parameter set.
+package lsh
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"pisd/internal/vec"
+)
+
+// Params fully determines an LSH family. Sharing Params is sharing the
+// family: New is a pure function of Params.
+type Params struct {
+	// Dim is the dimensionality of hashed vectors (the vocabulary size m).
+	Dim int
+	// Tables is l, the number of hash tables / metadata entries.
+	Tables int
+	// Atoms is k, the number of atomic p-stable functions per table.
+	Atoms int
+	// Width is the quantization width W of each atom. Smaller widths
+	// separate points more aggressively.
+	Width float64
+	// Seed drives the deterministic generation of the random projections.
+	Seed int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.Dim < 1:
+		return fmt.Errorf("lsh: dim must be >= 1, got %d", p.Dim)
+	case p.Tables < 1:
+		return fmt.Errorf("lsh: tables must be >= 1, got %d", p.Tables)
+	case p.Atoms < 1:
+		return fmt.Errorf("lsh: atoms must be >= 1, got %d", p.Atoms)
+	case p.Width <= 0:
+		return fmt.Errorf("lsh: width must be > 0, got %v", p.Width)
+	}
+	return nil
+}
+
+// Metadata is the user metadata V = {h_1(S), ..., h_l(S)}: one composite
+// LSH value per table.
+type Metadata []uint64
+
+// Bytes returns the 8-byte big-endian encoding of table j's value, the PRF
+// input used when locating secure-index buckets.
+func (m Metadata) Bytes(j int) []byte {
+	v := m[j]
+	return []byte{
+		byte(v >> 56), byte(v >> 48), byte(v >> 40), byte(v >> 32),
+		byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v),
+	}
+}
+
+// Equal reports whether two metadata vectors are identical in every table.
+func (m Metadata) Equal(o Metadata) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for i := range m {
+		if m[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Family is an instantiated LSH family.
+type Family struct {
+	params Params
+	// a[j][t] is the projection vector of table j's atom t.
+	a [][][]float64
+	// b[j][t] is the offset of table j's atom t, uniform in [0, W).
+	b [][]float64
+}
+
+// New instantiates the family described by p. The construction is
+// deterministic in p, so distributed parties holding the same Params hash
+// identically.
+func New(p Params) (*Family, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	f := &Family{
+		params: p,
+		a:      make([][][]float64, p.Tables),
+		b:      make([][]float64, p.Tables),
+	}
+	for j := 0; j < p.Tables; j++ {
+		f.a[j] = make([][]float64, p.Atoms)
+		f.b[j] = make([]float64, p.Atoms)
+		for t := 0; t < p.Atoms; t++ {
+			proj := make([]float64, p.Dim)
+			for i := range proj {
+				proj[i] = rng.NormFloat64()
+			}
+			f.a[j][t] = proj
+			f.b[j][t] = rng.Float64() * p.Width
+		}
+	}
+	return f, nil
+}
+
+// Params returns the defining parameters of the family.
+func (f *Family) Params() Params { return f.params }
+
+// Atom evaluates the raw quantized projection of table j's atom t on v.
+func (f *Family) Atom(v []float64, j, t int) int64 {
+	x := (vec.Dot(f.a[j][t], v) + f.b[j][t]) / f.params.Width
+	// Floor for negatives as well.
+	n := int64(x)
+	if x < 0 && float64(n) != x {
+		n--
+	}
+	return n
+}
+
+// HashTable returns the composite value of table j on v: the FNV-1a digest
+// of the k atom outputs.
+func (f *Family) HashTable(v []float64, j int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for t := 0; t < f.params.Atoms; t++ {
+		n := uint64(f.Atom(v, j, t))
+		buf[0] = byte(n >> 56)
+		buf[1] = byte(n >> 48)
+		buf[2] = byte(n >> 40)
+		buf[3] = byte(n >> 32)
+		buf[4] = byte(n >> 24)
+		buf[5] = byte(n >> 16)
+		buf[6] = byte(n >> 8)
+		buf[7] = byte(n)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Hash implements the paper's ComputeLSH(S, h): it returns the user
+// metadata V for profile v.
+func (f *Family) Hash(v []float64) Metadata {
+	m := make(Metadata, f.params.Tables)
+	for j := range m {
+		m[j] = f.HashTable(v, j)
+	}
+	return m
+}
+
+// HashAll hashes a batch of vectors.
+func (f *Family) HashAll(vs [][]float64) []Metadata {
+	out := make([]Metadata, len(vs))
+	for i, v := range vs {
+		out[i] = f.Hash(v)
+	}
+	return out
+}
+
+// Rehash returns a fresh family with identical shape parameters but a new
+// seed, used when the secure index must be rebuilt after insertion failure
+// (Algorithm 1's rehash()).
+func (f *Family) Rehash(newSeed int64) (*Family, error) {
+	p := f.params
+	p.Seed = newSeed
+	return New(p)
+}
+
+// CollisionCount returns in how many of the l tables a and b collide.
+// It quantifies the locality the secure index preserves.
+func (f *Family) CollisionCount(a, b []float64) int {
+	n := 0
+	for j := 0; j < f.params.Tables; j++ {
+		if f.HashTable(a, j) == f.HashTable(b, j) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testFamily(t *testing.T, p Params) *Family {
+	t.Helper()
+	f, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", p, err)
+	}
+	return f
+}
+
+func defaultParams() Params {
+	return Params{Dim: 16, Tables: 8, Atoms: 3, Width: 1.0, Seed: 42}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero dim", func(p *Params) { p.Dim = 0 }},
+		{"zero tables", func(p *Params) { p.Tables = 0 }},
+		{"zero atoms", func(p *Params) { p.Atoms = 0 }},
+		{"zero width", func(p *Params) { p.Width = 0 }},
+		{"negative width", func(p *Params) { p.Width = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := defaultParams()
+			tt.mut(&p)
+			if _, err := New(p); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	if err := defaultParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	p := defaultParams()
+	f1 := testFamily(t, p)
+	f2 := testFamily(t, p)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		v := randomVec(rng, p.Dim)
+		if !f1.Hash(v).Equal(f2.Hash(v)) {
+			t.Fatal("same Params must hash identically (shared-parameter property)")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	p := defaultParams()
+	f1 := testFamily(t, p)
+	p.Seed = 43
+	f2 := testFamily(t, p)
+	rng := rand.New(rand.NewSource(2))
+	same := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		v := randomVec(rng, p.Dim)
+		if f1.Hash(v).Equal(f2.Hash(v)) {
+			same++
+		}
+	}
+	if same == trials {
+		t.Error("different seeds produced identical families")
+	}
+}
+
+func TestHashSelfCollision(t *testing.T) {
+	f := testFamily(t, defaultParams())
+	v := randomVec(rand.New(rand.NewSource(3)), 16)
+	if got := f.CollisionCount(v, v); got != 8 {
+		t.Errorf("self collision count = %d, want 8", got)
+	}
+}
+
+func TestAtomFloorsNegatives(t *testing.T) {
+	f := testFamily(t, Params{Dim: 1, Tables: 1, Atoms: 1, Width: 1, Seed: 9})
+	// Choose v so the projection is negative and non-integral; floor must
+	// round toward -inf, matching ⌊·⌋ semantics.
+	a := f.a[0][0][0]
+	b := f.b[0][0]
+	v := []float64{(-0.5 - b) / a}
+	got := f.Atom(v, 0, 0)
+	want := int64(math.Floor((a*v[0] + b) / 1))
+	if got != want {
+		t.Errorf("Atom = %d, want floor %d", got, want)
+	}
+}
+
+// Locality: near points must collide in more tables than far points, on
+// average. This is Definition 1's (r1, r2, p1, p2) gap, measured empirically.
+func TestLocalitySensitivity(t *testing.T) {
+	p := Params{Dim: 32, Tables: 12, Atoms: 2, Width: 4.0, Seed: 7}
+	f := testFamily(t, p)
+	rng := rand.New(rand.NewSource(11))
+
+	const trials = 200
+	var nearSum, farSum float64
+	for i := 0; i < trials; i++ {
+		base := randomVec(rng, p.Dim)
+		near := perturb(rng, base, 0.2)
+		far := perturb(rng, base, 8.0)
+		nearSum += float64(f.CollisionCount(base, near))
+		farSum += float64(f.CollisionCount(base, far))
+	}
+	nearAvg := nearSum / trials
+	farAvg := farSum / trials
+	if nearAvg <= farAvg {
+		t.Errorf("locality violated: near avg %.2f <= far avg %.2f", nearAvg, farAvg)
+	}
+	if nearAvg < 6 { // near-duplicates should collide in most tables
+		t.Errorf("near collision avg too low: %.2f", nearAvg)
+	}
+}
+
+// Monotonicity: collision probability decreases as distance grows.
+func TestCollisionMonotoneInDistance(t *testing.T) {
+	p := Params{Dim: 16, Tables: 16, Atoms: 1, Width: 2.0, Seed: 21}
+	f := testFamily(t, p)
+	rng := rand.New(rand.NewSource(13))
+
+	radii := []float64{0.1, 1.0, 4.0, 16.0}
+	avgs := make([]float64, len(radii))
+	const trials = 300
+	for ri, r := range radii {
+		var sum float64
+		for i := 0; i < trials; i++ {
+			base := randomVec(rng, p.Dim)
+			sum += float64(f.CollisionCount(base, perturb(rng, base, r)))
+		}
+		avgs[ri] = sum / trials
+	}
+	for i := 1; i < len(avgs); i++ {
+		if avgs[i] > avgs[i-1]+0.5 {
+			t.Errorf("collision count not decreasing: radii %v -> avgs %v", radii, avgs)
+			break
+		}
+	}
+}
+
+func TestMetadataBytes(t *testing.T) {
+	m := Metadata{0x0102030405060708}
+	got := m.Bytes(0)
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bytes = %x, want %x", got, want)
+		}
+	}
+}
+
+func TestMetadataEqual(t *testing.T) {
+	a := Metadata{1, 2, 3}
+	if !a.Equal(Metadata{1, 2, 3}) {
+		t.Error("equal metadata reported unequal")
+	}
+	if a.Equal(Metadata{1, 2}) {
+		t.Error("length mismatch reported equal")
+	}
+	if a.Equal(Metadata{1, 2, 4}) {
+		t.Error("value mismatch reported equal")
+	}
+}
+
+func TestHashAll(t *testing.T) {
+	f := testFamily(t, defaultParams())
+	rng := rand.New(rand.NewSource(5))
+	vs := [][]float64{randomVec(rng, 16), randomVec(rng, 16)}
+	all := f.HashAll(vs)
+	if len(all) != 2 {
+		t.Fatalf("HashAll len = %d", len(all))
+	}
+	for i := range vs {
+		if !all[i].Equal(f.Hash(vs[i])) {
+			t.Errorf("HashAll[%d] differs from Hash", i)
+		}
+	}
+}
+
+func TestRehashChangesFamily(t *testing.T) {
+	f := testFamily(t, defaultParams())
+	g, err := f.Rehash(1234)
+	if err != nil {
+		t.Fatalf("Rehash: %v", err)
+	}
+	if g.Params().Seed == f.Params().Seed {
+		t.Error("Rehash kept seed")
+	}
+	if g.Params().Tables != f.Params().Tables || g.Params().Dim != f.Params().Dim {
+		t.Error("Rehash changed shape parameters")
+	}
+}
+
+// Property: hashing is a pure function of the input vector.
+func TestHashPureProperty(t *testing.T) {
+	f, err := New(Params{Dim: 8, Tables: 4, Atoms: 2, Width: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(raw [8]float64) bool {
+		v := make([]float64, 8)
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			v[i] = math.Mod(x, 100)
+		}
+		return f.Hash(v).Equal(f.Hash(v))
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomVec(rng *rand.Rand, dim int) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// perturb returns base plus Gaussian noise scaled so the expected distance
+// is roughly r.
+func perturb(rng *rand.Rand, base []float64, r float64) []float64 {
+	out := make([]float64, len(base))
+	scale := r / math.Sqrt(float64(len(base)))
+	for i := range base {
+		out[i] = base[i] + rng.NormFloat64()*scale
+	}
+	return out
+}
+
+func BenchmarkHash1000Dim(b *testing.B) {
+	f, err := New(Params{Dim: 1000, Tables: 10, Atoms: 4, Width: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := randomVec(rand.New(rand.NewSource(1)), 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Hash(v)
+	}
+}

@@ -1,0 +1,106 @@
+package lsh
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Query-directed multi-probe (Lv, Josephson, Wang, Charikar, Li —
+// VLDB'07, the paper's reference [19]). The secure index already probes
+// d random buckets per table for load balance; multi-probe is the
+// complementary recall technique: at query time, also look into the
+// *neighbouring LSH buckets* the query nearly fell into. A variant
+// metadata vector differs from the exact one in a single table, where one
+// atom's quantized projection is shifted by ±1; variants are ordered by
+// how close the query is to that quantization boundary.
+
+// ProbeVariant is one perturbed metadata vector with its query-directed
+// cost (smaller = the query was closer to the boundary = more likely to
+// hold near neighbours).
+type ProbeVariant struct {
+	Meta Metadata
+	// Table is the perturbed table index; Atom and Shift identify the
+	// perturbation.
+	Table int
+	Atom  int
+	Shift int64
+	// Cost is the distance of the projection to the crossed boundary, in
+	// units of the quantization width.
+	Cost float64
+}
+
+// ProbeSequence returns up to maxVariants perturbed metadata vectors for
+// v, cheapest first. The exact metadata (Hash(v)) is not included.
+func (f *Family) ProbeSequence(v []float64, maxVariants int) []ProbeVariant {
+	if maxVariants <= 0 {
+		return nil
+	}
+	base := f.Hash(v)
+	var variants []ProbeVariant
+	for j := 0; j < f.params.Tables; j++ {
+		for t := 0; t < f.params.Atoms; t++ {
+			x := (dot(f.a[j][t], v) + f.b[j][t]) / f.params.Width
+			frac := x - math.Floor(x)
+			// Shift down crosses the lower boundary (distance frac);
+			// shift up crosses the upper one (distance 1-frac).
+			for _, pv := range []struct {
+				shift int64
+				cost  float64
+			}{{-1, frac}, {+1, 1 - frac}} {
+				meta := append(Metadata(nil), base...)
+				meta[j] = f.hashTableShifted(v, j, t, pv.shift)
+				variants = append(variants, ProbeVariant{
+					Meta:  meta,
+					Table: j,
+					Atom:  t,
+					Shift: pv.shift,
+					Cost:  pv.cost,
+				})
+			}
+		}
+	}
+	sort.Slice(variants, func(i, j int) bool { return variants[i].Cost < variants[j].Cost })
+	if len(variants) > maxVariants {
+		variants = variants[:maxVariants]
+	}
+	return variants
+}
+
+// hashTableShifted recomputes table j's composite value with atom `atom`
+// shifted by `shift` buckets.
+func (f *Family) hashTableShifted(v []float64, j, atom int, shift int64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for t := 0; t < f.params.Atoms; t++ {
+		n := f.Atom(v, j, t)
+		if t == atom {
+			n += shift
+		}
+		u := uint64(n)
+		buf[0] = byte(u >> 56)
+		buf[1] = byte(u >> 48)
+		buf[2] = byte(u >> 40)
+		buf[3] = byte(u >> 32)
+		buf[4] = byte(u >> 24)
+		buf[5] = byte(u >> 16)
+		buf[6] = byte(u >> 8)
+		buf[7] = byte(u)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// dot is a local inner product (avoids importing vec to keep the package
+// dependency-light).
+func dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestProbeSequenceShapes(t *testing.T) {
+	f := testFamily(t, Params{Dim: 16, Tables: 6, Atoms: 3, Width: 1.0, Seed: 1})
+	v := randomVec(rand.New(rand.NewSource(2)), 16)
+
+	if got := f.ProbeSequence(v, 0); got != nil {
+		t.Errorf("maxVariants=0 returned %d variants", len(got))
+	}
+	variants := f.ProbeSequence(v, 8)
+	if len(variants) != 8 {
+		t.Fatalf("got %d variants, want 8", len(variants))
+	}
+	// Costs ascending and in [0, 1].
+	for i, pv := range variants {
+		if pv.Cost < 0 || pv.Cost > 1 {
+			t.Errorf("variant %d cost %v out of [0,1]", i, pv.Cost)
+		}
+		if i > 0 && pv.Cost < variants[i-1].Cost {
+			t.Fatal("variants not cost-ordered")
+		}
+		if pv.Shift != 1 && pv.Shift != -1 {
+			t.Errorf("variant %d shift %d", i, pv.Shift)
+		}
+	}
+	// The full sequence has 2·l·k entries.
+	all := f.ProbeSequence(v, 1000)
+	if len(all) != 2*6*3 {
+		t.Fatalf("full sequence %d, want %d", len(all), 2*6*3)
+	}
+}
+
+func TestProbeVariantDiffersInExactlyOneTable(t *testing.T) {
+	f := testFamily(t, Params{Dim: 16, Tables: 6, Atoms: 2, Width: 1.0, Seed: 3})
+	v := randomVec(rand.New(rand.NewSource(4)), 16)
+	base := f.Hash(v)
+	for _, pv := range f.ProbeSequence(v, 24) {
+		diff := 0
+		for j := range base {
+			if base[j] != pv.Meta[j] {
+				if j != pv.Table {
+					t.Fatalf("variant differs in table %d but claims table %d", j, pv.Table)
+				}
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("variant differs in %d tables, want 1", diff)
+		}
+	}
+}
+
+// Perturbing toward the nearest boundary lands in the bucket a nearby
+// point would occupy: a point just across the boundary hashes to the
+// cheapest variant's metadata with decent probability.
+func TestProbeSequenceRecall(t *testing.T) {
+	f := testFamily(t, Params{Dim: 8, Tables: 4, Atoms: 1, Width: 1.0, Seed: 5})
+	rng := rand.New(rand.NewSource(6))
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		v := randomVec(rng, 8)
+		near := perturb(rng, v, 0.15)
+		nearMeta := f.Hash(near)
+		if f.Hash(v).Equal(nearMeta) {
+			hits++ // exact bucket already
+			continue
+		}
+		for _, pv := range f.ProbeSequence(v, 8) {
+			if pv.Meta.Equal(nearMeta) {
+				hits++
+				break
+			}
+		}
+	}
+	if frac := float64(hits) / trials; frac < 0.7 {
+		t.Errorf("multi-probe recall %.2f below 0.7", frac)
+	}
+}

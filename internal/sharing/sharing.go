@@ -1,0 +1,217 @@
+// Package sharing implements the encrypted image-sharing extension of
+// Sec. III-E: Persona-style attribute-based access control over outsourced
+// encrypted images. A user encrypts an image under an attribute policy;
+// friends holding keys for a satisfying attribute set can decrypt.
+//
+// Substitution note (DESIGN.md §5.5): real ciphertext-policy ABE requires
+// pairing-based cryptography outside the Go standard library. This package
+// reproduces the *access semantics* with symmetric key wrapping: an
+// authority derives one key per attribute from a master secret, policies
+// are DNF formulas (OR of AND-clauses), and the per-image content key is
+// wrapped once per clause under a key folded from all the clause's
+// attribute keys. A holder of every attribute in some clause unwraps; a
+// holder of a strict subset cannot. Unlike true ABE this is not secure
+// against two users pooling complementary attribute keys.
+package sharing
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"pisd/internal/crypt"
+)
+
+// Attribute is one access-control attribute (e.g. "friend", "family",
+// "college/2013").
+type Attribute string
+
+// Policy is a DNF access formula: the ciphertext is decryptable by anyone
+// whose attribute set contains every attribute of at least one clause.
+type Policy struct {
+	// Clauses is the OR level; each clause is an AND of attributes.
+	Clauses [][]Attribute
+}
+
+// Validate reports whether the policy is non-trivial.
+func (p Policy) Validate() error {
+	if len(p.Clauses) == 0 {
+		return errors.New("sharing: policy has no clauses")
+	}
+	for i, clause := range p.Clauses {
+		if len(clause) == 0 {
+			return fmt.Errorf("sharing: clause %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// AnyOf builds a single-attribute-per-clause policy (pure OR).
+func AnyOf(attrs ...Attribute) Policy {
+	p := Policy{Clauses: make([][]Attribute, len(attrs))}
+	for i, a := range attrs {
+		p.Clauses[i] = []Attribute{a}
+	}
+	return p
+}
+
+// AllOf builds a single-clause policy (pure AND).
+func AllOf(attrs ...Attribute) Policy {
+	return Policy{Clauses: [][]Attribute{attrs}}
+}
+
+// Authority issues attribute keys. Each user runs their own authority for
+// their own images (the paper has every user generate ABE keys for their
+// friends).
+type Authority struct {
+	master crypt.PRFKey
+}
+
+// NewAuthority creates an authority with a fresh random master secret.
+func NewAuthority() (*Authority, error) {
+	b, err := crypt.RandBytes(crypt.PRFKeySize)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: new authority: %w", err)
+	}
+	var k crypt.PRFKey
+	copy(k[:], b)
+	return &Authority{master: k}, nil
+}
+
+// NewAuthorityFromSeed derives a deterministic authority for tests.
+func NewAuthorityFromSeed(seed string) *Authority {
+	return &Authority{master: crypt.PRFKey(sha256.Sum256([]byte("pisd/sharing/" + seed)))}
+}
+
+// attrKey derives the secret key of one attribute.
+func (a *Authority) attrKey(attr Attribute) crypt.PRFKey {
+	return crypt.SubKey(a.master, "attr/"+string(attr))
+}
+
+// UserKeys is the key material issued to one friend: one key per granted
+// attribute.
+type UserKeys struct {
+	Attrs map[Attribute]crypt.PRFKey
+}
+
+// IssueKeys grants keys for the given attributes.
+func (a *Authority) IssueKeys(attrs []Attribute) *UserKeys {
+	uk := &UserKeys{Attrs: make(map[Attribute]crypt.PRFKey, len(attrs))}
+	for _, attr := range attrs {
+		uk.Attrs[attr] = a.attrKey(attr)
+	}
+	return uk
+}
+
+// Ciphertext is an image encrypted under a policy.
+type Ciphertext struct {
+	// Policy is stored in the clear (like CP-ABE access structures).
+	Policy Policy
+	// Nonce freshens the clause key derivation.
+	Nonce []byte
+	// Wrapped[i] is the content key wrapped under clause i's folded key.
+	Wrapped [][]byte
+	// Payload is the content encrypted under the content key.
+	Payload []byte
+}
+
+// clauseKey folds a clause's attribute keys and the nonce into one
+// encryption key. The fold is order-independent (attributes sorted) and
+// requires every attribute key in the clause.
+func clauseKey(keys map[Attribute]crypt.PRFKey, clause []Attribute, nonce []byte) (crypt.EncKey, bool) {
+	sorted := append([]Attribute(nil), clause...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	acc := make([]byte, 32)
+	for _, attr := range sorted {
+		k, ok := keys[attr]
+		if !ok {
+			return crypt.EncKey{}, false
+		}
+		mac := hmac.New(sha256.New, k[:])
+		mac.Write(nonce)
+		mac.Write(acc)
+		acc = mac.Sum(nil)
+	}
+	var ek crypt.EncKey
+	copy(ek[:], acc[:crypt.EncKeySize])
+	return ek, true
+}
+
+// Encrypt encrypts plaintext (an image blob) under the policy, using the
+// authority's attribute keys.
+func (a *Authority) Encrypt(policy Policy, plaintext []byte) (*Ciphertext, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	nonce, err := crypt.RandBytes(16)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: nonce: %w", err)
+	}
+	contentKeyBytes, err := crypt.RandBytes(crypt.EncKeySize)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: content key: %w", err)
+	}
+	var contentKey crypt.EncKey
+	copy(contentKey[:], contentKeyBytes)
+
+	ct := &Ciphertext{Policy: policy, Nonce: nonce, Wrapped: make([][]byte, len(policy.Clauses))}
+	// The authority holds all attribute keys, so it can fold any clause.
+	all := make(map[Attribute]crypt.PRFKey)
+	for _, clause := range policy.Clauses {
+		for _, attr := range clause {
+			all[attr] = a.attrKey(attr)
+		}
+	}
+	for i, clause := range policy.Clauses {
+		ck, ok := clauseKey(all, clause, nonce)
+		if !ok {
+			return nil, fmt.Errorf("sharing: clause %d key derivation failed", i)
+		}
+		wrapped, err := crypt.Enc(ck, contentKey[:])
+		if err != nil {
+			return nil, fmt.Errorf("sharing: wrap clause %d: %w", i, err)
+		}
+		ct.Wrapped[i] = wrapped
+	}
+	payload, err := crypt.Enc(contentKey, plaintext)
+	if err != nil {
+		return nil, fmt.Errorf("sharing: payload: %w", err)
+	}
+	ct.Payload = payload
+	return ct, nil
+}
+
+// ErrAccessDenied is returned when the key set satisfies no clause.
+var ErrAccessDenied = errors.New("sharing: attribute keys satisfy no policy clause")
+
+// Decrypt recovers the plaintext if uk satisfies at least one clause.
+func Decrypt(uk *UserKeys, ct *Ciphertext) ([]byte, error) {
+	if err := ct.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ct.Wrapped) != len(ct.Policy.Clauses) {
+		return nil, errors.New("sharing: malformed ciphertext: clause count mismatch")
+	}
+	for i, clause := range ct.Policy.Clauses {
+		ck, ok := clauseKey(uk.Attrs, clause, ct.Nonce)
+		if !ok {
+			continue
+		}
+		keyBytes, err := crypt.Dec(ck, ct.Wrapped[i])
+		if err != nil {
+			// Wrong fold (should not happen with honest ciphertexts) or
+			// tampering; try the next clause.
+			continue
+		}
+		var contentKey crypt.EncKey
+		copy(contentKey[:], keyBytes)
+		pt, err := crypt.Dec(contentKey, ct.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("sharing: payload decrypt: %w", err)
+		}
+		return pt, nil
+	}
+	return nil, ErrAccessDenied
+}

@@ -1,0 +1,167 @@
+package sharing
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (Policy{}).Validate(); err == nil {
+		t.Error("empty policy accepted")
+	}
+	if err := (Policy{Clauses: [][]Attribute{{}}}).Validate(); err == nil {
+		t.Error("empty clause accepted")
+	}
+	if err := AllOf("friend").Validate(); err != nil {
+		t.Errorf("AllOf invalid: %v", err)
+	}
+	if err := AnyOf("a", "b").Validate(); err != nil {
+		t.Errorf("AnyOf invalid: %v", err)
+	}
+}
+
+func TestEncryptDecryptSingleAttribute(t *testing.T) {
+	auth := NewAuthorityFromSeed("t1")
+	img := []byte("encrypted image bytes")
+	ct, err := auth.Encrypt(AllOf("friend"), img)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	friend := auth.IssueKeys([]Attribute{"friend"})
+	got, err := Decrypt(friend, ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Error("round trip mismatch")
+	}
+	stranger := auth.IssueKeys([]Attribute{"coworker"})
+	if _, err := Decrypt(stranger, ct); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("stranger decrypt err = %v, want ErrAccessDenied", err)
+	}
+}
+
+func TestAndClauseRequiresAllAttributes(t *testing.T) {
+	auth := NewAuthorityFromSeed("t2")
+	ct, err := auth.Encrypt(AllOf("family", "college/2013"), []byte("grad photo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := auth.IssueKeys([]Attribute{"family"})
+	if _, err := Decrypt(partial, ct); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("partial attrs decrypted: %v", err)
+	}
+	full := auth.IssueKeys([]Attribute{"family", "college/2013"})
+	if _, err := Decrypt(full, ct); err != nil {
+		t.Errorf("full attrs denied: %v", err)
+	}
+}
+
+func TestOrPolicyAnyClauseSuffices(t *testing.T) {
+	auth := NewAuthorityFromSeed("t3")
+	policy := Policy{Clauses: [][]Attribute{
+		{"family"},
+		{"friend", "verified"},
+	}}
+	ct, err := auth.Encrypt(policy, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attrs := range [][]Attribute{
+		{"family"},
+		{"friend", "verified"},
+		{"family", "anything"},
+	} {
+		uk := auth.IssueKeys(attrs)
+		if _, err := Decrypt(uk, ct); err != nil {
+			t.Errorf("attrs %v denied: %v", attrs, err)
+		}
+	}
+	for _, attrs := range [][]Attribute{
+		{"friend"},
+		{"verified"},
+		nil,
+	} {
+		uk := auth.IssueKeys(attrs)
+		if _, err := Decrypt(uk, ct); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("attrs %v granted: %v", attrs, err)
+		}
+	}
+}
+
+func TestKeysFromDifferentAuthorityFail(t *testing.T) {
+	a1 := NewAuthorityFromSeed("a1")
+	a2 := NewAuthorityFromSeed("a2")
+	ct, err := a1.Encrypt(AllOf("friend"), []byte("img"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk := a2.IssueKeys([]Attribute{"friend"})
+	if _, err := Decrypt(uk, ct); !errors.Is(err, ErrAccessDenied) {
+		t.Errorf("foreign authority keys accepted: %v", err)
+	}
+}
+
+func TestCiphertextFreshness(t *testing.T) {
+	auth := NewAuthorityFromSeed("t4")
+	c1, err := auth.Encrypt(AllOf("x"), []byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := auth.Encrypt(AllOf("x"), []byte("same"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(c1.Payload, c2.Payload) {
+		t.Error("payload encryption deterministic")
+	}
+	if bytes.Equal(c1.Nonce, c2.Nonce) {
+		t.Error("nonce reused")
+	}
+}
+
+func TestMalformedCiphertext(t *testing.T) {
+	auth := NewAuthorityFromSeed("t5")
+	ct, err := auth.Encrypt(AllOf("a"), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk := auth.IssueKeys([]Attribute{"a"})
+	bad := *ct
+	bad.Wrapped = nil
+	if _, err := Decrypt(uk, &bad); err == nil {
+		t.Error("clause count mismatch accepted")
+	}
+	tampered := *ct
+	tampered.Payload = append([]byte(nil), ct.Payload...)
+	tampered.Payload[0] ^= 1
+	if _, err := Decrypt(uk, &tampered); err == nil {
+		t.Error("tampered payload accepted")
+	}
+}
+
+func TestEncryptRejectsInvalidPolicy(t *testing.T) {
+	auth := NewAuthorityFromSeed("t6")
+	if _, err := auth.Encrypt(Policy{}, []byte("p")); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestNewAuthorityRandom(t *testing.T) {
+	a, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAuthority()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := a.Encrypt(AllOf("f"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(b.IssueKeys([]Attribute{"f"}), ct); !errors.Is(err, ErrAccessDenied) {
+		t.Error("independent authorities share keys")
+	}
+}

@@ -1,0 +1,154 @@
+package surf
+
+import (
+	"math"
+
+	"pisd/internal/imaging"
+)
+
+// Rotation-invariant SURF. The base extractor is upright (U-SURF), which
+// Bay et al. recommend for upright imagery and which the paper's use case
+// (photo-sharing sites) mostly satisfies. For rotated content the full
+// scheme assigns every interest point a dominant orientation from Haar
+// wavelet responses in its neighbourhood and rotates the descriptor
+// sampling grid accordingly (Bay et al., CVIU 2008, Sec. 4.1–4.2).
+
+// Orientation estimates the dominant orientation of an interest point:
+// Haar responses (dx, dy) are sampled on a σ-spaced grid within radius 6σ,
+// Gaussian-weighted (σw = 2.5σ), and a sliding window of π/3 sums the
+// response vectors; the window with the largest resultant wins.
+func Orientation(it *imaging.Integral, p InterestPoint) float64 {
+	s := p.Scale
+	radius := int(math.Round(s))
+	if radius < 1 {
+		radius = 1
+	}
+	type resp struct {
+		angle  float64
+		dx, dy float64
+	}
+	var responses []resp
+	for i := -6; i <= 6; i++ {
+		for j := -6; j <= 6; j++ {
+			if i*i+j*j > 36 {
+				continue
+			}
+			px := p.X + int(math.Round(float64(i)*s))
+			py := p.Y + int(math.Round(float64(j)*s))
+			g := gauss(float64(i)*s, float64(j)*s, 2.5*s)
+			dx := g * haarX(it, px, py, radius)
+			dy := g * haarY(it, px, py, radius)
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			responses = append(responses, resp{angle: math.Atan2(dy, dx), dx: dx, dy: dy})
+		}
+	}
+	if len(responses) == 0 {
+		return 0
+	}
+	const window = math.Pi / 3
+	best, bestMag := 0.0, -1.0
+	for ang := 0.0; ang < 2*math.Pi; ang += 0.15 {
+		var sumX, sumY float64
+		for _, r := range responses {
+			d := angleDiff(r.angle, ang)
+			if d >= 0 && d < window {
+				sumX += r.dx
+				sumY += r.dy
+			}
+		}
+		if mag := sumX*sumX + sumY*sumY; mag > bestMag {
+			bestMag = mag
+			best = math.Atan2(sumY, sumX)
+		}
+	}
+	return best
+}
+
+// angleDiff returns (a - base) wrapped into [0, 2π).
+func angleDiff(a, base float64) float64 {
+	d := a - base
+	for d < 0 {
+		d += 2 * math.Pi
+	}
+	for d >= 2*math.Pi {
+		d -= 2 * math.Pi
+	}
+	return d
+}
+
+// DescribeOriented computes the 64-D descriptor with the sampling grid
+// rotated to the point's dominant orientation, making the descriptor
+// rotation invariant. Haar responses are taken axis-aligned at the
+// rotated sample positions and then rotated into the local frame — the
+// standard box-filter approximation.
+func DescribeOriented(it *imaging.Integral, p InterestPoint, orientation float64) Descriptor {
+	var d Descriptor
+	s := p.Scale
+	radius := int(math.Round(s))
+	if radius < 1 {
+		radius = 1
+	}
+	cos, sin := math.Cos(orientation), math.Sin(orientation)
+	idx := 0
+	for sy := -2; sy < 2; sy++ {
+		for sx := -2; sx < 2; sx++ {
+			var dxSum, adxSum, dySum, adySum float64
+			for iy := 0; iy < 5; iy++ {
+				for ix := 0; ix < 5; ix++ {
+					// Local-frame offset, rotated into the image frame.
+					lx := (float64(sx*5+ix) + 0.5) * s
+					ly := (float64(sy*5+iy) + 0.5) * s
+					gx := cos*lx - sin*ly
+					gy := sin*lx + cos*ly
+					px := p.X + int(math.Round(gx))
+					py := p.Y + int(math.Round(gy))
+					g := gauss(lx, ly, 3.3*s)
+					rx := g * haarX(it, px, py, radius)
+					ry := g * haarY(it, px, py, radius)
+					// Rotate responses into the local frame.
+					dx := cos*rx + sin*ry
+					dy := -sin*rx + cos*ry
+					dxSum += dx
+					adxSum += math.Abs(dx)
+					dySum += dy
+					adySum += math.Abs(dy)
+				}
+			}
+			d[idx] = dxSum
+			d[idx+1] = adxSum
+			d[idx+2] = dySum
+			d[idx+3] = adySum
+			idx += 4
+		}
+	}
+	var norm float64
+	for _, v := range d {
+		norm += v * v
+	}
+	if norm > 0 {
+		inv := 1 / math.Sqrt(norm)
+		for i := range d {
+			d[i] *= inv
+		}
+	}
+	return d
+}
+
+// ExtractOriented runs detection plus rotation-invariant description.
+func ExtractOriented(im *imaging.Image, o Options) ([]Descriptor, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	it := imaging.NewIntegral(im)
+	points, err := Detect(it, o)
+	if err != nil {
+		return nil, err
+	}
+	descs := make([]Descriptor, len(points))
+	for i, p := range points {
+		descs[i] = DescribeOriented(it, p, Orientation(it, p))
+	}
+	return descs, nil
+}

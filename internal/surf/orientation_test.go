@@ -1,0 +1,148 @@
+package surf
+
+import (
+	"math"
+	"testing"
+
+	"pisd/internal/imaging"
+	"pisd/internal/vec"
+)
+
+// rotate90 returns the image rotated 90° counter-clockwise (exact, no
+// interpolation), the cleanest rotation test input.
+func rotate90(im *imaging.Image) *imaging.Image {
+	out := imaging.NewImage(im.H, im.W)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(y, im.W-1-x, im.At(x, y))
+		}
+	}
+	return out
+}
+
+// asymmetricPattern renders a pattern with a clearly dominant gradient
+// direction so orientation assignment has an unambiguous answer.
+func asymmetricPattern() *imaging.Image {
+	im := imaging.NewImage(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			im.Set(x, y, float64(x)/96) // bright toward +x
+		}
+	}
+	// A blob for the detector to fire on.
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			dx, dy := float64(x-48), float64(y-40)
+			if dx*dx+dy*dy < 8*8 {
+				im.Set(x, y, 1)
+			}
+		}
+	}
+	return im
+}
+
+func strongestPoint(t *testing.T, im *imaging.Image) (*imaging.Integral, InterestPoint) {
+	t.Helper()
+	it := imaging.NewIntegral(im)
+	points, err := Detect(it, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no interest points")
+	}
+	return it, points[0]
+}
+
+func TestOrientationRotatesWithImage(t *testing.T) {
+	im := asymmetricPattern()
+	it, p := strongestPoint(t, im)
+	theta := Orientation(it, p)
+
+	rot := rotate90(im)
+	itR, pR := strongestPoint(t, rot)
+	thetaR := Orientation(itR, pR)
+
+	// A 90° image rotation shifts the dominant orientation by ±π/2
+	// (the sign depends on the screen-coordinate convention). Allow
+	// generous tolerance: box filters are coarse.
+	shift := angleDiff(thetaR, theta) // in [0, 2π)
+	distToQuarter := math.Min(math.Abs(shift-math.Pi/2), math.Abs(shift-3*math.Pi/2))
+	if distToQuarter > 0.6 {
+		t.Errorf("orientation shift %.2f rad, want ~±π/2 (θ=%.2f, θ'=%.2f)", shift, theta, thetaR)
+	}
+}
+
+func TestOrientedDescriptorMoreRotationInvariant(t *testing.T) {
+	im, err := imaging.Render(imaging.TopicBuilding, 9, 96, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := rotate90(im)
+	it := imaging.NewIntegral(im)
+	itR := imaging.NewIntegral(rot)
+
+	points, err := Detect(it, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Skip("no points on render")
+	}
+	var uprightDist, orientedDist float64
+	count := 0
+	for _, p := range points[:min(len(points), 25)] {
+		// The same physical point in the rotated image.
+		pR := InterestPoint{X: p.Y, Y: im.W - 1 - p.X, Scale: p.Scale}
+		if pR.X < 12 || pR.Y < 12 || pR.X > rot.W-12 || pR.Y > rot.H-12 {
+			continue
+		}
+		u1 := Describe(it, p)
+		u2 := Describe(itR, pR)
+		o1 := DescribeOriented(it, p, Orientation(it, p))
+		o2 := DescribeOriented(itR, pR, Orientation(itR, pR))
+		uprightDist += vec.Distance(u1.Slice(), u2.Slice())
+		orientedDist += vec.Distance(o1.Slice(), o2.Slice())
+		count++
+	}
+	if count < 5 {
+		t.Skip("too few interior points")
+	}
+	if orientedDist >= uprightDist {
+		t.Errorf("oriented descriptors not more rotation invariant: oriented %.3f vs upright %.3f (n=%d)",
+			orientedDist/float64(count), uprightDist/float64(count), count)
+	}
+}
+
+func TestExtractOriented(t *testing.T) {
+	im, err := imaging.Render(imaging.TopicFlower, 3, 96, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs, err := ExtractOriented(im, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) == 0 {
+		t.Fatal("no descriptors")
+	}
+	for i := range descs[:min(len(descs), 10)] {
+		n := vec.Norm(descs[i].Slice())
+		if n != 0 && math.Abs(n-1) > 1e-9 {
+			t.Fatalf("descriptor %d norm %v", i, n)
+		}
+	}
+	bad := &imaging.Image{W: 2, H: 2, Pix: make([]float64, 1)}
+	if _, err := ExtractOriented(bad, DefaultOptions()); err == nil {
+		t.Error("invalid image accepted")
+	}
+}
+
+func TestOrientationFlatRegion(t *testing.T) {
+	im := imaging.NewImage(64, 64)
+	it := imaging.NewIntegral(im)
+	p := InterestPoint{X: 32, Y: 32, Scale: 2}
+	if got := Orientation(it, p); got != 0 {
+		t.Errorf("flat-region orientation = %v, want 0", got)
+	}
+}

@@ -1,0 +1,288 @@
+// Package surf is a from-scratch Go port of the Speeded-Up Robust Features
+// extractor (Bay, Ess, Tuytelaars, Van Gool, CVIU 2008) the paper uses via
+// OpenCV: a Determinant-of-Hessian interest point detector built on
+// integral-image box filters, followed by 64-dimensional Haar-wavelet
+// descriptors.
+//
+// The implementation follows the standard box-filter approximation: for a
+// filter of size s (9, 15, 21, ...) the second-order Gaussian derivatives
+// Dxx, Dyy, Dxy are rectangles over the integral image, the blob response
+// is det(H) ≈ DxxDyy − (0.9·Dxy)², and interest points are 3×3×3 non-maxima
+// suppressed across the scale stack. Descriptors are upright SURF (U-SURF):
+// 4×4 subregions around the point, each accumulating (Σdx, Σ|dx|, Σdy,
+// Σ|dy|) of Gaussian-weighted Haar responses, L2-normalized to 64 values —
+// rotation invariance is irrelevant for the paper's visual-word statistics
+// and U-SURF is the variant Bay et al. recommend for upright imagery.
+package surf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pisd/internal/imaging"
+)
+
+// DescriptorSize is the dimensionality of a SURF descriptor.
+const DescriptorSize = 64
+
+// Descriptor is one 64-dimensional SURF feature vector.
+type Descriptor [DescriptorSize]float64
+
+// Slice returns the descriptor as a []float64 (copy-free view).
+func (d *Descriptor) Slice() []float64 { return d[:] }
+
+// InterestPoint is a detected blob.
+type InterestPoint struct {
+	// X, Y is the pixel position.
+	X, Y int
+	// Scale is the SURF scale σ ≈ 1.2·s/9 of the detecting filter.
+	Scale float64
+	// Response is the determinant-of-Hessian value.
+	Response float64
+	// Laplacian is the sign of Dxx+Dyy (bright/dark blob), useful for
+	// fast matching.
+	Laplacian int
+}
+
+// Options tunes the extractor.
+type Options struct {
+	// Threshold is the minimum DoH response to keep a point.
+	Threshold float64
+	// MaxPoints caps the number of interest points (strongest first);
+	// 0 means unlimited.
+	MaxPoints int
+	// FilterSizes is the scale stack of box filter sizes; each must be an
+	// odd multiple of 3. Consecutive triples form NMS groups.
+	FilterSizes []int
+	// Step is the pixel sampling stride of the response maps.
+	Step int
+}
+
+// DefaultOptions returns the extractor configuration used throughout the
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		Threshold:   1e-4,
+		MaxPoints:   200,
+		FilterSizes: []int{9, 15, 21, 27, 39, 51},
+		Step:        1,
+	}
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	if len(o.FilterSizes) < 3 {
+		return fmt.Errorf("surf: need at least 3 filter sizes, got %d", len(o.FilterSizes))
+	}
+	for _, s := range o.FilterSizes {
+		if s < 9 || s%2 == 0 || s%3 != 0 {
+			return fmt.Errorf("surf: filter size %d must be an odd multiple of 3 and >= 9", s)
+		}
+	}
+	if o.Step < 1 {
+		return fmt.Errorf("surf: step must be >= 1, got %d", o.Step)
+	}
+	if o.Threshold < 0 {
+		return fmt.Errorf("surf: threshold must be >= 0, got %v", o.Threshold)
+	}
+	return nil
+}
+
+// responseLayer is the DoH response map of one filter size.
+type responseLayer struct {
+	size      int
+	responses []float64
+	laplacian []int8
+	w, h      int
+}
+
+func (l *responseLayer) at(x, y int) float64 {
+	if x < 0 || y < 0 || x >= l.w || y >= l.h {
+		return 0
+	}
+	return l.responses[y*l.w+x]
+}
+
+// buildLayer computes the DoH response of one box-filter size over the
+// whole image (sampled at stride step).
+func buildLayer(it *imaging.Integral, size, step int) *responseLayer {
+	w := it.W / step
+	h := it.H / step
+	l := &responseLayer{size: size, w: w, h: h,
+		responses: make([]float64, w*h), laplacian: make([]int8, w*h)}
+	lobe := size / 3
+	border := (size - 1) / 2
+	inv := 1.0 / float64(size*size)
+	for ry := 0; ry < h; ry++ {
+		r := ry * step
+		for rx := 0; rx < w; rx++ {
+			c := rx * step
+			if r < border || c < border || r >= it.H-border || c >= it.W-border {
+				continue
+			}
+			// Dxx: full 2l-1 x s band minus 3x the middle third.
+			dxx := it.BoxSum(r-lobe+1, c-border, 2*lobe-1, size) -
+				3*it.BoxSum(r-lobe+1, c-lobe/2, 2*lobe-1, lobe)
+			// Dyy: transpose of Dxx.
+			dyy := it.BoxSum(r-border, c-lobe+1, size, 2*lobe-1) -
+				3*it.BoxSum(r-lobe/2, c-lobe+1, lobe, 2*lobe-1)
+			// Dxy: four diagonal lobes.
+			dxy := it.BoxSum(r-lobe, c+1, lobe, lobe) +
+				it.BoxSum(r+1, c-lobe, lobe, lobe) -
+				it.BoxSum(r-lobe, c-lobe, lobe, lobe) -
+				it.BoxSum(r+1, c+1, lobe, lobe)
+			dxx *= inv
+			dyy *= inv
+			dxy *= inv
+			det := dxx*dyy - 0.81*dxy*dxy
+			l.responses[ry*w+rx] = det
+			if dxx+dyy >= 0 {
+				l.laplacian[ry*w+rx] = 1
+			} else {
+				l.laplacian[ry*w+rx] = -1
+			}
+		}
+	}
+	return l
+}
+
+// Detect finds interest points in the integral image.
+func Detect(it *imaging.Integral, o Options) ([]InterestPoint, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	layers := make([]*responseLayer, len(o.FilterSizes))
+	for i, s := range o.FilterSizes {
+		layers[i] = buildLayer(it, s, o.Step)
+	}
+	var points []InterestPoint
+	// 3x3x3 non-maximum suppression over each interior scale layer.
+	for li := 1; li < len(layers)-1; li++ {
+		bottom, mid, top := layers[li-1], layers[li], layers[li+1]
+		for y := 1; y < mid.h-1; y++ {
+			for x := 1; x < mid.w-1; x++ {
+				v := mid.at(x, y)
+				if v < o.Threshold {
+					continue
+				}
+				if !isMaximum(v, x, y, bottom, mid, top) {
+					continue
+				}
+				points = append(points, InterestPoint{
+					X:         x * o.Step,
+					Y:         y * o.Step,
+					Scale:     1.2 * float64(mid.size) / 9.0,
+					Response:  v,
+					Laplacian: int(mid.laplacian[y*mid.w+x]),
+				})
+			}
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Response > points[j].Response })
+	if o.MaxPoints > 0 && len(points) > o.MaxPoints {
+		points = points[:o.MaxPoints]
+	}
+	return points, nil
+}
+
+// isMaximum reports whether v strictly dominates its 26 scale-space
+// neighbours.
+func isMaximum(v float64, x, y int, bottom, mid, top *responseLayer) bool {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if bottom.at(x+dx, y+dy) >= v || top.at(x+dx, y+dy) >= v {
+				return false
+			}
+			if (dx != 0 || dy != 0) && mid.at(x+dx, y+dy) >= v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// haarX computes the Haar wavelet response in x at (x, y) with the given
+// radius (filter size 2·radius).
+func haarX(it *imaging.Integral, x, y, radius int) float64 {
+	return it.BoxSum(y-radius, x, radius*2, radius) -
+		it.BoxSum(y-radius, x-radius, radius*2, radius)
+}
+
+// haarY computes the Haar wavelet response in y.
+func haarY(it *imaging.Integral, x, y, radius int) float64 {
+	return it.BoxSum(y, x-radius, radius, radius*2) -
+		it.BoxSum(y-radius, x-radius, radius, radius*2)
+}
+
+// Describe computes the upright 64-D descriptor of one interest point.
+func Describe(it *imaging.Integral, p InterestPoint) Descriptor {
+	var d Descriptor
+	s := p.Scale
+	radius := int(math.Round(s))
+	if radius < 1 {
+		radius = 1
+	}
+	idx := 0
+	// 4x4 subregions of 5x5 samples, sample spacing s.
+	for sy := -2; sy < 2; sy++ {
+		for sx := -2; sx < 2; sx++ {
+			var dxSum, adxSum, dySum, adySum float64
+			for iy := 0; iy < 5; iy++ {
+				for ix := 0; ix < 5; ix++ {
+					// Sample position relative to the point.
+					ox := (float64(sx*5+ix) + 0.5) * s
+					oy := (float64(sy*5+iy) + 0.5) * s
+					px := p.X + int(math.Round(ox))
+					py := p.Y + int(math.Round(oy))
+					g := gauss(ox, oy, 3.3*s)
+					dx := g * haarX(it, px, py, radius)
+					dy := g * haarY(it, px, py, radius)
+					dxSum += dx
+					adxSum += math.Abs(dx)
+					dySum += dy
+					adySum += math.Abs(dy)
+				}
+			}
+			d[idx] = dxSum
+			d[idx+1] = adxSum
+			d[idx+2] = dySum
+			d[idx+3] = adySum
+			idx += 4
+		}
+	}
+	// L2 normalization for contrast invariance.
+	var norm float64
+	for _, v := range d {
+		norm += v * v
+	}
+	if norm > 0 {
+		inv := 1 / math.Sqrt(norm)
+		for i := range d {
+			d[i] *= inv
+		}
+	}
+	return d
+}
+
+func gauss(x, y, sigma float64) float64 {
+	return math.Exp(-(x*x + y*y) / (2 * sigma * sigma))
+}
+
+// Extract runs detection and description on an image: the user-side
+// feature extraction step of GenProf.
+func Extract(im *imaging.Image, o Options) ([]Descriptor, error) {
+	if err := im.Validate(); err != nil {
+		return nil, err
+	}
+	it := imaging.NewIntegral(im)
+	points, err := Detect(it, o)
+	if err != nil {
+		return nil, err
+	}
+	descs := make([]Descriptor, len(points))
+	for i, p := range points {
+		descs[i] = Describe(it, p)
+	}
+	return descs, nil
+}

@@ -1,0 +1,255 @@
+package surf
+
+import (
+	"math"
+	"testing"
+
+	"pisd/internal/imaging"
+	"pisd/internal/vec"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"too few sizes", func(o *Options) { o.FilterSizes = []int{9, 15} }},
+		{"even size", func(o *Options) { o.FilterSizes = []int{9, 15, 20} }},
+		{"not multiple of 3", func(o *Options) { o.FilterSizes = []int{9, 15, 25} }},
+		{"too small", func(o *Options) { o.FilterSizes = []int{3, 9, 15} }},
+		{"zero step", func(o *Options) { o.Step = 0 }},
+		{"negative threshold", func(o *Options) { o.Threshold = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			o := DefaultOptions()
+			tt.mut(&o)
+			if err := o.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Errorf("default options invalid: %v", err)
+	}
+}
+
+// A bright disk on dark background is the canonical blob: the detector
+// must fire at (or very near) its center.
+func TestDetectFindsBlob(t *testing.T) {
+	im := imaging.NewImage(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			dx, dy := float64(x-48), float64(y-48)
+			if dx*dx+dy*dy < 9*9 {
+				im.Set(x, y, 1)
+			}
+		}
+	}
+	it := imaging.NewIntegral(im)
+	points, err := Detect(it, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no interest points on a perfect blob")
+	}
+	best := points[0]
+	if math.Hypot(float64(best.X-48), float64(best.Y-48)) > 6 {
+		t.Errorf("strongest point at (%d,%d), want near (48,48)", best.X, best.Y)
+	}
+	if best.Laplacian != 1 {
+		// Bright blob on dark background: positive Laplacian by SURF's
+		// sign convention (Dxx+Dyy of the inverted box response). Accept
+		// either but require consistency across detections at the center.
+		t.Logf("laplacian = %d", best.Laplacian)
+	}
+}
+
+func TestDetectFlatImageFindsNothing(t *testing.T) {
+	im := imaging.NewImage(96, 96)
+	for i := range im.Pix {
+		im.Pix[i] = 0.5
+	}
+	points, err := Detect(imaging.NewIntegral(im), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Errorf("flat image produced %d interest points", len(points))
+	}
+}
+
+func TestDetectMaxPointsAndOrdering(t *testing.T) {
+	im, err := imaging.Render(imaging.TopicBuilding, 3, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := DefaultOptions()
+	o.MaxPoints = 10
+	points, err := Detect(imaging.NewIntegral(im), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) > 10 {
+		t.Fatalf("MaxPoints not enforced: %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Response > points[i-1].Response {
+			t.Fatal("points not sorted by response")
+		}
+	}
+}
+
+func TestDescriptorNormalized(t *testing.T) {
+	im, err := imaging.Render(imaging.TopicFlower, 5, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := imaging.NewIntegral(im)
+	points, err := Detect(it, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no interest points on flower render")
+	}
+	for _, p := range points[:min(len(points), 20)] {
+		d := Describe(it, p)
+		n := vec.Norm(d.Slice())
+		if math.Abs(n-1) > 1e-9 && n != 0 {
+			t.Fatalf("descriptor norm %v", n)
+		}
+	}
+}
+
+func TestExtractOnAllTopics(t *testing.T) {
+	for _, topic := range imaging.AllTopics() {
+		im, err := imaging.Render(topic, 11, 128, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		descs, err := Extract(im, DefaultOptions())
+		if err != nil {
+			t.Fatalf("Extract(%v): %v", topic, err)
+		}
+		if len(descs) < 3 {
+			t.Errorf("topic %v yields only %d descriptors", topic, len(descs))
+		}
+	}
+}
+
+func TestExtractRejectsInvalidImage(t *testing.T) {
+	bad := &imaging.Image{W: 3, H: 3, Pix: make([]float64, 2)}
+	if _, err := Extract(bad, DefaultOptions()); err == nil {
+		t.Error("invalid image accepted")
+	}
+	im := imaging.NewImage(32, 32)
+	o := DefaultOptions()
+	o.Step = 0
+	if _, err := Extract(im, o); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+// Same-topic images should produce more similar descriptor statistics than
+// cross-topic images. We compare mean descriptors as a cheap proxy.
+func TestTopicDescriptorSeparation(t *testing.T) {
+	meanDesc := func(topic imaging.Topic, seed int64) []float64 {
+		t.Helper()
+		im, err := imaging.Render(topic, seed, 128, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		descs, err := Extract(im, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(descs) == 0 {
+			t.Fatalf("no descriptors for %v", topic)
+		}
+		mean := make([]float64, DescriptorSize)
+		for i := range descs {
+			for j, v := range descs[i] {
+				mean[j] += v
+			}
+		}
+		return vec.Scale(mean, 1/float64(len(descs)))
+	}
+	// Average over a few instances per topic for stability.
+	avg := func(topic imaging.Topic, base int64) []float64 {
+		sum := make([]float64, DescriptorSize)
+		const k = 3
+		for s := int64(0); s < k; s++ {
+			m := meanDesc(topic, base+s)
+			for j := range sum {
+				sum[j] += m[j]
+			}
+		}
+		return vec.Scale(sum, 1.0/k)
+	}
+	signA := avg(imaging.TopicSign, 100)
+	signB := avg(imaging.TopicSign, 200)
+	waterB := avg(imaging.TopicWater, 200)
+	within := vec.Distance(signA, signB)
+	across := vec.Distance(signA, waterB)
+	if within >= across {
+		t.Errorf("topic separation violated: within %.4f >= across %.4f", within, across)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkExtract128(b *testing.B) {
+	im, err := imaging.Render(imaging.TopicFlower, 1, 128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(im, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scale selection: larger blobs must be detected at proportionally larger
+// SURF scales (the whole point of the determinant-of-Hessian pyramid).
+func TestDetectScaleSelection(t *testing.T) {
+	scaleOfBlob := func(radius float64) float64 {
+		im := imaging.NewImage(128, 128)
+		for y := 0; y < 128; y++ {
+			for x := 0; x < 128; x++ {
+				dx, dy := float64(x-64), float64(y-64)
+				if dx*dx+dy*dy < radius*radius {
+					im.Set(x, y, 1)
+				}
+			}
+		}
+		points, err := Detect(imaging.NewIntegral(im), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(points) == 0 {
+			t.Fatalf("no points for blob radius %.0f", radius)
+		}
+		// Response-weighted mean scale of the detections: edge and center
+		// responses both shift up with the blob size.
+		var scaleSum, respSum float64
+		for _, p := range points {
+			scaleSum += p.Scale * p.Response
+			respSum += p.Response
+		}
+		return scaleSum / respSum
+	}
+	small := scaleOfBlob(5)
+	large := scaleOfBlob(12)
+	if large <= small {
+		t.Errorf("scale selection broken: radius 12 -> scale %.2f <= radius 5 -> scale %.2f", large, small)
+	}
+}

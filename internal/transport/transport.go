@@ -1,0 +1,388 @@
+// Package transport puts the paper's three-entity architecture on a real
+// network: a length-delimited gob protocol over TCP exposing the cloud
+// server's surface (SecRec discovery, encrypted profile and image storage,
+// dynamic bucket fetch/store) to remote front ends and user clients.
+//
+// The protocol is deliberately simple — one request, one response, framed
+// by gob on a persistent connection — because the interesting properties
+// (constant bandwidth per discovery, one round per operation) are those of
+// the scheme, not of the wire format. Message sizes are exposed so the
+// bandwidth experiments can measure real serialized traffic.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pisd/internal/cloud"
+	"pisd/internal/core"
+)
+
+// Method names of the wire protocol.
+const (
+	MethodSecRec        = "SecRec"
+	MethodFetchProfiles = "FetchProfiles"
+	MethodPutProfile    = "PutProfile"
+	MethodDeleteProfile = "DeleteProfile"
+	MethodFetchBuckets  = "FetchBuckets"
+	MethodStoreBuckets  = "StoreBuckets"
+	MethodStoreImage    = "StoreImage"
+	MethodFetchImages   = "FetchImages"
+	MethodPing          = "Ping"
+	MethodInstallIndex  = "InstallIndex"
+	MethodInstallDyn    = "InstallDynIndex"
+)
+
+// Request is the single wire request envelope.
+type Request struct {
+	Method   string
+	Trapdoor *core.Trapdoor
+	Refs     []core.BucketRef
+	Buckets  []core.DynBucket
+	IDs      []uint64
+	UserID   uint64
+	Blob     []byte
+	Profiles map[uint64][]byte
+	Index    *core.Index
+	DynIndex *core.DynIndex
+}
+
+// Response is the single wire response envelope.
+type Response struct {
+	Err      string
+	IDs      []uint64
+	Profiles [][]byte
+	Buckets  []core.DynBucket
+	Blobs    [][]byte
+}
+
+// Server serves a cloud.Server over TCP.
+type Server struct {
+	cs *cloud.Server
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a cloud server.
+func NewServer(cs *cloud.Server) *Server {
+	return &Server{cs: cs, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the given address ("127.0.0.1:0" for an ephemeral port) and
+// starts accepting connections until Shutdown. It returns the bound
+// address immediately; serving continues in background goroutines owned by
+// the server.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("transport: server already shut down")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt stream
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the cloud server.
+func (s *Server) dispatch(req *Request) *Response {
+	resp := &Response{}
+	switch req.Method {
+	case MethodPing:
+	case MethodInstallIndex:
+		if req.Index == nil {
+			resp.Err = "transport: missing index"
+			break
+		}
+		s.cs.SetIndex(req.Index)
+	case MethodInstallDyn:
+		if req.DynIndex == nil {
+			resp.Err = "transport: missing dynamic index"
+			break
+		}
+		s.cs.SetDynIndex(req.DynIndex)
+	case MethodSecRec:
+		ids, profiles, err := s.cs.SecRec(req.Trapdoor)
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.IDs = ids
+		resp.Profiles = profiles
+	case MethodFetchProfiles:
+		profiles, err := s.cs.FetchProfiles(req.IDs)
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.Profiles = profiles
+	case MethodPutProfile:
+		for id, ct := range req.Profiles {
+			s.cs.PutProfile(id, ct)
+		}
+	case MethodDeleteProfile:
+		s.cs.DeleteProfile(req.UserID)
+	case MethodFetchBuckets:
+		buckets, err := s.cs.FetchBuckets(req.Refs)
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.Buckets = buckets
+	case MethodStoreBuckets:
+		if err := s.cs.StoreBuckets(req.Refs, req.Buckets); err != nil {
+			resp.Err = err.Error()
+		}
+	case MethodStoreImage:
+		s.cs.StoreImages(req.UserID, req.Blob)
+	case MethodFetchImages:
+		resp.Blobs = s.cs.Images(req.UserID)
+	default:
+		resp.Err = fmt.Sprintf("transport: unknown method %q", req.Method)
+	}
+	return resp
+}
+
+// Shutdown stops accepting, closes every connection and waits for all
+// serving goroutines to exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("transport: shutdown: %w", ctx.Err())
+	}
+}
+
+// Client is a remote handle to a cloud server. It is safe for concurrent
+// use; requests are serialized on one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	// timeout bounds each request/response exchange (0 = none).
+	timeout time.Duration
+	// sentBytes / recvBytes accumulate serialized traffic for the
+	// bandwidth experiments.
+	sentBytes int64
+	recvBytes int64
+}
+
+// Compile-time checks: the client presents the same surfaces as the
+// in-process cloud server.
+var _ core.BucketStore = (*Client)(nil)
+
+// Dial connects to a transport server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// SetTimeout bounds every subsequent request/response exchange; zero
+// disables the bound. A timed-out call leaves the gob stream in an
+// undefined state, so the client should be discarded after one.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Traffic returns the cumulative serialized request and response bytes.
+func (c *Client) Traffic() (sent, received int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sentBytes, c.recvBytes
+}
+
+// call performs one request/response exchange.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	// Measure the serialized request size with a parallel encoding; gob
+	// stream framing on the live connection is equivalent modulo type
+	// descriptors sent once.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err == nil {
+		c.sentBytes += int64(buf.Len())
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("transport: receive: %w", err)
+	}
+	var rbuf bytes.Buffer
+	if err := gob.NewEncoder(&rbuf).Encode(&resp); err == nil {
+		c.recvBytes += int64(rbuf.Len())
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("transport: remote: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// InstallIndex outsources a freshly built static index to the cloud.
+func (c *Client) InstallIndex(idx *core.Index) error {
+	_, err := c.call(&Request{Method: MethodInstallIndex, Index: idx})
+	return err
+}
+
+// InstallDynIndex outsources a dynamic index to the cloud.
+func (c *Client) InstallDynIndex(idx *core.DynIndex) error {
+	_, err := c.call(&Request{Method: MethodInstallDyn, DynIndex: idx})
+	return err
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Method: MethodPing})
+	return err
+}
+
+// SecRec implements frontend.DiscoveryServer remotely.
+func (c *Client) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
+	resp, err := c.call(&Request{Method: MethodSecRec, Trapdoor: t})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.IDs, resp.Profiles, nil
+}
+
+// FetchProfiles implements frontend.ProfileFetcher remotely.
+func (c *Client) FetchProfiles(ids []uint64) ([][]byte, error) {
+	resp, err := c.call(&Request{Method: MethodFetchProfiles, IDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Profiles, nil
+}
+
+// PutProfiles uploads encrypted profiles.
+func (c *Client) PutProfiles(profiles map[uint64][]byte) error {
+	_, err := c.call(&Request{Method: MethodPutProfile, Profiles: profiles})
+	return err
+}
+
+// DeleteProfile removes an encrypted profile.
+func (c *Client) DeleteProfile(id uint64) error {
+	_, err := c.call(&Request{Method: MethodDeleteProfile, UserID: id})
+	return err
+}
+
+// FetchBuckets implements core.BucketStore remotely.
+func (c *Client) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {
+	resp, err := c.call(&Request{Method: MethodFetchBuckets, Refs: refs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Buckets, nil
+}
+
+// StoreBuckets implements core.BucketStore remotely.
+func (c *Client) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) error {
+	_, err := c.call(&Request{Method: MethodStoreBuckets, Refs: refs, Buckets: buckets})
+	return err
+}
+
+// StoreImage uploads one encrypted image blob for a user.
+func (c *Client) StoreImage(userID uint64, blob []byte) error {
+	_, err := c.call(&Request{Method: MethodStoreImage, UserID: userID, Blob: blob})
+	return err
+}
+
+// FetchImages downloads a user's encrypted images.
+func (c *Client) FetchImages(userID uint64) ([][]byte, error) {
+	resp, err := c.call(&Request{Method: MethodFetchImages, UserID: userID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Blobs, nil
+}

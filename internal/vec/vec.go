@@ -1,0 +1,284 @@
+// Package vec provides the dense float64 vector operations used throughout
+// the PISD system: distance computation between user image profiles,
+// normalization of aggregated Bag-of-Words histograms, and top-K nearest
+// selection for recommendation ranking.
+//
+// All functions treat vectors as plain []float64 slices and never retain
+// references to their arguments.
+package vec
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two vectors of different lengths are
+// combined in an operation that requires equal dimensionality.
+var ErrDimensionMismatch = errors.New("vec: dimension mismatch")
+
+// Dot returns the inner product of a and b.
+// It panics with ErrDimensionMismatch semantics avoided: callers must ensure
+// len(a) == len(b); mismatched lengths return an error via checked variants.
+func Dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// CheckedDot is Dot with an explicit dimension check.
+func CheckedDot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	return Dot(a, b), nil
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func Norm(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// Distance returns the Euclidean distance between a and b. The paper adopts
+// Euclidean distance as the closeness metric between image profile vectors
+// (Sec. III-A).
+func Distance(a, b []float64) float64 {
+	return math.Sqrt(SquaredDistance(a, b))
+}
+
+// SquaredDistance returns the squared Euclidean distance between a and b.
+// It is the preferred primitive for ranking since it avoids the square root.
+func SquaredDistance(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	// Treat missing trailing coordinates of the shorter vector as zeros so
+	// the function is total; checked variants enforce equal dims.
+	for i := n; i < len(a); i++ {
+		s += a[i] * a[i]
+	}
+	for i := n; i < len(b); i++ {
+		s += b[i] * b[i]
+	}
+	return s
+}
+
+// CheckedDistance is Distance with an explicit dimension check.
+func CheckedDistance(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	return Distance(a, b), nil
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b,
+// or 0 when either vector has zero norm.
+func CosineSimilarity(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// CosineDistance returns 1 − cos(a, b), the cosine dissimilarity.
+func CosineDistance(a, b []float64) float64 {
+	return 1 - CosineSimilarity(a, b)
+}
+
+// JaccardDistance returns 1 − |supp(a) ∩ supp(b)| / |supp(a) ∪ supp(b)|,
+// treating the vectors as sets of active entries (v[i] > 0). Two zero
+// vectors have distance 0.
+func JaccardDistance(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var inter, union int
+	for i := 0; i < n; i++ {
+		av := i < len(a) && a[i] > 0
+		bv := i < len(b) && b[i] > 0
+		if av || bv {
+			union++
+			if av && bv {
+				inter++
+			}
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
+// Normalize scales v in place to unit L2 norm and returns v.
+// A zero vector is returned unchanged.
+func Normalize(v []float64) []float64 {
+	n := Norm(v)
+	if n == 0 {
+		return v
+	}
+	inv := 1 / n
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// NormalizeL1 scales v in place so its entries sum to one and returns v.
+// A zero vector is returned unchanged. Useful for histogram (BoW) profiles.
+func NormalizeL1(v []float64) []float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	if s == 0 {
+		return v
+	}
+	inv := 1 / s
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// Add accumulates b into a in place and returns a.
+// Vectors must have equal length.
+func Add(a, b []float64) ([]float64, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(a), len(b))
+	}
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a, nil
+}
+
+// Scale multiplies v in place by c and returns v.
+func Scale(v []float64, c float64) []float64 {
+	for i := range v {
+		v[i] *= c
+	}
+	return v
+}
+
+// Clone returns a fresh copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Scored pairs an item identifier with a distance score. Lower is closer.
+type Scored struct {
+	ID    uint64
+	Score float64
+}
+
+// scoredMaxHeap is a max-heap over Scored by Score, used to keep the K
+// smallest scores seen so far.
+type scoredMaxHeap []Scored
+
+func (h scoredMaxHeap) Len() int            { return len(h) }
+func (h scoredMaxHeap) Less(i, j int) bool  { return h[i].Score > h[j].Score }
+func (h scoredMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scoredMaxHeap) Push(x interface{}) { *h = append(*h, x.(Scored)) }
+func (h *scoredMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// TopK keeps the k entries with the smallest scores from a stream of Scored
+// values. The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k int
+	h scoredMaxHeap
+}
+
+// NewTopK returns a TopK selector for the k smallest scores. k must be >= 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, h: make(scoredMaxHeap, 0, k)}
+}
+
+// Offer considers a candidate.
+func (t *TopK) Offer(id uint64, score float64) {
+	if len(t.h) < t.k {
+		heap.Push(&t.h, Scored{ID: id, Score: score})
+		return
+	}
+	if score < t.h[0].Score {
+		t.h[0] = Scored{ID: id, Score: score}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Threshold returns the current k-th smallest score, or +Inf when fewer than
+// k candidates have been offered.
+func (t *TopK) Threshold() float64 {
+	if len(t.h) < t.k {
+		return math.Inf(1)
+	}
+	return t.h[0].Score
+}
+
+// Len reports how many candidates are currently retained (<= k).
+func (t *TopK) Len() int { return len(t.h) }
+
+// Sorted drains the selector and returns the retained entries in ascending
+// score order. The selector is empty afterwards.
+func (t *TopK) Sorted() []Scored {
+	out := make([]Scored, len(t.h))
+	for i := len(t.h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&t.h).(Scored)
+	}
+	return out
+}
+
+// ArgNearest returns the index in centers of the vector closest (squared
+// Euclidean) to x, along with that squared distance. centers must be
+// non-empty.
+func ArgNearest(x []float64, centers [][]float64) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range centers {
+		if d := SquaredDistance(x, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// Mean returns the element-wise mean of the given vectors, all of which must
+// share the dimensionality of the first. An empty input yields nil.
+func Mean(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		for i := range out {
+			if i < len(v) {
+				out[i] += v[i]
+			}
+		}
+	}
+	return Scale(out, 1/float64(len(vs)))
+}

@@ -1,0 +1,320 @@
+package vec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// tame maps quick-generated floats into a bounded range so that property
+// tests exercise algebraic identities rather than float overflow.
+func tame(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0
+		}
+		out[i] = math.Mod(x, 1e6)
+	}
+	return out
+}
+
+func TestDot(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{"empty", nil, nil, 0},
+		{"orthogonal", []float64{1, 0}, []float64{0, 1}, 0},
+		{"parallel", []float64{1, 2, 3}, []float64{1, 2, 3}, 14},
+		{"negative", []float64{-1, 2}, []float64{3, 4}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dot(tt.a, tt.b); !almostEqual(got, tt.want) {
+				t.Errorf("Dot() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckedDotMismatch(t *testing.T) {
+	if _, err := CheckedDot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("expected ErrDimensionMismatch, got %v", err)
+	}
+	got, err := CheckedDot([]float64{2, 3}, []float64{4, 5})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !almostEqual(got, 23) {
+		t.Errorf("CheckedDot = %v, want 23", got)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 2, 2}
+	if got := Distance(a, b); !almostEqual(got, 3) {
+		t.Errorf("Distance = %v, want 3", got)
+	}
+	if got := Distance(a, a); !almostEqual(got, 0) {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+func TestSquaredDistanceUnequalLengths(t *testing.T) {
+	// Shorter vector is zero-padded.
+	if got := SquaredDistance([]float64{3}, []float64{3, 4}); !almostEqual(got, 16) {
+		t.Errorf("SquaredDistance = %v, want 16", got)
+	}
+	if got := SquaredDistance([]float64{3, 4}, []float64{3}); !almostEqual(got, 16) {
+		t.Errorf("SquaredDistance = %v, want 16", got)
+	}
+}
+
+func TestCheckedDistanceMismatch(t *testing.T) {
+	if _, err := CheckedDistance([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("expected ErrDimensionMismatch, got %v", err)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity([]float64{1, 0}, []float64{2, 0}); !almostEqual(got, 1) {
+		t.Errorf("cos parallel = %v, want 1", got)
+	}
+	if got := CosineSimilarity([]float64{1, 0}, []float64{0, 5}); !almostEqual(got, 0) {
+		t.Errorf("cos orthogonal = %v, want 0", got)
+	}
+	if got := CosineSimilarity([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Errorf("cos with zero vector = %v, want 0", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	Normalize(v)
+	if !almostEqual(Norm(v), 1) {
+		t.Errorf("norm after Normalize = %v, want 1", Norm(v))
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("zero vector changed: %v", z)
+	}
+}
+
+func TestNormalizeL1(t *testing.T) {
+	v := []float64{1, 3}
+	NormalizeL1(v)
+	if !almostEqual(v[0]+v[1], 1) {
+		t.Errorf("L1 sum = %v, want 1", v[0]+v[1])
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := []float64{1, 2}
+	if _, err := Add(a, []float64{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("expected mismatch error, got %v", err)
+	}
+	got, err := Add(a, []float64{10, 20})
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if got[0] != 11 || got[1] != 22 {
+		t.Errorf("Add result %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := []float64{1, 2}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+}
+
+func TestTopKAgainstSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(500)
+		k := 1 + rng.Intn(20)
+		scores := make([]float64, n)
+		tk := NewTopK(k)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			tk.Offer(uint64(i), scores[i])
+		}
+		got := tk.Sorted()
+		sorted := append([]float64(nil), scores...)
+		sort.Float64s(sorted)
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("trial %d: len=%d want %d", trial, len(got), wantLen)
+		}
+		for i, s := range got {
+			if !almostEqual(s.Score, sorted[i]) {
+				t.Fatalf("trial %d: rank %d score %v want %v", trial, i, s.Score, sorted[i])
+			}
+		}
+	}
+}
+
+func TestTopKThreshold(t *testing.T) {
+	tk := NewTopK(2)
+	if !math.IsInf(tk.Threshold(), 1) {
+		t.Error("empty threshold should be +Inf")
+	}
+	tk.Offer(1, 5)
+	tk.Offer(2, 3)
+	if got := tk.Threshold(); !almostEqual(got, 5) {
+		t.Errorf("threshold = %v, want 5", got)
+	}
+	tk.Offer(3, 1)
+	if got := tk.Threshold(); !almostEqual(got, 3) {
+		t.Errorf("threshold = %v, want 3", got)
+	}
+}
+
+func TestNewTopKClampsK(t *testing.T) {
+	tk := NewTopK(0)
+	tk.Offer(1, 1)
+	tk.Offer(2, 0.5)
+	got := tk.Sorted()
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("clamped TopK got %v", got)
+	}
+}
+
+func TestArgNearest(t *testing.T) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	idx, d := ArgNearest([]float64{9, 1}, centers)
+	if idx != 1 {
+		t.Errorf("ArgNearest idx = %d, want 1", idx)
+	}
+	if !almostEqual(d, 2) {
+		t.Errorf("ArgNearest dist = %v, want 2", d)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != nil {
+		t.Error("Mean(nil) should be nil")
+	}
+	m := Mean([][]float64{{1, 2}, {3, 4}})
+	if !almostEqual(m[0], 2) || !almostEqual(m[1], 3) {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+// Property: triangle inequality for Euclidean distance.
+func TestDistanceTriangleInequalityProperty(t *testing.T) {
+	f := func(a, b, c [8]float64) bool {
+		x, y, z := tame(a[:]), tame(b[:]), tame(c[:])
+		ab := Distance(x, y)
+		bc := Distance(y, z)
+		ac := Distance(x, z)
+		return ac <= ab+bc+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distance is symmetric and non-negative, zero iff equal inputs.
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		x, y := tame(a[:]), tame(b[:])
+		d1 := Distance(x, y)
+		d2 := Distance(y, x)
+		if d1 < 0 || math.Abs(d1-d2) > 1e-12 {
+			return false
+		}
+		return Distance(x, x) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize yields unit norm for any non-zero vector.
+func TestNormalizeUnitProperty(t *testing.T) {
+	f := func(a [10]float64) bool {
+		v := tame(a[:])
+		if Norm(v) == 0 {
+			return true
+		}
+		Normalize(v)
+		return math.Abs(Norm(v)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy-Schwarz |a.b| <= |a||b|.
+func TestCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [7]float64) bool {
+		x, y := tame(a[:]), tame(b[:])
+		return math.Abs(Dot(x, y)) <= Norm(x)*Norm(y)*(1+1e-12)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSquaredDistance1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1000)
+	y := make([]float64, 1000)
+	for i := range x {
+		x[i], y[i] = rng.Float64(), rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredDistance(x, y)
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	if got := CosineDistance([]float64{1, 0}, []float64{2, 0}); !almostEqual(got, 0) {
+		t.Errorf("parallel cosine distance = %v", got)
+	}
+	if got := CosineDistance([]float64{1, 0}, []float64{0, 1}); !almostEqual(got, 1) {
+		t.Errorf("orthogonal cosine distance = %v", got)
+	}
+	if got := CosineDistance([]float64{1, 0}, []float64{-1, 0}); !almostEqual(got, 2) {
+		t.Errorf("antiparallel cosine distance = %v", got)
+	}
+}
+
+func TestJaccardDistance(t *testing.T) {
+	a := []float64{1, 1, 0, 0}
+	b := []float64{0, 1, 1, 0}
+	// supports {0,1} and {1,2}: intersection 1, union 3.
+	if got := JaccardDistance(a, b); !almostEqual(got, 1-1.0/3) {
+		t.Errorf("JaccardDistance = %v", got)
+	}
+	if got := JaccardDistance(a, a); !almostEqual(got, 0) {
+		t.Errorf("self distance = %v", got)
+	}
+	zero := []float64{0, 0}
+	if got := JaccardDistance(zero, zero); got != 0 {
+		t.Errorf("zero-zero distance = %v", got)
+	}
+	// Unequal lengths: missing entries are absent from the support.
+	if got := JaccardDistance([]float64{1}, []float64{1, 1}); !almostEqual(got, 0.5) {
+		t.Errorf("ragged JaccardDistance = %v", got)
+	}
+}

@@ -1,0 +1,207 @@
+// Package pisd is a Go implementation of "Enabling Privacy-preserving
+// Image-centric Social Discovery" (Yuan, Wang, Wang, Squicciarini, Ren —
+// IEEE ICDCS 2014): friend discovery over encrypted images outsourced to
+// an honest-but-curious cloud.
+//
+// # Architecture
+//
+// Three entities cooperate (paper Fig. 1):
+//
+//   - User clients extract SURF features from their preferred images,
+//     quantize them against a shared Bag-of-Words vocabulary into an image
+//     profile S, compute LSH metadata V, and upload encrypted images.
+//   - The trusted service front end (Frontend) holds all keys, builds a
+//     secure LSH+cuckoo index over the profiles, issues trapdoors and
+//     ranks decrypted matches.
+//   - The untrusted cloud (Cloud, or a remote process via CloudClient)
+//     stores ciphertext only and answers trapdoor queries.
+//
+// # Quick start
+//
+//	sys, err := pisd.NewSystem(pisd.DefaultSystemConfig(1000))
+//	...
+//	sys.AddProfiles(uploads)          // service frontend initialization
+//	matches, err := sys.Discover(profile, 5)
+//
+// See examples/ for complete programs, including the full image pipeline
+// and a TCP-distributed deployment.
+package pisd
+
+import (
+	"fmt"
+
+	"pisd/internal/bow"
+	"pisd/internal/cloud"
+	"pisd/internal/core"
+	"pisd/internal/crypt"
+	"pisd/internal/fof"
+	"pisd/internal/frontend"
+	"pisd/internal/groups"
+	"pisd/internal/imaging"
+	"pisd/internal/lsh"
+	"pisd/internal/sharing"
+	"pisd/internal/surf"
+	"pisd/internal/transport"
+)
+
+// Re-exported building blocks. The aliases make the vetted internal
+// implementations part of the public API without duplicating them.
+type (
+	// Image is a grayscale image fed to the feature extractor.
+	Image = imaging.Image
+	// Topic identifies a procedural image class of the synthetic corpus.
+	Topic = imaging.Topic
+	// Descriptor is a 64-D SURF feature vector.
+	Descriptor = surf.Descriptor
+	// Vocabulary is the shared visual-word vocabulary Δ.
+	Vocabulary = bow.Vocabulary
+	// Metadata is the user metadata V = {h_1(S), ..., h_l(S)}.
+	Metadata = lsh.Metadata
+	// LSHParams defines the shared LSH family h.
+	LSHParams = lsh.Params
+	// KeySet is the front-end secret key material K.
+	KeySet = crypt.KeySet
+	// Frontend is the trusted service front end SF.
+	Frontend = frontend.Frontend
+	// FrontendConfig parameterizes the front end.
+	FrontendConfig = frontend.Config
+	// Upload is one user's (S, V) contribution to index building.
+	Upload = frontend.Upload
+	// Match is one discovery recommendation.
+	Match = frontend.Match
+	// Cloud is the in-process untrusted cloud server CS.
+	Cloud = cloud.Server
+	// CloudServer serves a Cloud over TCP.
+	CloudServer = transport.Server
+	// CloudClient is a remote handle to a CloudServer.
+	CloudClient = transport.Client
+	// Index is the static secure similarity index I.
+	Index = core.Index
+	// DynIndex is the updatable secure index of Sec. III-D.
+	DynIndex = core.DynIndex
+	// DynClient drives secure update protocols against a DynIndex.
+	DynClient = core.DynClient
+	// DynUpdate is one operation of a batch profile update.
+	DynUpdate = core.Update
+	// Trapdoor is a secure discovery request t.
+	Trapdoor = core.Trapdoor
+	// SocialGraph is the friendship graph used for FoF filtering.
+	SocialGraph = fof.Graph
+	// SharingAuthority issues attribute keys for encrypted image sharing.
+	SharingAuthority = sharing.Authority
+	// SharingPolicy is a DNF attribute policy for shared images.
+	SharingPolicy = sharing.Policy
+	// Group is one discovered social group.
+	Group = groups.Group
+	// GroupNeighbor is one per-user discovery result fed to grouping.
+	GroupNeighbor = groups.Neighbor
+	// GroupOptions tunes group discovery.
+	GroupOptions = groups.Options
+)
+
+// Constructors re-exported with the package's vocabulary.
+var (
+	// NewCloud returns an empty in-process cloud server.
+	NewCloud = cloud.New
+	// NewFrontend creates a service front end (generates keys, shares
+	// LSH parameters).
+	NewFrontend = frontend.New
+	// NewCloudServer wraps a Cloud for TCP serving.
+	NewCloudServer = transport.NewServer
+	// DialCloud connects to a remote cloud server.
+	DialCloud = transport.Dial
+	// NewSocialGraph returns an empty friendship graph.
+	NewSocialGraph = fof.NewGraph
+	// NewSharingAuthority creates a per-user sharing authority.
+	NewSharingAuthority = sharing.NewAuthority
+	// RenderTopicImage procedurally renders one image of a topic class.
+	RenderTopicImage = imaging.Render
+	// AllTopics lists the procedural topic classes.
+	AllTopics = imaging.AllTopics
+	// DefaultFrontendConfig is the paper's default operating point
+	// (l=10 tables, d=4 probes, τ=0.8) for the given profile dimension.
+	DefaultFrontendConfig = frontend.DefaultConfig
+	// DefaultGroupOptions is the standard group-discovery configuration.
+	DefaultGroupOptions = groups.DefaultOptions
+)
+
+// Batch update operations (Sec. III-D batch-update extension).
+const (
+	// OpDelete removes an identifier from the dynamic index.
+	OpDelete = core.OpDelete
+	// OpInsert adds an identifier to the dynamic index.
+	OpInsert = core.OpInsert
+)
+
+// GenKeys implements K ← Gen(1^λ) for l hash tables.
+func GenKeys(l int) (*KeySet, error) { return crypt.Gen(l) }
+
+// TrainVocabulary trains the shared visual-word vocabulary Δ by k-means
+// over a sample of SURF descriptors (the paper trains a 1000-word
+// vocabulary on 10% of its corpus).
+func TrainVocabulary(samples []Descriptor, words int) (*Vocabulary, error) {
+	return bow.Train(samples, bow.DefaultTrainConfig(words))
+}
+
+// User is a user client Usr: it performs the two client-side tasks of the
+// paper (GenProf and ComputeLSH) plus image encryption for upload.
+type User struct {
+	// ID is the user identifier L.
+	ID uint64
+	// vocab is the pre-shared vocabulary Δ.
+	vocab *bow.Vocabulary
+	// family is the pre-shared LSH family h.
+	family *lsh.Family
+	// surfOpts tunes local feature extraction.
+	surfOpts surf.Options
+}
+
+// NewUser creates a user client from the parameters the front end
+// pre-shares (Δ and h).
+func NewUser(id uint64, vocab *Vocabulary, lshParams LSHParams) (*User, error) {
+	if vocab == nil || vocab.Size() == 0 {
+		return nil, fmt.Errorf("pisd: user %d: empty vocabulary", id)
+	}
+	if lshParams.Dim != vocab.Size() {
+		return nil, fmt.Errorf("pisd: user %d: LSH dim %d does not match vocabulary size %d",
+			id, lshParams.Dim, vocab.Size())
+	}
+	family, err := lsh.New(lshParams)
+	if err != nil {
+		return nil, fmt.Errorf("pisd: user %d: %w", id, err)
+	}
+	return &User{ID: id, vocab: vocab, family: family, surfOpts: surf.DefaultOptions()}, nil
+}
+
+// GenProf implements S ← GenProf({Img}, Δ): SURF extraction on every
+// preferred image, BoW quantization against Δ, aggregation and
+// normalization into the image profile S.
+func (u *User) GenProf(images []*Image) ([]float64, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("pisd: user %d: no preferred images", u.ID)
+	}
+	perImage := make([][]surf.Descriptor, 0, len(images))
+	for i, im := range images {
+		descs, err := surf.Extract(im, u.surfOpts)
+		if err != nil {
+			return nil, fmt.Errorf("pisd: user %d image %d: %w", u.ID, i, err)
+		}
+		perImage = append(perImage, descs)
+	}
+	return u.vocab.Profile(perImage)
+}
+
+// ComputeLSH implements V ← ComputeLSH(S, h).
+func (u *User) ComputeLSH(profile []float64) Metadata {
+	return u.family.Hash(profile)
+}
+
+// Upload bundles GenProf and ComputeLSH into the (S, V) pair sent to the
+// front end.
+func (u *User) Upload(images []*Image) (Upload, error) {
+	profile, err := u.GenProf(images)
+	if err != nil {
+		return Upload{}, err
+	}
+	return Upload{ID: u.ID, Profile: profile, Meta: u.ComputeLSH(profile)}, nil
+}

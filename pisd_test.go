@@ -1,0 +1,249 @@
+package pisd
+
+import (
+	"math/rand"
+	"testing"
+
+	"pisd/internal/dataset"
+	"pisd/internal/sharing"
+	"pisd/internal/surf"
+	"pisd/internal/vec"
+)
+
+func testVocabulary(t *testing.T, words int) *Vocabulary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var sample []Descriptor
+	for _, topic := range AllTopics()[:4] {
+		for i := 0; i < 3; i++ {
+			im, err := RenderTopicImage(topic, int64(i), 96, 96)
+			if err != nil {
+				t.Fatal(err)
+			}
+			descs, err := surf.Extract(im, surf.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sample = append(sample, descs...)
+		}
+	}
+	_ = rng
+	vocab, err := TrainVocabulary(sample, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vocab
+}
+
+func TestGenKeys(t *testing.T) {
+	keys, err := GenKeys(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys.NumTables() != 10 {
+		t.Errorf("NumTables = %d", keys.NumTables())
+	}
+	if _, err := GenKeys(0); err == nil {
+		t.Error("GenKeys(0) accepted")
+	}
+}
+
+func TestNewUserValidation(t *testing.T) {
+	vocab := testVocabulary(t, 32)
+	if _, err := NewUser(1, nil, LSHParams{Dim: 32, Tables: 2, Atoms: 1, Width: 1}); err == nil {
+		t.Error("nil vocabulary accepted")
+	}
+	if _, err := NewUser(1, vocab, LSHParams{Dim: 99, Tables: 2, Atoms: 1, Width: 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := NewUser(1, vocab, LSHParams{Dim: 32, Tables: 0, Atoms: 1, Width: 1}); err == nil {
+		t.Error("invalid LSH params accepted")
+	}
+}
+
+func TestUserGenProfAndUpload(t *testing.T) {
+	vocab := testVocabulary(t, 32)
+	params := LSHParams{Dim: 32, Tables: 4, Atoms: 2, Width: 0.8, Seed: 1}
+	user, err := NewUser(7, vocab, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.GenProf(nil); err == nil {
+		t.Error("empty image set accepted")
+	}
+	images := make([]*Image, 3)
+	for i := range images {
+		im, err := RenderTopicImage(Topic(1), int64(i+50), 96, 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = im
+	}
+	up, err := user.Upload(images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.ID != 7 {
+		t.Errorf("upload id = %d", up.ID)
+	}
+	if len(up.Profile) != 32 || len(up.Meta) != 4 {
+		t.Errorf("upload shape: profile %d, meta %d", len(up.Profile), len(up.Meta))
+	}
+	if n := vec.Norm(up.Profile); n < 0.99 || n > 1.01 {
+		t.Errorf("profile norm %v", n)
+	}
+	// ComputeLSH matches the metadata Upload produced.
+	if !user.ComputeLSH(up.Profile).Equal(up.Meta) {
+		t.Error("Upload metadata inconsistent with ComputeLSH")
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Users: 600, Dim: 200, Topics: 10, TopicsPerUser: 2,
+		ActiveWords: 25, Noise: 0.02, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSystemConfig(200)
+	cfg.Frontend.KeySeed = "pisd-test"
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]Upload, len(ds.Profiles))
+	for i, p := range ds.Profiles {
+		uploads[i] = Upload{ID: uint64(i + 1), Profile: p, Meta: sys.SF.ComputeMeta(p)}
+	}
+	if err := sys.AddProfiles(uploads); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := sys.Discover(ds.Profiles[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 || matches[0].ID != 1 {
+		t.Fatalf("self not found: %+v", matches)
+	}
+	matches, err = sys.DiscoverFor(1, ds.Profiles[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range matches {
+		if m.ID == 1 {
+			t.Error("excluded self returned")
+		}
+	}
+	// FoF variant runs.
+	g := NewSocialGraph()
+	g.AddFriendship(1, 2)
+	g.AddFriendship(2, 3)
+	if _, err := sys.DiscoverFoF(g, 1, ds.Profiles[0], 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSystemRejectsBadConfig(t *testing.T) {
+	cfg := DefaultSystemConfig(100)
+	cfg.Frontend.LoadFactor = 2
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestSystemDiscoverGroups(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Users: 400, Dim: 200, Topics: 6, TopicsPerUser: 1,
+		ActiveWords: 25, Noise: 0.02, PersonalWeight: 0.3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSystemConfig(200)
+	cfg.Frontend.KeySeed = "pisd-groups-test"
+	cfg.Frontend.LSH.Atoms = 2
+	cfg.Frontend.LSH.Width = 0.8
+	cfg.Frontend.ProbeRange = 8
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]Upload, len(ds.Profiles))
+	members := make(map[uint64][]float64, len(ds.Profiles))
+	for i, p := range ds.Profiles {
+		uploads[i] = Upload{ID: uint64(i + 1), Profile: p, Meta: sys.SF.ComputeMeta(p)}
+		members[uint64(i+1)] = p
+	}
+	if err := sys.AddProfiles(uploads); err != nil {
+		t.Fatal(err)
+	}
+	found, err := sys.DiscoverGroups(members, 5, DefaultGroupOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("no groups discovered")
+	}
+	// Groups must be overwhelmingly topic-pure: members of one group
+	// share the single topic their profiles are built from.
+	pure, total := 0, 0
+	for _, g := range found {
+		if len(g.Members) < 3 {
+			continue
+		}
+		counts := map[int]int{}
+		for _, m := range g.Members {
+			counts[ds.UserTopics[m-1][0]]++
+		}
+		max := 0
+		for _, n := range counts {
+			if n > max {
+				max = n
+			}
+		}
+		pure += max
+		total += len(g.Members)
+	}
+	if total == 0 {
+		t.Skip("no groups of size >= 3 at this scale")
+	}
+	if frac := float64(pure) / float64(total); frac < 0.8 {
+		t.Errorf("group topic purity %.2f below 0.8", frac)
+	}
+}
+
+func TestUserImageEncryption(t *testing.T) {
+	vocab := testVocabulary(t, 32)
+	user, err := NewUser(3, vocab, LSHParams{Dim: 32, Tables: 4, Atoms: 2, Width: 0.8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	authority := sharing.NewAuthorityFromSeed("user-images-test")
+	im, err := RenderTopicImage(Topic(1), 5, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := user.EncryptImage(authority, sharing.AllOf("friend"), im)
+	if err != nil {
+		t.Fatalf("EncryptImage: %v", err)
+	}
+	friend := authority.IssueKeys([]sharing.Attribute{"friend"})
+	got, err := DecryptImage(friend, enc)
+	if err != nil {
+		t.Fatalf("DecryptImage: %v", err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("decrypted shape %dx%d", got.W, got.H)
+	}
+	stranger := authority.IssueKeys([]sharing.Attribute{"nobody"})
+	if _, err := DecryptImage(stranger, enc); err == nil {
+		t.Error("stranger decrypted the image")
+	}
+	if _, err := user.EncryptImage(nil, sharing.AllOf("friend"), im); err == nil {
+		t.Error("nil authority accepted")
+	}
+	if _, err := DecryptImage(friend, nil); err == nil {
+		t.Error("nil encrypted image accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package pisd
+
+import (
+	"bytes"
+	"fmt"
+
+	"pisd/internal/imaging"
+	"pisd/internal/sharing"
+)
+
+// User-side image encryption (service flow step 1: "each Usr first
+// encrypts all her images, then uploads them directly to CS"), with the
+// Sec. III-E sharing semantics: images are encrypted under an attribute
+// policy so friends holding satisfying keys can decrypt.
+
+// EncryptedImage is one policy-protected image ready for upload.
+type EncryptedImage struct {
+	// Ciphertext carries the policy, wrapped keys and payload.
+	Ciphertext *sharing.Ciphertext
+}
+
+// EncryptImage serializes the image (binary PGM) and encrypts it under the
+// policy with the user's sharing authority.
+func (u *User) EncryptImage(authority *SharingAuthority, policy SharingPolicy, im *Image) (*EncryptedImage, error) {
+	if authority == nil {
+		return nil, fmt.Errorf("pisd: user %d: nil sharing authority", u.ID)
+	}
+	var buf bytes.Buffer
+	if err := imaging.WritePGM(&buf, im); err != nil {
+		return nil, fmt.Errorf("pisd: user %d: encode image: %w", u.ID, err)
+	}
+	ct, err := authority.Encrypt(policy, buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("pisd: user %d: encrypt image: %w", u.ID, err)
+	}
+	return &EncryptedImage{Ciphertext: ct}, nil
+}
+
+// DecryptImage recovers an image with a friend's attribute keys.
+func DecryptImage(keys *sharing.UserKeys, enc *EncryptedImage) (*Image, error) {
+	if enc == nil || enc.Ciphertext == nil {
+		return nil, fmt.Errorf("pisd: nil encrypted image")
+	}
+	pt, err := sharing.Decrypt(keys, enc.Ciphertext)
+	if err != nil {
+		return nil, err
+	}
+	im, err := imaging.ReadPGM(bytes.NewReader(pt))
+	if err != nil {
+		return nil, fmt.Errorf("pisd: decode decrypted image: %w", err)
+	}
+	return im, nil
+}
