@@ -5,9 +5,19 @@
 //
 //	pisd-server &                                  # terminal 1
 //	pisd-frontend -cloud 127.0.0.1:7001 -users 5000 -discover 1,2,3
+//
+// Passing a comma-separated -cloud list selects the sharded deployment:
+// users are partitioned across the servers (id mod S), one projected
+// secure index is installed per shard, and every discovery fans out to all
+// shards in parallel. Results that could not reach every shard are marked
+// partial.
+//
+//	pisd-server -addr 127.0.0.1:7001 -shards 4 &   # terminal 1
+//	pisd-frontend -cloud 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -80,16 +90,25 @@ func run() error {
 			fmt.Printf("generated fresh keys and saved them to %s\n", *keysFile)
 		}
 	}
-	client, err := pisd.DialCloud(*cloudAddr)
+	uploads := make([]pisd.Upload, len(ds.Profiles))
+	for i, p := range ds.Profiles {
+		uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+	}
+
+	addrs := splitList(*cloudAddr)
+	if len(addrs) == 0 {
+		return errors.New("no cloud address given")
+	}
+	if len(addrs) > 1 {
+		return runSharded(sf, ds, uploads, addrs, *k, *discover)
+	}
+
+	client, err := pisd.DialCloud(addrs[0])
 	if err != nil {
 		return err
 	}
 	defer client.Close()
 
-	uploads := make([]pisd.Upload, len(ds.Profiles))
-	for i, p := range ds.Profiles {
-		uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
-	}
 	buildStart := time.Now()
 	idx, encProfiles, err := sf.BuildIndex(uploads)
 	if err != nil {
@@ -106,15 +125,11 @@ func run() error {
 	}
 	fmt.Printf("outsourced index and %d encrypted profiles to %s\n", len(encProfiles), *cloudAddr)
 
-	for _, tok := range strings.Split(*discover, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		id, err := strconv.ParseUint(tok, 10, 64)
-		if err != nil || id == 0 || id > uint64(len(ds.Profiles)) {
-			return fmt.Errorf("invalid target user %q", tok)
-		}
+	targets, err := parseTargets(*discover, len(ds.Profiles))
+	if err != nil {
+		return err
+	}
+	for _, id := range targets {
 		start := time.Now()
 		matches, err := sf.Discover(client, ds.Profiles[id-1], *k, id)
 		if err != nil {
@@ -122,13 +137,106 @@ func run() error {
 		}
 		fmt.Printf("\ndiscovery for user %d (topics %v) took %s:\n",
 			id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond))
-		for rank, m := range matches {
-			fmt.Printf("  %d. user %-6d distance %.4f topics %v\n",
-				rank+1, m.ID, m.Distance, ds.UserTopics[m.ID-1])
-		}
+		printMatches(ds, matches)
 	}
 	sent, recv := client.Traffic()
 	fmt.Printf("\ntotal traffic: %.1f KB sent, %.1f KB received\n",
 		float64(sent)/1024, float64(recv)/1024)
 	return nil
+}
+
+// runSharded is the multi-shard deployment path: one projected index per
+// cloud server, discoveries fanned out to all shards in parallel.
+func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, addrs []string, k int, discover string) error {
+	nodes := make([]pisd.ShardNode, len(addrs))
+	remotes := make([]*pisd.RemoteShard, len(addrs))
+	for i, addr := range addrs {
+		r := pisd.NewRemoteShard(addr)
+		defer r.Close()
+		remotes[i] = r
+		nodes[i] = r
+	}
+	pool, err := pisd.NewShardPool(pisd.DefaultShardPoolConfig(), nodes...)
+	if err != nil {
+		return err
+	}
+
+	buildStart := time.Now()
+	shards, err := sf.BuildShardedIndex(uploads, len(addrs), nil)
+	if err != nil {
+		return err
+	}
+	var indexBytes int
+	for _, sh := range shards {
+		indexBytes += sh.Index.SizeBytes()
+	}
+	fmt.Printf("built %d-shard secure index over %d users in %s (%.1f MB total)\n",
+		len(shards), len(uploads), time.Since(buildStart).Round(time.Millisecond),
+		float64(indexBytes)/(1<<20))
+	for s, sh := range shards {
+		if err := pool.InstallShard(s, sh.Index, sh.EncProfiles); err != nil {
+			return err
+		}
+		fmt.Printf("shard %d: outsourced index and %d encrypted profiles to %s\n",
+			s, len(sh.EncProfiles), addrs[s])
+	}
+
+	targets, err := parseTargets(discover, len(ds.Profiles))
+	if err != nil {
+		return err
+	}
+	for _, id := range targets {
+		start := time.Now()
+		matches, partial, err := sf.DiscoverSharded(context.Background(), pool, ds.Profiles[id-1], k, id)
+		if err != nil {
+			return err
+		}
+		note := ""
+		if partial {
+			note = " [PARTIAL: one or more shards unreachable]"
+		}
+		fmt.Printf("\nfan-out discovery for user %d (topics %v) took %s%s:\n",
+			id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond), note)
+		printMatches(ds, matches)
+	}
+	var sent, recv int64
+	for _, r := range remotes {
+		s, rv := r.Traffic()
+		sent += s
+		recv += rv
+	}
+	fmt.Printf("\ntotal traffic: %.1f KB sent, %.1f KB received across %d shards\n",
+		float64(sent)/1024, float64(recv)/1024, len(addrs))
+	return nil
+}
+
+func printMatches(ds *dataset.Dataset, matches []pisd.Match) {
+	for rank, m := range matches {
+		fmt.Printf("  %d. user %-6d distance %.4f topics %v\n",
+			rank+1, m.ID, m.Distance, ds.UserTopics[m.ID-1])
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// parseTargets parses the -discover id list against the population size.
+func parseTargets(discover string, n int) ([]uint64, error) {
+	var out []uint64
+	for _, tok := range splitList(discover) {
+		id, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil || id == 0 || id > uint64(n) {
+			return nil, fmt.Errorf("invalid target user %q", tok)
+		}
+		out = append(out, id)
+	}
+	return out, nil
 }

@@ -8,14 +8,22 @@
 // With -state, the server loads its ciphertext state (index, encrypted
 // profiles, encrypted images) from the directory at startup and saves it
 // back on shutdown.
+//
+// With -shards N (N > 1) the process hosts an N-shard cloud tier for a
+// sharded front end: shard i keeps its own index and profile store and
+// listens on port+i; state, when enabled, lives in per-shard
+// subdirectories shard-0 ... shard-N-1.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -30,23 +38,54 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address (shard i listens on port+i)")
 	stateDir := flag.String("state", "", "state directory for persistence (empty: in-memory only)")
+	shards := flag.Int("shards", 1, "number of cloud shards hosted by this process")
 	flag.Parse()
 
-	cs := pisd.NewCloud()
-	if *stateDir != "" {
-		if err := cs.LoadFrom(*stateDir); err != nil {
-			return fmt.Errorf("load state: %w", err)
-		}
-		fmt.Printf("loaded state from %s (%d profiles)\n", *stateDir, cs.NumProfiles())
+	if *shards < 1 {
+		return fmt.Errorf("shards must be >= 1, got %d", *shards)
 	}
-	server := pisd.NewCloudServer(cs)
-	bound, err := server.Listen(*addr)
+	host, portStr, err := net.SplitHostPort(*addr)
 	if err != nil {
-		return err
+		return fmt.Errorf("parse addr: %w", err)
 	}
-	fmt.Printf("pisd cloud server listening on %s (ciphertext only, no keys)\n", bound)
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return fmt.Errorf("parse port: %w", err)
+	}
+	if port == 0 && *shards > 1 {
+		return fmt.Errorf("a fixed base port is required with -shards > 1")
+	}
+
+	clouds := make([]*pisd.Cloud, *shards)
+	servers := make([]*pisd.CloudServer, *shards)
+	for i := range clouds {
+		cs := pisd.NewCloud()
+		if *stateDir != "" {
+			dir := shardStateDir(*stateDir, *shards, i)
+			if err := cs.LoadFrom(dir); err != nil {
+				return fmt.Errorf("shard %d: load state: %w", i, err)
+			}
+			fmt.Printf("shard %d: loaded state from %s (%d profiles)\n", i, dir, cs.NumProfiles())
+		}
+		server := pisd.NewCloudServer(cs)
+		shardAddr := net.JoinHostPort(host, strconv.Itoa(port))
+		if port != 0 {
+			shardAddr = net.JoinHostPort(host, strconv.Itoa(port+i))
+		}
+		bound, err := server.Listen(shardAddr)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if *shards > 1 {
+			fmt.Printf("pisd cloud shard %d/%d listening on %s (ciphertext only, no keys)\n", i, *shards, bound)
+		} else {
+			fmt.Printf("pisd cloud server listening on %s (ciphertext only, no keys)\n", bound)
+		}
+		clouds[i] = cs
+		servers[i] = server
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -54,14 +93,28 @@ func run() error {
 	fmt.Println("shutting down ...")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := server.Shutdown(ctx); err != nil {
-		return err
+	for i, server := range servers {
+		if err := server.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
 	}
 	if *stateDir != "" {
-		if err := cs.SaveTo(*stateDir); err != nil {
-			return fmt.Errorf("save state: %w", err)
+		for i, cs := range clouds {
+			dir := shardStateDir(*stateDir, *shards, i)
+			if err := cs.SaveTo(dir); err != nil {
+				return fmt.Errorf("shard %d: save state: %w", i, err)
+			}
+			fmt.Printf("shard %d: saved state to %s\n", i, dir)
 		}
-		fmt.Printf("saved state to %s\n", *stateDir)
 	}
 	return nil
+}
+
+// shardStateDir keeps the single-shard layout unchanged and nests
+// per-shard subdirectories otherwise.
+func shardStateDir(base string, shards, i int) string {
+	if shards == 1 {
+		return base
+	}
+	return filepath.Join(base, fmt.Sprintf("shard-%d", i))
 }

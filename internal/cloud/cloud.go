@@ -43,6 +43,11 @@ func New() *Server {
 	}
 }
 
+// Ping reports liveness; the in-process counterpart of the transport
+// protocol's Ping, so local and remote cloud servers expose the same
+// health surface to a shard pool.
+func (s *Server) Ping() error { return nil }
+
 // SetIndex installs the static secure index.
 func (s *Server) SetIndex(idx *core.Index) {
 	s.mu.Lock()

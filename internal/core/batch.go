@@ -101,6 +101,8 @@ func (c *DynClient) BatchUpdate(store BucketStore, updates []Update) (*BatchResu
 		perOp[i] = slots
 	}
 
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	roundsBefore := c.stats.Rounds
 	buckets, err := store.FetchBuckets(union)
 	if err != nil {
@@ -185,7 +187,7 @@ func (c *DynClient) BatchUpdate(store BucketStore, updates []Update) (*BatchResu
 	c.stats.Rounds++
 
 	for _, u := range escalate {
-		if err := c.Insert(store, u.ID, u.Meta); err != nil {
+		if err := c.insertLocked(store, u.ID, u.Meta); err != nil {
 			if errors.Is(err, ErrNeedRehash) {
 				return res, fmt.Errorf("core: batch escalation for %d: %w", u.ID, err)
 			}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	mrand "math/rand"
+	"sync"
 
 	"pisd/internal/crypt"
 	"pisd/internal/lsh"
@@ -120,10 +121,19 @@ func (x *DynIndex) StoreBuckets(refs []BucketRef, buckets []DynBucket) error {
 // DynClient holds the front-end (SF) side of the dynamic scheme: it owns
 // the keys and performs unmasking, re-masking and the interactive secure
 // deletion / insertion protocols against a BucketStore.
+//
+// A DynClient is safe for concurrent use: each Search / Delete / Insert
+// runs under an internal lock, so operations on one client serialize. A
+// sharded deployment gives every shard its own client (they share keys and
+// params), which keeps cross-shard fan-out fully parallel.
 type DynClient struct {
 	keys *crypt.KeySet
 	p    Params
-	rng  *mrand.Rand
+	// mu serializes operations: protects rng, stats, and — more
+	// importantly — keeps each multi-round protocol's fetch/modify/store
+	// sequence atomic with respect to this client's other operations.
+	mu  sync.Mutex
+	rng *mrand.Rand
 	// Stats accumulates kick-aways and interaction rounds.
 	stats DynStats
 }
@@ -149,10 +159,18 @@ func NewDynClient(keys *crypt.KeySet, p Params, seed int64) (*DynClient, error) 
 }
 
 // Stats returns accumulated operation statistics.
-func (c *DynClient) Stats() DynStats { return c.stats }
+func (c *DynClient) Stats() DynStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // ResetStats zeroes the statistics counters.
-func (c *DynClient) ResetStats() { c.stats = DynStats{} }
+func (c *DynClient) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = DynStats{}
+}
 
 // Refs returns the l·(d+1) bucket references addressed by meta, grouped
 // table-major with the primary bucket first within each table (so
@@ -316,6 +334,8 @@ func (c *DynClient) reseal(store BucketStore, batch *openedBatch) error {
 // scheme's read path. The cloud returns the addressed buckets and the
 // front end unmasks them locally; no bucket is modified.
 func (c *DynClient) Search(store BucketStore, meta lsh.Metadata) ([]uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	batch, err := c.fetchOpened(store, meta)
 	if err != nil {
 		return nil, err
@@ -343,6 +363,8 @@ func (c *DynClient) Search(store BucketStore, meta lsh.Metadata) ([]uint64, erro
 // masked ⊥ marker, and re-mask every fetched bucket with fresh randomness
 // before storing them back, which hides the emptied position.
 func (c *DynClient) Delete(store BucketStore, id uint64, meta lsh.Metadata) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	batch, err := c.fetchOpened(store, meta)
 	if err != nil {
 		return err
@@ -374,6 +396,13 @@ func (c *DynClient) Insert(store BucketStore, id uint64, meta lsh.Metadata) erro
 	if id == bottomID {
 		return fmt.Errorf("core: identifier %d is reserved", id)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertLocked(store, id, meta)
+}
+
+// insertLocked is the insertion protocol body; c.mu must be held.
+func (c *DynClient) insertLocked(store BucketStore, id uint64, meta lsh.Metadata) error {
 	curID, curMeta := id, meta
 	for loop := 0; loop <= c.p.MaxLoop; loop++ {
 		batch, err := c.fetchOpened(store, curMeta)

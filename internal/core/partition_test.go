@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBuildPartitionedEqualsSingleNode is the sharding correctness anchor:
+// for the same keys, items and params, the union over shards of SecRec
+// against the partitioned indexes must recover exactly the identifiers
+// SecRec recovers from the single-node index, with every identifier served
+// by exactly one shard (its owner).
+func TestBuildPartitionedEqualsSingleNode(t *testing.T) {
+	const (
+		n      = 3000
+		shards = 4
+	)
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	rng := rand.New(rand.NewSource(7))
+	items := randItems(rng, n, p.Tables)
+
+	single, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	parts, err := BuildPartitioned(keys, items, p, shards, nil)
+	if err != nil {
+		t.Fatalf("BuildPartitioned: %v", err)
+	}
+	if len(parts) != shards {
+		t.Fatalf("got %d shards, want %d", len(parts), shards)
+	}
+	total := 0
+	for s, idx := range parts {
+		if idx.Width() != single.Width() {
+			t.Fatalf("shard %d width %d, single-node width %d", s, idx.Width(), single.Width())
+		}
+		total += idx.Len()
+	}
+	if total != n {
+		t.Fatalf("shard item counts sum to %d, want %d", total, n)
+	}
+
+	owner := DefaultOwner(shards)
+	for q := 0; q < 50; q++ {
+		meta := items[rng.Intn(n)].Meta
+		td, err := GenTpdr(keys, meta, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.SecRec(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[uint64]int)
+		for s, idx := range parts {
+			ids, err := idx.SecRec(td)
+			if err != nil {
+				t.Fatalf("shard %d SecRec: %v", s, err)
+			}
+			for _, id := range ids {
+				if prev, dup := got[id]; dup {
+					t.Fatalf("id %d recovered from shards %d and %d", id, prev, s)
+				}
+				if owner(id) != s {
+					t.Fatalf("id %d recovered from shard %d, owner is %d", id, s, owner(id))
+				}
+				got[id] = s
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: union recovered %d ids, single-node %d", q, len(got), len(want))
+		}
+		for _, id := range want {
+			if _, ok := got[id]; !ok {
+				t.Fatalf("query %d: id %d found single-node but not in any shard", q, id)
+			}
+		}
+	}
+}
+
+func TestBuildPartitionedSingleShardMatchesBuild(t *testing.T) {
+	const n = 500
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	items := randItems(rand.New(rand.NewSource(3)), n, p.Tables)
+
+	single, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := BuildPartitioned(keys, items, p, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One shard must be bucket-for-bucket identical in the occupied slots:
+	// every trapdoor recovers the same set.
+	meta := items[42].Meta
+	td, err := GenTpdr(keys, meta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := single.SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parts[0].SecRec(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("single %d ids, 1-shard partitioned %d ids", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("id order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildPartitionedRejectsBadInput(t *testing.T) {
+	keys := testKeys(t, 5)
+	p := testParams(100)
+	items := randItems(rand.New(rand.NewSource(1)), 100, p.Tables)
+	if _, err := BuildPartitioned(keys, items, p, 0, nil); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := BuildPartitioned(keys, items, p, 2, func(uint64) int { return 5 }); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	if _, err := BuildPartitioned(keys, items, p, 2, func(uint64) int { return -1 }); err == nil {
+		t.Error("negative owner accepted")
+	}
+}
+
+func TestBuildPartitionedStashCovered(t *testing.T) {
+	// Force stash usage and verify stashed ids are still recovered by the
+	// owning shard only.
+	const n = 400
+	keys := testKeys(t, 5)
+	p := testParams(n)
+	p.StashSize = 8
+	rng := rand.New(rand.NewSource(11))
+	items := randItems(rng, n, p.Tables)
+
+	single, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := BuildPartitioned(keys, items, p, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 20; q++ {
+		meta := items[rng.Intn(n)].Meta
+		td, err := GenTpdr(keys, meta, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := single.SecRec(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		union := make(map[uint64]struct{})
+		for _, idx := range parts {
+			ids, err := idx.SecRec(td)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range ids {
+				union[id] = struct{}{}
+			}
+		}
+		if len(union) != len(want) {
+			t.Fatalf("stash query %d: union %d ids, single %d", q, len(union), len(want))
+		}
+	}
+}

@@ -88,7 +88,7 @@ func Build(keys *crypt.KeySet, items []Item, p Params) (*Index, error) {
 	insertNanos := time.Since(insertStart).Nanoseconds()
 
 	encStart := time.Now()
-	idx, err := encryptStatic(keys, placer, p, len(items))
+	idx, err := encryptStatic(keys, placer, p, len(items), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +116,10 @@ func newPlacer(keys *crypt.KeySet, p Params) (*cuckoo.Index, error) {
 // encryptStatic runs the encryption phase of Algorithm 1 over a filled
 // placer: masked buckets for occupied slots, random padding elsewhere.
 // Padding and mask derivation are independent per table, so the phase
-// fans out across CPUs.
-func encryptStatic(keys *crypt.KeySet, placer *cuckoo.Index, p Params, n int) (*Index, error) {
+// fans out across CPUs. A non-nil include filter restricts the encrypted
+// identifiers to a subset of the placement (the sharded build); excluded
+// slots stay random padding, indistinguishable from empty buckets.
+func encryptStatic(keys *crypt.KeySet, placer *cuckoo.Index, p Params, n int, include func(uint64) bool) (*Index, error) {
 	w := placer.Width()
 	idx := &Index{params: p, width: w, n: n}
 	st := placer.Stats()
@@ -133,6 +135,9 @@ func encryptStatic(keys *crypt.KeySet, placer *cuckoo.Index, p Params, n int) (*
 		id  uint64
 	}, p.Tables)
 	placer.Walk(func(table, pos int, id uint64) {
+		if include != nil && !include(id) {
+			return
+		}
 		occupied[table] = append(occupied[table], struct {
 			pos int
 			id  uint64
@@ -193,6 +198,9 @@ func encryptStatic(keys *crypt.KeySet, placer *cuckoo.Index, p Params, n int) (*
 		idx.stash[pos] = b
 	}
 	placer.WalkStash(func(pos int, id uint64) {
+		if include != nil && !include(id) {
+			return
+		}
 		payload := encodePayload(id)
 		mask := stashMask(keys, p.Tables, pos)
 		crypt.XOR(idx.stash[pos], mask, payload[:])

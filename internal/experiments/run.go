@@ -23,6 +23,8 @@ const (
 	ExpCloudRankName = "cloudrank"
 	// ExpScalingName measures discovery cost across population sizes.
 	ExpScalingName = "scaling"
+	// ExpShardingName compares 1/2/4-shard build and fan-out SecRec cost.
+	ExpShardingName = "sharding"
 )
 
 // AllExperiments lists every experiment in paper order.
@@ -30,7 +32,7 @@ func AllExperiments() []string {
 	return []string{
 		ExpFig3, ExpClient, ExpFig4a, ExpFig4b, ExpFig4c,
 		ExpFig5a, ExpFig5b, ExpFig5c, ExpAblation, ExpMetrics, ExpLeakage,
-		ExpCloudRankName, ExpScalingName,
+		ExpCloudRankName, ExpScalingName, ExpShardingName,
 	}
 }
 
@@ -107,6 +109,12 @@ func Run(name string, s Scale, w io.Writer) error {
 		tables = append(tables, t)
 	case ExpScalingName:
 		t, err := ExpScaling(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpShardingName:
+		t, err := ExpSharding(s)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -180,32 +180,47 @@ func (f *Frontend) prepare(uploads []Upload, forceRehash bool) ([]core.Item, cor
 	return items, p, nil
 }
 
+// buildLoop runs the rehash() step of Algorithm 1 around an index build:
+// when build reports core.ErrNeedRehash it draws fresh LSH parameters,
+// recomputes every upload's metadata and retries, up to MaxRehash times.
+// It returns the index parameters the successful build used.
+func (f *Frontend) buildLoop(uploads []Upload, build func(items []core.Item, p core.Params) error) (core.Params, error) {
+	items, p, err := f.prepare(uploads, false)
+	if err != nil {
+		return core.Params{}, err
+	}
+	for attempt := 0; ; attempt++ {
+		err = build(items, p)
+		if err == nil {
+			return p, nil
+		}
+		if !errors.Is(err, core.ErrNeedRehash) || attempt >= f.cfg.MaxRehash {
+			return core.Params{}, fmt.Errorf("frontend: build index: %w", err)
+		}
+		family, rerr := f.family.Rehash(f.cfg.LSH.Seed + int64(attempt) + 1)
+		if rerr != nil {
+			return core.Params{}, fmt.Errorf("frontend: rehash: %w", rerr)
+		}
+		f.family = family
+		if items, p, err = f.prepare(uploads, true); err != nil {
+			return core.Params{}, err
+		}
+	}
+}
+
 // BuildIndex implements ConSecIdx over the uploads: it builds the static
 // secure index I and the encrypted profile set {S*}. When cuckoo insertion
 // fails it performs the rehash() step of Algorithm 1 — fresh LSH
 // parameters, recomputed metadata, full rebuild — up to MaxRehash times.
 func (f *Frontend) BuildIndex(uploads []Upload) (*core.Index, map[uint64][]byte, error) {
-	items, p, err := f.prepare(uploads, false)
+	var idx *core.Index
+	p, err := f.buildLoop(uploads, func(items []core.Item, p core.Params) error {
+		var berr error
+		idx, berr = core.Build(f.keys, items, p)
+		return berr
+	})
 	if err != nil {
 		return nil, nil, err
-	}
-	var idx *core.Index
-	for attempt := 0; ; attempt++ {
-		idx, err = core.Build(f.keys, items, p)
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, core.ErrNeedRehash) || attempt >= f.cfg.MaxRehash {
-			return nil, nil, fmt.Errorf("frontend: build index: %w", err)
-		}
-		family, rerr := f.family.Rehash(f.cfg.LSH.Seed + int64(attempt) + 1)
-		if rerr != nil {
-			return nil, nil, fmt.Errorf("frontend: rehash: %w", rerr)
-		}
-		f.family = family
-		if items, p, err = f.prepare(uploads, true); err != nil {
-			return nil, nil, err
-		}
 	}
 	f.params = p
 	f.built = true

@@ -1,0 +1,284 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pisd/internal/core"
+)
+
+// Shard is one cloud shard's installable state: the partitioned secure
+// index plus the encrypted profiles of the users the shard owns.
+type Shard struct {
+	Index       *core.Index
+	EncProfiles map[uint64][]byte
+}
+
+// DynShard is one cloud shard's dynamic state: the shard's updatable
+// index, the front-end client holding its round keys, and the encrypted
+// profiles of the users the shard owns. The Client routes this shard's
+// secure insert/delete/search rounds; clients of different shards are
+// independent, so cross-shard fan-out stays parallel.
+type DynShard struct {
+	Index       *core.DynIndex
+	Client      *core.DynClient
+	EncProfiles map[uint64][]byte
+}
+
+// BuildShardedIndex implements ConSecIdx for an S-shard cloud tier: it
+// runs the single global cuckoo placement of core.BuildPartitioned and
+// derives one secure index per shard, each a projection of the single-node
+// index onto the users owner assigns to it. The per-shard encryptions run
+// in parallel. A nil owner means core.DefaultOwner (id mod shards).
+//
+// Because placement, parameters and keys are global, one trapdoor serves
+// every shard and the union of the shards' SecRec results equals the
+// single-node result exactly.
+func (f *Frontend) BuildShardedIndex(uploads []Upload, shards int, owner func(uint64) int) ([]Shard, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("frontend: shard count must be >= 1, got %d", shards)
+	}
+	if owner == nil {
+		owner = core.DefaultOwner(shards)
+	}
+	var idxs []*core.Index
+	p, err := f.buildLoop(uploads, func(items []core.Item, p core.Params) error {
+		var berr error
+		idxs, berr = core.BuildPartitioned(f.keys, items, p, shards, owner)
+		return berr
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.params = p
+	f.built = true
+
+	out := make([]Shard, shards)
+	for s := range out {
+		out[s] = Shard{Index: idxs[s], EncProfiles: make(map[uint64][]byte)}
+	}
+	for _, u := range uploads {
+		ct, err := f.EncryptProfile(u.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: encrypt profile %d: %w", u.ID, err)
+		}
+		out[owner(u.ID)].EncProfiles[u.ID] = ct
+	}
+	return out, nil
+}
+
+// BuildShardedDynamicIndex builds one updatable index per shard over the
+// uploads each shard owns. Every shard's index shares the global
+// parameters sized for the full upload set, so bucket references computed
+// by any shard's client stay valid as users churn; shard builds run in
+// parallel. A nil owner means core.DefaultOwner (id mod shards).
+func (f *Frontend) BuildShardedDynamicIndex(uploads []Upload, shards int, owner func(uint64) int) ([]DynShard, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("frontend: shard count must be >= 1, got %d", shards)
+	}
+	if owner == nil {
+		owner = core.DefaultOwner(shards)
+	}
+	items, p, err := f.prepare(uploads, false)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]core.Item, shards)
+	for _, it := range items {
+		s := owner(it.ID)
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("frontend: owner(%d) = %d out of range [0,%d)", it.ID, s, shards)
+		}
+		parts[s] = append(parts[s], it)
+	}
+
+	out := make([]DynShard, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			idx, client, err := core.BuildDynamic(f.keys, parts[s], p)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			out[s] = DynShard{Index: idx, Client: client, EncProfiles: make(map[uint64][]byte)}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("frontend: build dynamic shard %d: %w", s, err)
+		}
+	}
+	f.params = p
+	f.built = true
+
+	for _, u := range uploads {
+		ct, err := f.EncryptProfile(u.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: encrypt profile %d: %w", u.ID, err)
+		}
+		out[owner(u.ID)].EncProfiles[u.ID] = ct
+	}
+	return out, nil
+}
+
+// FanoutServer is the sharded cloud surface the front end drives for
+// static discovery: a fan-out SecRec that may come back partial when some
+// shards are down. shard.Pool implements it.
+type FanoutServer interface {
+	SecRec(ctx context.Context, t *core.Trapdoor) (ids []uint64, encProfiles [][]byte, partial bool, err error)
+}
+
+// DiscoverSharded runs the discovery flow against a sharded cloud tier:
+// trapdoor → concurrent SecRec fan-out → decrypt → exact distance ranking.
+// partial reports that one or more shards were unreachable and the
+// recommendations cover only the surviving shards' users. For the same
+// dataset and keys the non-partial result is identical to Discover against
+// a single cloud node.
+func (f *Frontend) DiscoverSharded(ctx context.Context, pool FanoutServer, targetProfile []float64, k int, excludeID uint64) ([]Match, bool, error) {
+	td, err := f.Trapdoor(targetProfile)
+	if err != nil {
+		return nil, false, err
+	}
+	ids, encProfiles, partial, err := pool.SecRec(ctx, td)
+	if err != nil {
+		return nil, false, fmt.Errorf("frontend: sharded discovery request: %w", err)
+	}
+	matches, err := f.rank(targetProfile, ids, encProfiles, k, excludeID)
+	if err != nil {
+		return nil, false, err
+	}
+	return matches, partial, nil
+}
+
+// DynNode is the per-shard cloud surface sharded dynamic operations
+// drive: the bucket store plus the encrypted-profile store. shard.Node
+// implementations satisfy it.
+type DynNode interface {
+	core.BucketStore
+	ProfileFetcher
+	PutProfiles(profiles map[uint64][]byte) error
+	DeleteProfile(id uint64) error
+}
+
+// DynSearchSharded fans a dynamic search across all shards concurrently:
+// every shard's client searches its own bucket store, the matching
+// encrypted profiles are fetched from that shard, and the merged
+// candidates are distance-ranked. Shards that fail are skipped and the
+// result is flagged partial; an error is returned only when every shard
+// fails. shards[s] must pair with nodes[s].
+func (f *Frontend) DynSearchSharded(shards []DynShard, nodes []DynNode, targetProfile []float64, k int, excludeID uint64) ([]Match, bool, error) {
+	if len(shards) == 0 || len(shards) != len(nodes) {
+		return nil, false, fmt.Errorf("frontend: %d shards but %d nodes", len(shards), len(nodes))
+	}
+	meta := f.family.Hash(targetProfile)
+	type result struct {
+		ids      []uint64
+		profiles [][]byte
+		err      error
+	}
+	results := make([]result, len(shards))
+	var wg sync.WaitGroup
+	for s := range shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := &results[s]
+			ids, err := shards[s].Client.Search(nodes[s], meta)
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.ids = ids
+			r.profiles, r.err = nodes[s].FetchProfiles(ids)
+		}(s)
+	}
+	wg.Wait()
+
+	var ids []uint64
+	var encProfiles [][]byte
+	var firstErr error
+	failed := 0
+	for s, r := range results {
+		if r.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", s, r.err)
+			}
+			continue
+		}
+		ids = append(ids, r.ids...)
+		encProfiles = append(encProfiles, r.profiles...)
+	}
+	if failed == len(shards) {
+		return nil, false, fmt.Errorf("frontend: sharded dynamic search: all %d shards failed: %w", len(shards), firstErr)
+	}
+	matches, err := f.rank(targetProfile, ids, encProfiles, k, excludeID)
+	if err != nil {
+		return nil, false, err
+	}
+	return matches, failed > 0, nil
+}
+
+// DynInsertSharded routes a dynamic insertion to the owning shard: the
+// shard's client runs the secure insert rounds against that shard's bucket
+// store and the encrypted profile is uploaded to the same shard. The
+// caller sees the shard's error directly — an unreachable owning shard
+// fails the insert (there is no other shard that may hold the user).
+func (f *Frontend) DynInsertSharded(shards []DynShard, nodes []DynNode, owner func(uint64) int, id uint64, profile []float64) error {
+	s, err := routeShard(shards, nodes, owner, id)
+	if err != nil {
+		return err
+	}
+	ct, err := f.EncryptProfile(profile)
+	if err != nil {
+		return fmt.Errorf("frontend: encrypt profile %d: %w", id, err)
+	}
+	if err := shards[s].Client.Insert(nodes[s], id, f.family.Hash(profile)); err != nil {
+		return fmt.Errorf("frontend: insert %d at shard %d: %w", id, s, err)
+	}
+	if err := nodes[s].PutProfiles(map[uint64][]byte{id: ct}); err != nil {
+		return fmt.Errorf("frontend: upload profile %d to shard %d: %w", id, s, err)
+	}
+	return nil
+}
+
+// DynDeleteSharded routes a secure deletion to the owning shard and
+// removes the user's encrypted profile there.
+func (f *Frontend) DynDeleteSharded(shards []DynShard, nodes []DynNode, owner func(uint64) int, id uint64, profile []float64) error {
+	s, err := routeShard(shards, nodes, owner, id)
+	if err != nil {
+		return err
+	}
+	if err := shards[s].Client.Delete(nodes[s], id, f.family.Hash(profile)); err != nil {
+		return fmt.Errorf("frontend: delete %d at shard %d: %w", id, s, err)
+	}
+	if err := nodes[s].DeleteProfile(id); err != nil {
+		return fmt.Errorf("frontend: remove profile %d at shard %d: %w", id, s, err)
+	}
+	return nil
+}
+
+// routeShard resolves the shard owning id and validates the pairing.
+func routeShard(shards []DynShard, nodes []DynNode, owner func(uint64) int, id uint64) (int, error) {
+	if len(shards) == 0 || len(shards) != len(nodes) {
+		return 0, fmt.Errorf("frontend: %d shards but %d nodes", len(shards), len(nodes))
+	}
+	if owner == nil {
+		owner = core.DefaultOwner(len(shards))
+	}
+	s := owner(id)
+	if s < 0 || s >= len(shards) {
+		return 0, fmt.Errorf("frontend: owner(%d) = %d out of range [0,%d)", id, s, len(shards))
+	}
+	if shards[s].Client == nil {
+		return 0, errors.New("frontend: shard has no dynamic client")
+	}
+	return s, nil
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pisd/internal/core"
+	"pisd/internal/transport"
+)
+
+// Config tunes a Pool's fan-out behaviour.
+type Config struct {
+	// Timeout bounds each per-shard call attempt; zero means only the
+	// caller's context bounds the call.
+	Timeout time.Duration
+	// Retries is how many additional attempts a shard gets after a
+	// retryable failure (connection-level error or per-attempt timeout).
+	// Application errors are never retried.
+	Retries int
+	// Owner maps a user identifier to its shard index; nil means
+	// core.DefaultOwner (id mod shard count). It must match the owner
+	// function the partitioned index was built with.
+	Owner func(uint64) int
+	// OnShardError, when non-nil, observes every shard failure the pool
+	// tolerates or reports (shard index and final error after retries).
+	OnShardError func(shard int, err error)
+}
+
+// DefaultConfig returns the pool defaults: a 5 s per-shard deadline and
+// one retry.
+func DefaultConfig() Config {
+	return Config{Timeout: 5 * time.Second, Retries: 1}
+}
+
+// Pool fans discovery requests out across cloud shards and merges their
+// encrypted matches. It is safe for concurrent use.
+type Pool struct {
+	cfg   Config
+	nodes []Node
+}
+
+// NewPool assembles a pool over the given shard nodes. The node order is
+// the shard numbering: nodes[s] must host the index built for shard s.
+func NewPool(cfg Config, nodes ...Node) (*Pool, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("shard: pool needs at least one node")
+	}
+	for i, n := range nodes {
+		if n == nil {
+			return nil, fmt.Errorf("shard: node %d is nil", i)
+		}
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("shard: retries must be >= 0, got %d", cfg.Retries)
+	}
+	if cfg.Owner == nil {
+		cfg.Owner = core.DefaultOwner(len(nodes))
+	}
+	return &Pool{cfg: cfg, nodes: nodes}, nil
+}
+
+// Len returns the shard count.
+func (p *Pool) Len() int { return len(p.nodes) }
+
+// Node returns shard s's node; with Owner it routes per-user operations
+// (profile upload/delete, dynamic insert/delete) to the owning shard.
+func (p *Pool) Node(s int) Node { return p.nodes[s] }
+
+// Owner returns the shard that owns identifier id.
+func (p *Pool) Owner(id uint64) int { return p.cfg.Owner(id) }
+
+// OwnerNode returns the node hosting identifier id.
+func (p *Pool) OwnerNode(id uint64) Node { return p.nodes[p.cfg.Owner(id)] }
+
+// SecRec fans the trapdoor out to every shard concurrently and merges the
+// recovered identifiers and encrypted profiles in shard order. Shards that
+// fail (after the configured retries) are skipped; partial reports whether
+// any were. Only when every shard fails does SecRec return an error. The
+// signature implements frontend.FanoutServer.
+func (p *Pool) SecRec(ctx context.Context, t *core.Trapdoor) (ids []uint64, encProfiles [][]byte, partial bool, err error) {
+	type result struct {
+		ids      []uint64
+		profiles [][]byte
+		err      error
+	}
+	results := make([]result, len(p.nodes))
+	var wg sync.WaitGroup
+	for s := range p.nodes {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := &results[s]
+			r.ids, r.profiles, r.err = p.attempt(ctx, s, func(cctx context.Context) ([]uint64, [][]byte, error) {
+				return p.nodes[s].SecRec(cctx, t)
+			})
+		}(s)
+	}
+	wg.Wait()
+
+	var firstErr error
+	failed := 0
+	seen := make(map[uint64]struct{})
+	for s, r := range results {
+		if r.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", s, r.err)
+			}
+			if p.cfg.OnShardError != nil {
+				p.cfg.OnShardError(s, r.err)
+			}
+			continue
+		}
+		for i, id := range r.ids {
+			// Shards are disjoint by construction; the dedup guard keeps
+			// SecRec's no-duplicates contract even over a misconfigured
+			// (overlapping) deployment.
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			ids = append(ids, id)
+			encProfiles = append(encProfiles, r.profiles[i])
+		}
+	}
+	if failed == len(p.nodes) {
+		return nil, nil, false, fmt.Errorf("shard: all %d shards failed: %w", len(p.nodes), firstErr)
+	}
+	return ids, encProfiles, failed > 0, nil
+}
+
+// attempt runs one shard call with the pool's per-attempt deadline and
+// bounded retry. Only connection-level faults and per-attempt timeouts are
+// retried; a cancelled parent context or an application error ends the
+// attempts immediately.
+func (p *Pool) attempt(ctx context.Context, s int, call func(context.Context) ([]uint64, [][]byte, error)) ([]uint64, [][]byte, error) {
+	var lastErr error
+	for try := 0; try <= p.cfg.Retries; try++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		cctx, cancel := p.attemptCtx(ctx)
+		ids, profiles, err := call(cctx)
+		cancel()
+		if err == nil {
+			return ids, profiles, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+	}
+	return nil, nil, lastErr
+}
+
+// attemptCtx derives the per-attempt context.
+func (p *Pool) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.cfg.Timeout <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, p.cfg.Timeout)
+}
+
+// retryable classifies a shard failure: connection-level transport faults
+// and attempt deadline expiries may succeed on a fresh connection;
+// application errors (e.g. "no index installed") will not.
+func retryable(err error) bool {
+	return transport.IsConnError(err) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Ping probes every shard concurrently and returns one liveness result per
+// shard (nil = healthy). Pings are not retried: the caller is asking about
+// the shard's state right now.
+func (p *Pool) Ping(ctx context.Context) []error {
+	errs := make([]error, len(p.nodes))
+	var wg sync.WaitGroup
+	for s := range p.nodes {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			cctx, cancel := p.attemptCtx(ctx)
+			defer cancel()
+			errs[s] = p.nodes[s].Ping(cctx)
+		}(s)
+	}
+	wg.Wait()
+	return errs
+}
+
+// InstallShard installs shard s's partitioned index and encrypted
+// profiles on its node.
+func (p *Pool) InstallShard(s int, idx *core.Index, encProfiles map[uint64][]byte) error {
+	if s < 0 || s >= len(p.nodes) {
+		return fmt.Errorf("shard: shard %d out of range [0,%d)", s, len(p.nodes))
+	}
+	if err := p.nodes[s].InstallIndex(idx); err != nil {
+		return fmt.Errorf("shard %d: install index: %w", s, err)
+	}
+	if err := p.nodes[s].PutProfiles(encProfiles); err != nil {
+		return fmt.Errorf("shard %d: put profiles: %w", s, err)
+	}
+	return nil
+}
+
+// InstallDynShard installs shard s's dynamic index and encrypted profiles
+// on its node.
+func (p *Pool) InstallDynShard(s int, idx *core.DynIndex, encProfiles map[uint64][]byte) error {
+	if s < 0 || s >= len(p.nodes) {
+		return fmt.Errorf("shard: shard %d out of range [0,%d)", s, len(p.nodes))
+	}
+	if err := p.nodes[s].InstallDynIndex(idx); err != nil {
+		return fmt.Errorf("shard %d: install dynamic index: %w", s, err)
+	}
+	if err := p.nodes[s].PutProfiles(encProfiles); err != nil {
+		return fmt.Errorf("shard %d: put profiles: %w", s, err)
+	}
+	return nil
+}

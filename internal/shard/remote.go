@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"context"
+	"sync"
+
+	"pisd/internal/core"
+	"pisd/internal/transport"
+)
+
+// Remote is a Node backed by a transport server over TCP. It dials
+// lazily and, because a connection-level failure (transport.ConnError)
+// leaves the gob stream in an undefined state, drops the broken client so
+// the next attempt — typically the pool's bounded retry — starts on a
+// fresh connection.
+type Remote struct {
+	addr string
+
+	mu sync.Mutex
+	c  *transport.Client
+}
+
+var _ Node = (*Remote)(nil)
+
+// NewRemote returns a shard node for the transport server at addr. No
+// connection is made until the first call.
+func NewRemote(addr string) *Remote { return &Remote{addr: addr} }
+
+// Addr returns the shard server's address.
+func (r *Remote) Addr() string { return r.addr }
+
+// Close tears down the current connection, if any.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		return nil
+	}
+	err := r.c.Close()
+	r.c = nil
+	return err
+}
+
+// client returns the live connection, dialing if necessary.
+func (r *Remote) client() (*transport.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		c, err := transport.Dial(r.addr)
+		if err != nil {
+			return nil, err
+		}
+		r.c = c
+	}
+	return r.c, nil
+}
+
+// drop discards c if it is still the current connection.
+func (r *Remote) drop(c *transport.Client) {
+	r.mu.Lock()
+	if r.c == c {
+		r.c = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// do runs one call, discarding the connection after a connection-level
+// failure so the next call redials.
+func (r *Remote) do(fn func(c *transport.Client) error) error {
+	c, err := r.client()
+	if err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		if transport.IsConnError(err) {
+			r.drop(c)
+		}
+		return err
+	}
+	return nil
+}
+
+// Ping implements Node.
+func (r *Remote) Ping(ctx context.Context) error {
+	return r.do(func(c *transport.Client) error { return c.PingContext(ctx) })
+}
+
+// SecRec implements Node.
+func (r *Remote) SecRec(ctx context.Context, t *core.Trapdoor) ([]uint64, [][]byte, error) {
+	var ids []uint64
+	var profiles [][]byte
+	err := r.do(func(c *transport.Client) error {
+		var err error
+		ids, profiles, err = c.SecRecContext(ctx, t)
+		return err
+	})
+	return ids, profiles, err
+}
+
+// FetchProfiles implements Node.
+func (r *Remote) FetchProfiles(ids []uint64) ([][]byte, error) {
+	var profiles [][]byte
+	err := r.do(func(c *transport.Client) error {
+		var err error
+		profiles, err = c.FetchProfiles(ids)
+		return err
+	})
+	return profiles, err
+}
+
+// PutProfiles implements Node.
+func (r *Remote) PutProfiles(profiles map[uint64][]byte) error {
+	return r.do(func(c *transport.Client) error { return c.PutProfiles(profiles) })
+}
+
+// DeleteProfile implements Node.
+func (r *Remote) DeleteProfile(id uint64) error {
+	return r.do(func(c *transport.Client) error { return c.DeleteProfile(id) })
+}
+
+// InstallIndex implements Node.
+func (r *Remote) InstallIndex(idx *core.Index) error {
+	return r.do(func(c *transport.Client) error { return c.InstallIndex(idx) })
+}
+
+// InstallDynIndex implements Node.
+func (r *Remote) InstallDynIndex(idx *core.DynIndex) error {
+	return r.do(func(c *transport.Client) error { return c.InstallDynIndex(idx) })
+}
+
+// FetchBuckets implements core.BucketStore.
+func (r *Remote) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {
+	var buckets []core.DynBucket
+	err := r.do(func(c *transport.Client) error {
+		var err error
+		buckets, err = c.FetchBuckets(refs)
+		return err
+	})
+	return buckets, err
+}
+
+// StoreBuckets implements core.BucketStore.
+func (r *Remote) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) error {
+	return r.do(func(c *transport.Client) error { return c.StoreBuckets(refs, buckets) })
+}
+
+// Traffic returns the cumulative serialized traffic of the current
+// connection (zero after a redial).
+func (r *Remote) Traffic() (sent, received int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.c == nil {
+		return 0, 0
+	}
+	return r.c.Traffic()
+}

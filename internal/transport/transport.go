@@ -24,6 +24,44 @@ import (
 	"pisd/internal/core"
 )
 
+// ConnError marks a connection-level failure: a failed dial, a send or
+// receive error, a timed-out or cancelled exchange, a server that closed
+// mid-call, or a truncated gob frame. After a ConnError the gob stream is
+// in an undefined state and the client must be discarded (re-dial to
+// retry). Callers distinguishing transient transport faults from
+// application errors — e.g. a shard pool deciding whether to retry —
+// should test with IsConnError.
+type ConnError struct {
+	// Op is the failing step: "dial", "call", "send" or "receive".
+	Op string
+	// Err is the underlying network or codec error.
+	Err error
+}
+
+func (e *ConnError) Error() string { return fmt.Sprintf("transport: %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As (net.Error,
+// context.DeadlineExceeded, io.ErrUnexpectedEOF, ...).
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// IsConnError reports whether err stems from the connection rather than
+// from the remote application logic. Connection errors are retryable on a
+// fresh connection; application errors (RemoteError) are not.
+func IsConnError(err error) bool {
+	var ce *ConnError
+	return errors.As(err, &ce)
+}
+
+// RemoteError is an error the server's application logic reported inside a
+// well-formed response frame (e.g. "cloud: no index installed"). The
+// connection remains healthy after a RemoteError.
+type RemoteError struct {
+	// Msg is the server-side error string.
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
 // Method names of the wire protocol.
 const (
 	MethodSecRec        = "SecRec"
@@ -247,11 +285,11 @@ type Client struct {
 // in-process cloud server.
 var _ core.BucketStore = (*Client)(nil)
 
-// Dial connects to a transport server.
+// Dial connects to a transport server. A failed dial returns a ConnError.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial: %w", err)
+		return nil, &ConnError{Op: "dial", Err: err}
 	}
 	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
@@ -260,7 +298,9 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.conn.Close() }
 
 // SetTimeout bounds every subsequent request/response exchange; zero
-// disables the bound. A timed-out call leaves the gob stream in an
+// disables the bound. Per-call context deadlines (the ...Context variants)
+// compose with this connection-global bound: the earlier deadline wins. A
+// timed-out call fails with a ConnError and leaves the gob stream in an
 // undefined state, so the client should be discarded after one.
 func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
@@ -275,16 +315,41 @@ func (c *Client) Traffic() (sent, received int64) {
 	return c.sentBytes, c.recvBytes
 }
 
-// call performs one request/response exchange.
+// call performs one request/response exchange without per-call deadline.
 func (c *Client) call(req *Request) (*Response, error) {
+	return c.callContext(context.Background(), req)
+}
+
+// callContext performs one request/response exchange bounded by ctx: a
+// context deadline (combined with the connection-global timeout, earlier
+// wins) is applied to the socket, and a cancellation arriving mid-call
+// interrupts the blocked read by expiring the socket deadline. Requests on
+// one client serialize; the ctx of a queued call bounds only its own
+// exchange.
+func (c *Client) callContext(ctx context.Context, req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, &ConnError{Op: "call", Err: err}
+	}
+	deadline := time.Time{}
 	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !deadline.IsZero() {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return nil, &ConnError{Op: "call", Err: err}
 		}
 		defer c.conn.SetDeadline(time.Time{})
 	}
+	// A cancellation (as opposed to a deadline) must also unblock the
+	// pending socket read; expiring the deadline does that.
+	stop := context.AfterFunc(ctx, func() { c.conn.SetDeadline(time.Now()) })
+	defer stop()
+
 	// Measure the serialized request size with a parallel encoding; gob
 	// stream framing on the live connection is equivalent modulo type
 	// descriptors sent once.
@@ -293,43 +358,74 @@ func (c *Client) call(req *Request) (*Response, error) {
 		c.sentBytes += int64(buf.Len())
 	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("transport: send: %w", err)
+		return nil, c.connErr(ctx, "send", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("transport: receive: %w", err)
+		return nil, c.connErr(ctx, "receive", err)
 	}
 	var rbuf bytes.Buffer
 	if err := gob.NewEncoder(&rbuf).Encode(&resp); err == nil {
 		c.recvBytes += int64(rbuf.Len())
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("transport: remote: %s", resp.Err)
+		return nil, &RemoteError{Msg: resp.Err}
 	}
 	return &resp, nil
 }
 
+// connErr wraps a send/receive failure, preferring the context's own error
+// when the failure was induced by its expiry or cancellation so callers
+// can errors.Is against context.DeadlineExceeded / context.Canceled.
+func (c *Client) connErr(ctx context.Context, op string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return &ConnError{Op: op, Err: fmt.Errorf("%w (%v)", ctxErr, err)}
+	}
+	return &ConnError{Op: op, Err: err}
+}
+
 // InstallIndex outsources a freshly built static index to the cloud.
 func (c *Client) InstallIndex(idx *core.Index) error {
-	_, err := c.call(&Request{Method: MethodInstallIndex, Index: idx})
+	return c.InstallIndexContext(context.Background(), idx)
+}
+
+// InstallIndexContext is InstallIndex bounded by ctx.
+func (c *Client) InstallIndexContext(ctx context.Context, idx *core.Index) error {
+	_, err := c.callContext(ctx, &Request{Method: MethodInstallIndex, Index: idx})
 	return err
 }
 
 // InstallDynIndex outsources a dynamic index to the cloud.
 func (c *Client) InstallDynIndex(idx *core.DynIndex) error {
-	_, err := c.call(&Request{Method: MethodInstallDyn, DynIndex: idx})
+	return c.InstallDynIndexContext(context.Background(), idx)
+}
+
+// InstallDynIndexContext is InstallDynIndex bounded by ctx.
+func (c *Client) InstallDynIndexContext(ctx context.Context, idx *core.DynIndex) error {
+	_, err := c.callContext(ctx, &Request{Method: MethodInstallDyn, DynIndex: idx})
 	return err
 }
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
-	_, err := c.call(&Request{Method: MethodPing})
+	return c.PingContext(context.Background())
+}
+
+// PingContext is Ping bounded by ctx.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.callContext(ctx, &Request{Method: MethodPing})
 	return err
 }
 
 // SecRec implements frontend.DiscoveryServer remotely.
 func (c *Client) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
-	resp, err := c.call(&Request{Method: MethodSecRec, Trapdoor: t})
+	return c.SecRecContext(context.Background(), t)
+}
+
+// SecRecContext is SecRec bounded by ctx — the fan-out primitive a shard
+// pool uses to put a per-shard deadline on each discovery leg.
+func (c *Client) SecRecContext(ctx context.Context, t *core.Trapdoor) ([]uint64, [][]byte, error) {
+	resp, err := c.callContext(ctx, &Request{Method: MethodSecRec, Trapdoor: t})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,7 +434,12 @@ func (c *Client) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 
 // FetchProfiles implements frontend.ProfileFetcher remotely.
 func (c *Client) FetchProfiles(ids []uint64) ([][]byte, error) {
-	resp, err := c.call(&Request{Method: MethodFetchProfiles, IDs: ids})
+	return c.FetchProfilesContext(context.Background(), ids)
+}
+
+// FetchProfilesContext is FetchProfiles bounded by ctx.
+func (c *Client) FetchProfilesContext(ctx context.Context, ids []uint64) ([][]byte, error) {
+	resp, err := c.callContext(ctx, &Request{Method: MethodFetchProfiles, IDs: ids})
 	if err != nil {
 		return nil, err
 	}
@@ -347,19 +448,34 @@ func (c *Client) FetchProfiles(ids []uint64) ([][]byte, error) {
 
 // PutProfiles uploads encrypted profiles.
 func (c *Client) PutProfiles(profiles map[uint64][]byte) error {
-	_, err := c.call(&Request{Method: MethodPutProfile, Profiles: profiles})
+	return c.PutProfilesContext(context.Background(), profiles)
+}
+
+// PutProfilesContext is PutProfiles bounded by ctx.
+func (c *Client) PutProfilesContext(ctx context.Context, profiles map[uint64][]byte) error {
+	_, err := c.callContext(ctx, &Request{Method: MethodPutProfile, Profiles: profiles})
 	return err
 }
 
 // DeleteProfile removes an encrypted profile.
 func (c *Client) DeleteProfile(id uint64) error {
-	_, err := c.call(&Request{Method: MethodDeleteProfile, UserID: id})
+	return c.DeleteProfileContext(context.Background(), id)
+}
+
+// DeleteProfileContext is DeleteProfile bounded by ctx.
+func (c *Client) DeleteProfileContext(ctx context.Context, id uint64) error {
+	_, err := c.callContext(ctx, &Request{Method: MethodDeleteProfile, UserID: id})
 	return err
 }
 
 // FetchBuckets implements core.BucketStore remotely.
 func (c *Client) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {
-	resp, err := c.call(&Request{Method: MethodFetchBuckets, Refs: refs})
+	return c.FetchBucketsContext(context.Background(), refs)
+}
+
+// FetchBucketsContext is FetchBuckets bounded by ctx.
+func (c *Client) FetchBucketsContext(ctx context.Context, refs []core.BucketRef) ([]core.DynBucket, error) {
+	resp, err := c.callContext(ctx, &Request{Method: MethodFetchBuckets, Refs: refs})
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +484,12 @@ func (c *Client) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {
 
 // StoreBuckets implements core.BucketStore remotely.
 func (c *Client) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) error {
-	_, err := c.call(&Request{Method: MethodStoreBuckets, Refs: refs, Buckets: buckets})
+	return c.StoreBucketsContext(context.Background(), refs, buckets)
+}
+
+// StoreBucketsContext is StoreBuckets bounded by ctx.
+func (c *Client) StoreBucketsContext(ctx context.Context, refs []core.BucketRef, buckets []core.DynBucket) error {
+	_, err := c.callContext(ctx, &Request{Method: MethodStoreBuckets, Refs: refs, Buckets: buckets})
 	return err
 }
 

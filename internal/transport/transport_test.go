@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net"
 	"strings"
@@ -367,5 +368,200 @@ func TestClientTimeout(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestConnErrorOnServerClosedMidCall(t *testing.T) {
+	// A server that reads the request, then slams the connection shut:
+	// the client's pending receive must surface a typed ConnError.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1024)
+		conn.Read(buf)
+		conn.Close()
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	err = client.Ping()
+	if err == nil {
+		t.Fatal("ping against closing server succeeded")
+	}
+	if !IsConnError(err) {
+		t.Errorf("server close surfaced %T (%v), want *ConnError", err, err)
+	}
+}
+
+func TestConnErrorOnTruncatedFrame(t *testing.T) {
+	// A server that answers with garbage bytes and closes: a truncated /
+	// corrupt gob frame is a connection-level error, not an application
+	// error.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1024)
+		conn.Read(buf)
+		conn.Write([]byte{0x07, 0xff, 0x81}) // nonsense partial frame
+		conn.Close()
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	err = client.Ping()
+	if err == nil {
+		t.Fatal("ping over truncated frame succeeded")
+	}
+	var ce *ConnError
+	if !errors.As(err, &ce) {
+		t.Fatalf("truncated frame surfaced %T (%v), want *ConnError", err, err)
+	}
+	if ce.Op != "receive" {
+		t.Errorf("ConnError.Op = %q, want receive", ce.Op)
+	}
+}
+
+func TestRemoteErrorIsNotConnError(t *testing.T) {
+	_, client := startServer(t)
+	_, _, err := client.SecRec(&core.Trapdoor{})
+	if err == nil {
+		t.Fatal("SecRec without index succeeded")
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("application failure surfaced %T (%v), want *RemoteError", err, err)
+	}
+	if IsConnError(err) {
+		t.Error("application failure classified as connection error")
+	}
+	// The connection must stay healthy after a RemoteError.
+	if err := client.Ping(); err != nil {
+		t.Errorf("ping after RemoteError: %v", err)
+	}
+}
+
+func TestContextDeadlineBoundsCall(t *testing.T) {
+	// A server that accepts but never answers: a per-call context deadline
+	// must interrupt the exchange and classify it as retryable.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn)
+		}
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = client.PingContext(ctx)
+	if err == nil {
+		t.Fatal("ping against silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("context deadline took %v to fire", elapsed)
+	}
+	if !IsConnError(err) {
+		t.Errorf("deadline expiry surfaced %T (%v), want *ConnError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want errors.Is(context.DeadlineExceeded)", err)
+	}
+}
+
+func TestContextCancelInterruptsCall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, conn)
+		}
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err = client.PingContext(ctx)
+	if err == nil {
+		t.Fatal("cancelled ping succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v to interrupt the call", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+}
+
+func TestContextPreCancelledFailsFast(t *testing.T) {
+	_, client := startServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := client.PingContext(ctx); err == nil {
+		t.Fatal("pre-cancelled context accepted")
+	} else if !IsConnError(err) {
+		t.Errorf("pre-cancelled call surfaced %T, want *ConnError", err)
+	}
+	// The stream was never touched; the client must still work.
+	if err := client.Ping(); err != nil {
+		t.Errorf("ping after pre-cancelled call: %v", err)
+	}
+}
+
+func TestDialFailureIsConnError(t *testing.T) {
+	// Reserve a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial to dead address succeeded")
+	} else if !IsConnError(err) {
+		t.Errorf("dial failure surfaced %T (%v), want *ConnError", err, err)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"pisd/internal/groups"
 	"pisd/internal/imaging"
 	"pisd/internal/lsh"
+	"pisd/internal/shard"
 	"pisd/internal/sharing"
 	"pisd/internal/surf"
 	"pisd/internal/transport"
@@ -91,6 +92,21 @@ type (
 	SharingAuthority = sharing.Authority
 	// SharingPolicy is a DNF attribute policy for shared images.
 	SharingPolicy = sharing.Policy
+	// Shard is one cloud shard's installable state (partitioned index +
+	// owned encrypted profiles).
+	Shard = frontend.Shard
+	// DynShard is one cloud shard's dynamic state.
+	DynShard = frontend.DynShard
+	// ShardNode is one shard's cloud surface (in-process or remote).
+	ShardNode = shard.Node
+	// LocalShard adapts an in-process Cloud as a shard node.
+	LocalShard = shard.Local
+	// RemoteShard adapts a TCP cloud server as a shard node.
+	RemoteShard = shard.Remote
+	// ShardPool fans discovery out across shard nodes and merges results.
+	ShardPool = shard.Pool
+	// ShardPoolConfig tunes fan-out timeouts, retries and owner routing.
+	ShardPoolConfig = shard.Config
 	// Group is one discovered social group.
 	Group = groups.Group
 	// GroupNeighbor is one per-user discovery result fed to grouping.
@@ -123,6 +139,17 @@ var (
 	DefaultFrontendConfig = frontend.DefaultConfig
 	// DefaultGroupOptions is the standard group-discovery configuration.
 	DefaultGroupOptions = groups.DefaultOptions
+	// NewShardPool assembles a fan-out pool over shard nodes.
+	NewShardPool = shard.NewPool
+	// NewLocalShard wraps an in-process Cloud as a shard node.
+	NewLocalShard = shard.NewLocal
+	// NewRemoteShard points a shard node at a TCP cloud server.
+	NewRemoteShard = shard.NewRemote
+	// DefaultShardPoolConfig is the standard fan-out configuration
+	// (5 s per-shard deadline, one retry).
+	DefaultShardPoolConfig = shard.DefaultConfig
+	// DefaultShardOwner is the id-mod-S shard ownership function.
+	DefaultShardOwner = core.DefaultOwner
 )
 
 // Batch update operations (Sec. III-D batch-update extension).
