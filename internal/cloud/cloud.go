@@ -29,6 +29,10 @@ type Server struct {
 	dyn      *core.DynIndex
 	profiles map[uint64][]byte
 	images   map[uint64][][]byte
+	// secScratch pools SecRec working state (dedup set, unmask buffer) so
+	// a shard answering its slice of a fanned-out query allocates nothing
+	// per request beyond the result slices.
+	secScratch sync.Pool
 }
 
 // Compile-time check: the server exposes the dynamic scheme's bucket
@@ -103,7 +107,12 @@ func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 	if s.idx == nil {
 		return nil, nil, ErrNoIndex
 	}
-	ids, err := s.idx.SecRec(t)
+	sc, _ := s.secScratch.Get().(*core.SecRecScratch)
+	if sc == nil {
+		sc = core.NewSecRecScratch(s.idx.Params())
+	}
+	ids, err := s.idx.SecRecWith(t, sc)
+	s.secScratch.Put(sc)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cloud: %w", err)
 	}

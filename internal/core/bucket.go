@@ -92,29 +92,50 @@ func decodeDynPayload(b []byte, tables int) (uint64, lsh.Metadata, bool) {
 	return id, meta, true
 }
 
-// staticMask derives the static scheme's bucket mask
-// r_i = g(k_j, j ‖ pos) (Algorithm 1, line "generate random mask").
+// staticMaskInto derives the static scheme's bucket mask
+// r_i = g(k_j, j ‖ pos) (Algorithm 1, line "generate random mask") into
+// the caller's buffer, allocation-free.
+func staticMaskInto(dst []byte, keys *crypt.KeySet, table int, pos uint64) {
+	keys.TablePRF(table).MaskInto(dst, table, pos)
+}
+
+// staticMask is the allocating form of staticMaskInto, for cold paths and
+// tests.
 func staticMask(keys *crypt.KeySet, table int, pos uint64) []byte {
-	return crypt.Mask(keys.Table[table], table, pos, BucketSize)
+	mask := make([]byte, BucketSize)
+	staticMaskInto(mask, keys, table, pos)
+	return mask
 }
 
-// stashMask derives the mask of stash slot pos. The stash is addressed by
-// a table index beyond the real tables (keyed by table 0's PRF key with a
-// distinct table-id input), so its masks never collide with bucket masks.
+// stashMaskInto derives the mask of stash slot pos. The stash is addressed
+// by a table index beyond the real tables (keyed by table 0's PRF key with
+// a distinct table-id input), so its masks never collide with bucket masks.
+func stashMaskInto(dst []byte, keys *crypt.KeySet, tables, pos int) {
+	keys.TablePRF(0).MaskInto(dst, tables, uint64(pos))
+}
+
+// stashMask is the allocating form of stashMaskInto.
 func stashMask(keys *crypt.KeySet, tables int, pos int) []byte {
-	return crypt.Mask(keys.Table[0], tables, uint64(pos), BucketSize)
+	mask := make([]byte, BucketSize)
+	stashMaskInto(mask, keys, tables, pos)
+	return mask
 }
 
-// bucketPos computes the PRF-permuted bucket position
-// f(k_j, V[j]) for δ = 0 and f(k_j, V[j] ‖ δ) for probes, reduced mod w.
-func bucketPos(keys *crypt.KeySet, table int, metaValue uint64, delta, width int) int {
-	var enc [8]byte
-	binary.BigEndian.PutUint64(enc[:], metaValue)
+// prfPos computes the PRF-permuted bucket position from a precomputed PRF
+// handle: f(k_j, V[j]) for δ = 0 and f(k_j, V[j] ‖ δ) for probes, reduced
+// mod w. Hot loops (cuckoo placement, trapdoor generation) hold the handle
+// so the per-call cost is two SHA-256 compressions and nothing else.
+func prfPos(p *crypt.PRF, metaValue uint64, delta, width int) int {
 	var raw uint64
 	if delta == 0 {
-		raw = crypt.Pos(keys.Table[table], enc[:])
+		raw = p.Pos8(metaValue)
 	} else {
-		raw = crypt.PosProbe(keys.Table[table], enc[:], delta)
+		raw = p.Pos8Probe(metaValue, delta)
 	}
 	return int(raw % uint64(width))
+}
+
+// bucketPos is prfPos resolving the table PRF through the key set's cache.
+func bucketPos(keys *crypt.KeySet, table int, metaValue uint64, delta, width int) int {
+	return prfPos(keys.TablePRF(table), metaValue, delta, width)
 }

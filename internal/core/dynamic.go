@@ -1,10 +1,8 @@
 package core
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
-	"io"
 	mrand "math/rand"
 	"sync"
 
@@ -129,11 +127,23 @@ func (x *DynIndex) StoreBuckets(refs []BucketRef, buckets []DynBucket) error {
 type DynClient struct {
 	keys *crypt.KeySet
 	p    Params
-	// mu serializes operations: protects rng, stats, and — more
-	// importantly — keeps each multi-round protocol's fetch/modify/store
-	// sequence atomic with respect to this client's other operations.
+	// tprfs[j] and gprf are the precomputed PRF handles for table j's
+	// position key and k_G; resolved once so the hot seal/open/Refs paths
+	// skip the key-cache lookup.
+	tprfs []*crypt.PRF
+	gprf  *crypt.PRF
+	// mu serializes operations: protects rng, stats, drbg, maskBuf and —
+	// more importantly — keeps each multi-round protocol's
+	// fetch/modify/store sequence atomic with respect to this client's
+	// other operations. BuildDynamic seals pre-publication from a single
+	// goroutine, the one place seal runs without mu.
 	mu  sync.Mutex
 	rng *mrand.Rand
+	// drbg supplies the per-bucket random values r and the Enc IVs; one
+	// kernel read at construction instead of two per sealed bucket.
+	drbg *crypt.DRBG
+	// maskBuf is the reusable G(r) expansion buffer of seal/open.
+	maskBuf []byte
 	// Stats accumulates kick-aways and interaction rounds.
 	stats DynStats
 }
@@ -155,7 +165,23 @@ func NewDynClient(keys *crypt.KeySet, p Params, seed int64) (*DynClient, error) 
 	if err := checkKeys(keys, p); err != nil {
 		return nil, err
 	}
-	return &DynClient{keys: keys, p: p, rng: mrand.New(mrand.NewSource(seed))}, nil
+	drbg, err := crypt.NewDRBG()
+	if err != nil {
+		return nil, fmt.Errorf("core: dynamic client: %w", err)
+	}
+	tprfs := make([]*crypt.PRF, p.Tables)
+	for j := range tprfs {
+		tprfs[j] = keys.TablePRF(j)
+	}
+	return &DynClient{
+		keys:    keys,
+		p:       p,
+		tprfs:   tprfs,
+		gprf:    keys.GPRF(),
+		rng:     mrand.New(mrand.NewSource(seed)),
+		drbg:    drbg,
+		maskBuf: make([]byte, dynPayloadSize(p.Tables)),
+	}, nil
 }
 
 // Stats returns accumulated operation statistics.
@@ -183,24 +209,25 @@ func (c *DynClient) Refs(meta lsh.Metadata) ([]BucketRef, error) {
 	refs := make([]BucketRef, 0, c.p.BucketsPerQuery())
 	for j := 0; j < c.p.Tables; j++ {
 		for delta := 0; delta <= c.p.ProbeRange; delta++ {
-			refs = append(refs, BucketRef{Table: j, Pos: uint64(bucketPos(c.keys, j, meta[j], delta, w))})
+			refs = append(refs, BucketRef{Table: j, Pos: uint64(prfPos(c.tprfs[j], meta[j], delta, w))})
 		}
 	}
 	return refs, nil
 }
 
 // seal masks a payload with a fresh random value:
-// (G(r) ⊕ payload, Enc(k_r, r)).
+// (G(r) ⊕ payload, Enc(k_r, r)). Randomness (r and the Enc IV) comes from
+// the client's DRBG, and the G(r) expansion reuses the client's mask
+// buffer, so sealing costs exactly two allocations: the two outputs.
 func (c *DynClient) seal(payload []byte) (DynBucket, error) {
-	r := make([]byte, rSize)
-	if _, err := io.ReadFull(rand.Reader, r); err != nil {
-		return DynBucket{}, fmt.Errorf("core: seal: %w", err)
-	}
-	encR, err := crypt.Enc(c.keys.KR, r)
+	var r [rSize]byte
+	c.drbg.Fill(r[:])
+	encR, err := crypt.EncFrom(c.keys.KR, r[:], c.drbg)
 	if err != nil {
 		return DynBucket{}, fmt.Errorf("core: seal: %w", err)
 	}
-	mask := crypt.StreamG(c.keys.KG, r, len(payload))
+	mask := c.grow(len(payload))
+	c.gprf.StreamGInto(mask, r[:])
 	masked := make([]byte, len(payload))
 	crypt.XOR(masked, mask, payload)
 	return DynBucket{Masked: masked, EncR: encR}, nil
@@ -213,10 +240,19 @@ func (c *DynClient) open(b DynBucket) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: open bucket: %w", err)
 	}
-	mask := crypt.StreamG(c.keys.KG, r, len(b.Masked))
+	mask := c.grow(len(b.Masked))
+	c.gprf.StreamGInto(mask, r)
 	payload := make([]byte, len(b.Masked))
 	crypt.XOR(payload, mask, b.Masked)
 	return payload, nil
+}
+
+// grow returns the client's mask buffer resized to n bytes.
+func (c *DynClient) grow(n int) []byte {
+	if cap(c.maskBuf) < n {
+		c.maskBuf = make([]byte, n)
+	}
+	return c.maskBuf[:n]
 }
 
 // BuildDynamic constructs the dynamic index over the given items: the same

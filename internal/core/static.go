@@ -1,10 +1,8 @@
 package core
 
 import (
-	"crypto/rand"
 	"errors"
 	"fmt"
-	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -97,8 +95,15 @@ func Build(keys *crypt.KeySet, items []Item, p Params) (*Index, error) {
 	return idx, nil
 }
 
-// newPlacer constructs the shared cuckoo engine with PRF addressing.
+// newPlacer constructs the shared cuckoo engine with PRF addressing. The
+// per-table PRF handles are resolved once up front so placement — the
+// kick-away-heavy inner loop of Algorithm 2 — never takes the key-cache
+// lock.
 func newPlacer(keys *crypt.KeySet, p Params) (*cuckoo.Index, error) {
+	prfs := make([]*crypt.PRF, p.Tables)
+	for j := range prfs {
+		prfs[j] = keys.TablePRF(j)
+	}
 	cp := cuckoo.Params{
 		Tables:     p.Tables,
 		Capacity:   p.Capacity,
@@ -107,7 +112,7 @@ func newPlacer(keys *crypt.KeySet, p Params) (*cuckoo.Index, error) {
 		Seed:       p.Seed,
 		StashSize:  p.StashSize,
 		PosFunc: func(table int, key uint64, delta, width int) int {
-			return bucketPos(keys, table, key, delta, width)
+			return prfPos(prfs[table], key, delta, width)
 		},
 	}
 	return cuckoo.New(cp)
@@ -162,22 +167,29 @@ func encryptStatic(keys *crypt.KeySet, placer *cuckoo.Index, p Params, n int, in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One DRBG per worker: padding comes from an AES-CTR
+			// keystream under a fresh random seed instead of one kernel
+			// read per table (see DESIGN.md §10 for the leakage argument).
+			drbg, err := crypt.NewDRBG()
+			if err != nil {
+				errCh <- fmt.Errorf("core: random padding: %w", err)
+				return
+			}
+			var mask [BucketSize]byte
 			for j := range tableCh {
 				// One contiguous allocation per table keeps the 1M-user
 				// build within memory and makes SizeBytes exact.
 				flat := make([]byte, w*BucketSize)
-				if _, err := io.ReadFull(rand.Reader, flat); err != nil {
-					errCh <- fmt.Errorf("core: random padding: %w", err)
-					return
-				}
+				drbg.Fill(flat)
 				buckets := make([][]byte, w)
 				for pos := 0; pos < w; pos++ {
 					buckets[pos] = flat[pos*BucketSize : (pos+1)*BucketSize]
 				}
+				prf := keys.TablePRF(j)
 				for _, slot := range occupied[j] {
 					payload := encodePayload(slot.id)
-					mask := staticMask(keys, j, uint64(slot.pos))
-					crypt.XOR(buckets[slot.pos], mask, payload[:])
+					prf.MaskInto(mask[:], j, uint64(slot.pos))
+					crypt.XOR(buckets[slot.pos], mask[:], payload[:])
 				}
 				idx.tables[j] = buckets
 			}
@@ -189,21 +201,24 @@ func encryptStatic(keys *crypt.KeySet, placer *cuckoo.Index, p Params, n int, in
 		return nil, err
 	}
 	// Stash: random padding, then mask the occupied slots.
-	idx.stash = make([][]byte, p.StashSize)
-	for pos := range idx.stash {
-		b := make([]byte, BucketSize)
-		if _, err := io.ReadFull(rand.Reader, b); err != nil {
-			return nil, fmt.Errorf("core: stash padding: %w", err)
-		}
-		idx.stash[pos] = b
+	drbg, err := crypt.NewDRBG()
+	if err != nil {
+		return nil, fmt.Errorf("core: stash padding: %w", err)
 	}
+	idx.stash = make([][]byte, p.StashSize)
+	stashFlat := make([]byte, p.StashSize*BucketSize)
+	drbg.Fill(stashFlat)
+	for pos := range idx.stash {
+		idx.stash[pos] = stashFlat[pos*BucketSize : (pos+1)*BucketSize]
+	}
+	var mask [BucketSize]byte
 	placer.WalkStash(func(pos int, id uint64) {
 		if include != nil && !include(id) {
 			return
 		}
 		payload := encodePayload(id)
-		mask := stashMask(keys, p.Tables, pos)
-		crypt.XOR(idx.stash[pos], mask, payload[:])
+		stashMaskInto(mask[:], keys, p.Tables, pos)
+		crypt.XOR(idx.stash[pos], mask[:], payload[:])
 	})
 	idx.stats.StashHits = placer.Stats().StashHits
 	return idx, nil
@@ -241,6 +256,20 @@ func (x *Index) Bucket(table int, pos uint64) ([]byte, error) {
 	return x.tables[table][pos], nil
 }
 
+// SecRecScratch holds the reusable working state of a SecRec evaluation —
+// the dedup set and the unmask buffer — so servers answering many queries
+// (the sharded fan-out in particular) allocate neither per query nor per
+// shard. A scratch is single-goroutine state; pool or confine it.
+type SecRecScratch struct {
+	seen map[uint64]struct{}
+	buf  [BucketSize]byte
+}
+
+// NewSecRecScratch returns a scratch sized for p's per-query bucket count.
+func NewSecRecScratch(p Params) *SecRecScratch {
+	return &SecRecScratch{seen: make(map[uint64]struct{}, p.BucketsPerQuery())}
+}
+
 // SecRec implements M ← SecRec(t, I) minus the profile fetch: given a
 // trapdoor it unmasks the l·(d+1) addressed buckets and returns the
 // recovered identifiers (deduplicated, order of discovery). The cloud then
@@ -249,34 +278,31 @@ func (x *Index) Bucket(table int, pos uint64) ([]byte, error) {
 // SecRec requires no key material: the trapdoor carries positions and
 // one-time masks, exactly the view the security proof simulates.
 func (x *Index) SecRec(t *Trapdoor) ([]uint64, error) {
+	return x.SecRecWith(t, nil)
+}
+
+// SecRecWith is SecRec with caller-provided scratch; a nil scratch
+// allocates fresh working state for this call.
+func (x *Index) SecRecWith(t *Trapdoor, sc *SecRecScratch) ([]uint64, error) {
 	if t == nil {
 		return nil, fmt.Errorf("core: nil trapdoor")
 	}
 	if len(t.Tables) != x.params.Tables {
 		return nil, fmt.Errorf("core: trapdoor covers %d tables, index has %d", len(t.Tables), x.params.Tables)
 	}
-	ids := make([]uint64, 0, x.params.BucketsPerQuery())
-	seen := make(map[uint64]struct{}, x.params.BucketsPerQuery())
-	collect := func(masked, mask []byte) error {
-		if len(mask) != BucketSize {
-			return fmt.Errorf("core: trapdoor mask length %d, want %d", len(mask), BucketSize)
-		}
-		var buf [BucketSize]byte
-		crypt.XOR(buf[:], mask, masked)
-		if id, ok := decodePayload(buf); ok {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
-				ids = append(ids, id)
-			}
-		}
-		return nil
+	if sc == nil {
+		sc = NewSecRecScratch(x.params)
 	}
+	clear(sc.seen)
+	ids := make([]uint64, 0, x.params.BucketsPerQuery())
 	for j, entries := range t.Tables {
-		for _, e := range entries {
+		for i := range entries {
+			e := &entries[i]
 			if e.Pos >= uint64(x.width) {
 				return nil, fmt.Errorf("core: trapdoor position %d out of range (w=%d)", e.Pos, x.width)
 			}
-			if err := collect(x.tables[j][e.Pos], e.Mask); err != nil {
+			var err error
+			if ids, err = sc.collect(ids, x.tables[j][e.Pos], e.Mask); err != nil {
 				return nil, err
 			}
 		}
@@ -285,8 +311,25 @@ func (x *Index) SecRec(t *Trapdoor) ([]uint64, error) {
 		return nil, fmt.Errorf("core: trapdoor stash covers %d slots, index has %d", len(t.Stash), len(x.stash))
 	}
 	for pos, mask := range t.Stash {
-		if err := collect(x.stash[pos], mask); err != nil {
+		var err error
+		if ids, err = sc.collect(ids, x.stash[pos], mask); err != nil {
 			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// collect unmasks one bucket into the scratch buffer and appends any
+// recovered, not-yet-seen identifier to ids.
+func (sc *SecRecScratch) collect(ids []uint64, masked, mask []byte) ([]uint64, error) {
+	if len(mask) != BucketSize {
+		return ids, fmt.Errorf("core: trapdoor mask length %d, want %d", len(mask), BucketSize)
+	}
+	crypt.XOR(sc.buf[:], mask, masked)
+	if id, ok := decodePayload(sc.buf); ok {
+		if _, dup := sc.seen[id]; !dup {
+			sc.seen[id] = struct{}{}
+			ids = append(ids, id)
 		}
 	}
 	return ids, nil

@@ -43,18 +43,29 @@ func GenTpdr(keys *crypt.KeySet, meta lsh.Metadata, p Params) (*Trapdoor, error)
 	w := p.Width()
 	t := &Trapdoor{Tables: make([][]Entry, p.Tables)}
 	for j := 0; j < p.Tables; j++ {
+		prf := keys.TablePRF(j)
+		// All d+1 masks of a table share one backing buffer: a single
+		// allocation instead of one per entry. Full slice expressions keep
+		// the entries from growing into each other.
+		masks := make([]byte, (p.ProbeRange+1)*BucketSize)
 		entries := make([]Entry, 0, p.ProbeRange+1)
 		for delta := 0; delta <= p.ProbeRange; delta++ {
-			pos := uint64(bucketPos(keys, j, meta[j], delta, w))
-			entries = append(entries, Entry{
-				Pos:  pos,
-				Mask: staticMask(keys, j, pos),
-			})
+			pos := uint64(prfPos(prf, meta[j], delta, w))
+			mask := masks[delta*BucketSize : (delta+1)*BucketSize : (delta+1)*BucketSize]
+			prf.MaskInto(mask, j, pos)
+			entries = append(entries, Entry{Pos: pos, Mask: mask})
 		}
 		t.Tables[j] = entries
 	}
-	for pos := 0; pos < p.StashSize; pos++ {
-		t.Stash = append(t.Stash, stashMask(keys, p.Tables, pos))
+	if p.StashSize > 0 {
+		prf := keys.TablePRF(0)
+		masks := make([]byte, p.StashSize*BucketSize)
+		t.Stash = make([][]byte, p.StashSize)
+		for pos := 0; pos < p.StashSize; pos++ {
+			mask := masks[pos*BucketSize : (pos+1)*BucketSize : (pos+1)*BucketSize]
+			prf.MaskInto(mask, p.Tables, uint64(pos))
+			t.Stash[pos] = mask
+		}
 	}
 	return t, nil
 }
@@ -108,9 +119,10 @@ func GenPosTpdr(keys *crypt.KeySet, meta lsh.Metadata, p Params) (*PositionTrapd
 	w := p.Width()
 	t := &PositionTrapdoor{Tables: make([][]uint64, p.Tables)}
 	for j := 0; j < p.Tables; j++ {
+		prf := keys.TablePRF(j)
 		positions := make([]uint64, 0, p.ProbeRange+1)
 		for delta := 0; delta <= p.ProbeRange; delta++ {
-			positions = append(positions, uint64(bucketPos(keys, j, meta[j], delta, w)))
+			positions = append(positions, uint64(prfPos(prf, meta[j], delta, w)))
 		}
 		t.Tables[j] = positions
 	}

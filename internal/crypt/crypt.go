@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 const (
@@ -114,18 +115,12 @@ func GenDeterministic(seed string, l int) (*KeySet, error) {
 }
 
 // prf computes HMAC-SHA256(key, label || parts...) with an unambiguous
-// length-prefixed encoding of each part.
+// length-prefixed encoding of each part. It routes through the
+// precomputed-state fast path (prf.go); the output is bit-identical to the
+// generic hmac.New construction.
 func prf(key PRFKey, label byte, parts ...[]byte) [32]byte {
-	mac := hmac.New(sha256.New, key[:])
-	mac.Write([]byte{label})
-	var lenBuf [8]byte
-	for _, p := range parts {
-		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
-		mac.Write(lenBuf[:])
-		mac.Write(p)
-	}
 	var out [32]byte
-	mac.Sum(out[:0])
+	ForKey(key).sum(&out, label, parts...)
 	return out
 }
 
@@ -167,16 +162,15 @@ func StreamG(key PRFKey, r []byte, size int) []byte {
 }
 
 // expand produces size pseudo-random bytes as
-// HMAC(key, label||ctr||seed) blocks.
+// HMAC(key, label||ctr||seed) blocks. The output is allocated exactly at
+// size — no retained spare block capacity.
 func expand(key PRFKey, label byte, seed []byte, size int) []byte {
-	out := make([]byte, 0, size+32)
-	var ctr [4]byte
-	for i := uint32(0); len(out) < size; i++ {
-		binary.BigEndian.PutUint32(ctr[:], i)
-		block := prf(key, label, ctr[:], seed)
-		out = append(out, block[:]...)
-	}
-	return out[:size]
+	out := make([]byte, size)
+	p := ForKey(key)
+	s := prfScratchPool.Get().(*prfScratch)
+	p.expandWith(s, out, label, seed)
+	prfScratchPool.Put(s)
+	return out
 }
 
 // SubKey derives a fresh PRF key from key and a context string, used to
@@ -186,9 +180,20 @@ func SubKey(key PRFKey, context string) PRFKey {
 }
 
 // XOR sets dst = a ^ b and returns dst. All three must have equal length;
-// dst may alias a or b.
+// dst may alias a or b (exact overlap only). It works in 8-byte words with
+// a byte tail; differential fuzzing against the byte-wise reference lives
+// in fuzz_test.go.
 func XOR(dst, a, b []byte) []byte {
-	for i := range dst {
+	n := len(dst)
+	a, b = a[:n], b[:n]
+	i := 0
+	for ; n-i >= 8; i += 8 {
+		// Fixed-endian 8-byte loads/stores compile to single moves and are
+		// endianness-agnostic under XOR.
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
 		dst[i] = a[i] ^ b[i]
 	}
 	return dst
@@ -203,30 +208,78 @@ func RandBytes(n int) ([]byte, error) {
 	return b, nil
 }
 
-// macKey derives the HMAC key for encrypt-then-MAC from the encryption key.
-func macKey(key EncKey) []byte {
+// encState is the memoized per-EncKey machinery of Enc/Dec: the expanded
+// AES block cipher (safe for concurrent use) and the precomputed HMAC
+// states of the derived MAC key, so neither the AES key schedule, the
+// macKey derivation, nor the HMAC key schedule is repeated per call.
+type encState struct {
+	block cipher.Block
+	mac   *PRF
+}
+
+// encCache memoizes encState per EncKey. Append-only like prfCache: a
+// deployment holds two encryption keys (k_s, k_r).
+var (
+	encMu    sync.RWMutex
+	encCache = make(map[EncKey]*encState)
+)
+
+// encStateFor returns the cached Enc/Dec state for key.
+func encStateFor(key EncKey) (*encState, error) {
+	encMu.RLock()
+	st := encCache[key]
+	encMu.RUnlock()
+	if st != nil {
+		return st, nil
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypt: new cipher: %w", err)
+	}
+	st = &encState{block: block, mac: NewPRF(PRFKey(macKey(key)))}
+	encMu.Lock()
+	if q, ok := encCache[key]; ok {
+		st = q
+	} else {
+		encCache[key] = st
+	}
+	encMu.Unlock()
+	return st, nil
+}
+
+// macKey derives the HMAC key for encrypt-then-MAC from the encryption
+// key. Called once per EncKey; the result is memoized inside encStateFor.
+func macKey(key EncKey) [32]byte {
 	h := hmac.New(sha256.New, key[:])
 	h.Write([]byte("pisd/mac"))
-	return h.Sum(nil)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // Enc encrypts plaintext under key with semantic security:
 // AES-128-CTR with a random IV followed by an HMAC-SHA256 tag over IV and
 // ciphertext. Layout: IV || C || TAG.
 func Enc(key EncKey, plaintext []byte) ([]byte, error) {
-	block, err := aes.NewCipher(key[:])
+	return EncFrom(key, plaintext, rand.Reader)
+}
+
+// EncFrom is Enc drawing the IV from the given randomness source instead
+// of crypto/rand. The source must be cryptographically strong (a DRBG
+// qualifies); it exists so bulk encryption paths (dynamic index builds)
+// can amortize kernel entropy reads.
+func EncFrom(key EncKey, plaintext []byte, random io.Reader) ([]byte, error) {
+	st, err := encStateFor(key)
 	if err != nil {
-		return nil, fmt.Errorf("crypt: new cipher: %w", err)
+		return nil, err
 	}
 	out := make([]byte, ivSize+len(plaintext)+MACSize)
 	iv := out[:ivSize]
-	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+	if _, err := io.ReadFull(random, iv); err != nil {
 		return nil, fmt.Errorf("crypt: iv: %w", err)
 	}
-	cipher.NewCTR(block, iv).XORKeyStream(out[ivSize:ivSize+len(plaintext)], plaintext)
-	mac := hmac.New(sha256.New, macKey(key))
-	mac.Write(out[:ivSize+len(plaintext)])
-	mac.Sum(out[:ivSize+len(plaintext)])
+	cipher.NewCTR(st.block, iv).XORKeyStream(out[ivSize:ivSize+len(plaintext)], plaintext)
+	st.mac.tagTo(out[ivSize+len(plaintext):], out[:ivSize+len(plaintext)])
 	return out, nil
 }
 
@@ -235,19 +288,20 @@ func Dec(key EncKey, ciphertext []byte) ([]byte, error) {
 	if len(ciphertext) < Overhead {
 		return nil, ErrCiphertextTooShort
 	}
+	st, err := encStateFor(key)
+	if err != nil {
+		return nil, err
+	}
 	body := ciphertext[:len(ciphertext)-MACSize]
 	tag := ciphertext[len(ciphertext)-MACSize:]
-	mac := hmac.New(sha256.New, macKey(key))
-	mac.Write(body)
-	if subtle.ConstantTimeCompare(mac.Sum(nil), tag) != 1 {
+	s := prfScratchPool.Get().(*prfScratch)
+	ok := subtle.ConstantTimeCompare(st.mac.tagOf(s, body), tag) == 1
+	prfScratchPool.Put(s)
+	if !ok {
 		return nil, ErrAuthentication
 	}
-	block, err := aes.NewCipher(key[:])
-	if err != nil {
-		return nil, fmt.Errorf("crypt: new cipher: %w", err)
-	}
 	plaintext := make([]byte, len(body)-ivSize)
-	cipher.NewCTR(block, body[:ivSize]).XORKeyStream(plaintext, body[ivSize:])
+	cipher.NewCTR(st.block, body[:ivSize]).XORKeyStream(plaintext, body[ivSize:])
 	return plaintext, nil
 }
 

@@ -1,0 +1,108 @@
+package crypt
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"testing"
+)
+
+// xorRef is the obvious byte-at-a-time reference the word-wise XOR must
+// match on every length and alignment.
+func xorRef(a, b []byte) []byte {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// FuzzXOR differentially checks the word-wise XOR against the byte loop,
+// including odd lengths, mismatched input lengths, and the supported
+// aliasing mode dst == a.
+func FuzzXOR(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1}, []byte{2, 3})
+	f.Add(bytes.Repeat([]byte{0xa5}, 31), bytes.Repeat([]byte{0x5a}, 33))
+	f.Add(bytes.Repeat([]byte{7}, 64), bytes.Repeat([]byte{9}, 64))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		want := xorRef(a, b)
+		dst := make([]byte, len(want))
+		XOR(dst, a, b)
+		if !bytes.Equal(dst, want) {
+			t.Errorf("XOR diverges from reference: got %x want %x", dst, want)
+		}
+		// Aliased form: dst and a are the same slice.
+		aa := append([]byte(nil), a...)
+		if len(b) >= len(aa) {
+			XOR(aa, aa, b)
+			if !bytes.Equal(aa, xorRef(a, b)) {
+				t.Errorf("aliased XOR diverges: got %x want %x", aa, xorRef(a, b))
+			}
+		}
+	})
+}
+
+// FuzzDRBG checks determinism per seed and divergence across seeds: the
+// padding stream must be a pure function of the seed and two distinct
+// seeds must not collide (an AES-CTR keystream collision would mean a
+// broken implementation, not bad luck).
+func FuzzDRBG(f *testing.F) {
+	f.Add([]byte("seed-a"), []byte("seed-b"), uint16(64))
+	f.Add([]byte{}, []byte{1}, uint16(1))
+	f.Add([]byte{0xff}, []byte{0xff, 0}, uint16(333))
+	f.Fuzz(func(t *testing.T, sa, sb []byte, n uint16) {
+		if n == 0 || n > 4096 {
+			return
+		}
+		var seedA, seedB [DRBGSeedSize]byte
+		copy(seedA[:], sa)
+		copy(seedB[:], sb)
+		outA := make([]byte, n)
+		NewSeededDRBG(seedA).Fill(outA)
+		outA2 := make([]byte, n)
+		NewSeededDRBG(seedA).Fill(outA2)
+		if !bytes.Equal(outA, outA2) {
+			t.Error("same seed produced different streams")
+		}
+		if seedA != seedB && n >= 16 {
+			outB := make([]byte, n)
+			NewSeededDRBG(seedB).Fill(outB)
+			if bytes.Equal(outA, outB) {
+				t.Errorf("distinct seeds produced identical %d-byte streams", n)
+			}
+		}
+		// Filling a dirty buffer must overwrite, not XOR into, the
+		// previous content.
+		dirty := bytes.Repeat([]byte{0xde}, int(n))
+		NewSeededDRBG(seedA).Fill(dirty)
+		if !bytes.Equal(dirty, outA) {
+			t.Error("Fill result depends on prior buffer content")
+		}
+	})
+}
+
+// FuzzPRFReference pins the precomputed HMAC state machinery to the
+// standard library: for arbitrary keys and messages the fast path's raw
+// tag must equal crypto/hmac.
+func FuzzPRFReference(f *testing.F) {
+	f.Add([]byte("key"), []byte("message"))
+	f.Add([]byte{}, []byte{})
+	f.Add(bytes.Repeat([]byte{0x42}, 32), bytes.Repeat([]byte{7}, 200))
+	f.Fuzz(func(t *testing.T, keyBytes, msg []byte) {
+		var key PRFKey
+		copy(key[:], keyBytes)
+		var got [32]byte
+		NewPRF(key).tagTo(got[:], msg)
+		mac := hmac.New(sha256.New, key[:])
+		mac.Write(msg)
+		want := mac.Sum(nil)
+		if !bytes.Equal(got[:], want) {
+			t.Errorf("fast HMAC diverges from crypto/hmac: got %x want %x", got, want)
+		}
+	})
+}

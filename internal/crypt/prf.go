@@ -1,0 +1,248 @@
+// Precomputed-PRF fast path. Every PRF of the paper (f, g, G) is
+// HMAC-SHA256, and the generic construction pays two SHA-256 key-schedule
+// compressions (absorbing K⊕ipad and K⊕opad) plus several allocations on
+// every call. The PRF type hoists that per-key work into construction: it
+// snapshots the two keyed compression states once via the digests' binary
+// marshaling, and every subsequent call restores a snapshot into a pooled
+// scratch digest — no hmac.New, no key schedule, no per-call allocation.
+//
+// Output equivalence with the generic path (same framing, same bytes) is
+// enforced by differential tests in fast_test.go; the core package's
+// trapdoors and indexes are byte-identical whichever path produced them.
+package crypt
+
+import (
+	"crypto/sha256"
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// shaDigest is the capability set the fast path needs from crypto/sha256
+// digests: hashing plus snapshot/restore of the compression state.
+type shaDigest interface {
+	hash.Hash
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// PRF is an HMAC-SHA256 instance bound to one PRFKey with the per-key work
+// precomputed. It is immutable after construction and safe for concurrent
+// use: per-call mutable state lives in a pooled scratch.
+type PRF struct {
+	inner []byte // sha256 state after absorbing K ⊕ ipad
+	outer []byte // sha256 state after absorbing K ⊕ opad
+}
+
+// NewPRF precomputes the keyed HMAC states for key. Callers that hold a
+// KeySet should prefer KeySet.TablePRF / KeySet.GPRF, which cache
+// instances per key.
+func NewPRF(key PRFKey) *PRF {
+	var pad [sha256.BlockSize]byte
+	for i := range pad {
+		pad[i] = 0x36
+	}
+	for i, b := range key {
+		pad[i] ^= b
+	}
+	in := sha256.New().(shaDigest)
+	in.Write(pad[:])
+	inner, err := in.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("crypt: marshal sha256 state: %v", err))
+	}
+	for i := range pad {
+		pad[i] ^= 0x36 ^ 0x5c
+	}
+	out := sha256.New().(shaDigest)
+	out.Write(pad[:])
+	outer, err := out.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("crypt: marshal sha256 state: %v", err))
+	}
+	return &PRF{inner: inner, outer: outer}
+}
+
+// prfScratch holds the reusable per-call state of a PRF computation. All
+// intermediate buffers live here so hot-path calls stay allocation-free.
+type prfScratch struct {
+	in, out shaDigest
+	isum    [sha256.Size]byte // inner digest
+	block   [sha256.Size]byte // final tag / current expansion block
+	msg     [64]byte          // staging area for framed messages
+}
+
+var prfScratchPool = sync.Pool{New: func() interface{} {
+	return &prfScratch{
+		in:  sha256.New().(shaDigest),
+		out: sha256.New().(shaDigest),
+	}
+}}
+
+// load resets the scratch's inner digest to the keyed state.
+func (p *PRF) load(s *prfScratch) {
+	if err := s.in.UnmarshalBinary(p.inner); err != nil {
+		panic(fmt.Sprintf("crypt: restore sha256 state: %v", err))
+	}
+}
+
+// finish completes the HMAC over whatever the inner digest has absorbed;
+// the tag is left in s.block.
+func (p *PRF) finish(s *prfScratch) {
+	s.in.Sum(s.isum[:0])
+	if err := s.out.UnmarshalBinary(p.outer); err != nil {
+		panic(fmt.Sprintf("crypt: restore sha256 state: %v", err))
+	}
+	s.out.Write(s.isum[:])
+	s.out.Sum(s.block[:0])
+}
+
+// sum computes HMAC(key, label || len-prefixed parts...) into dst — the
+// exact framing of the package-level prf helper.
+func (p *PRF) sum(dst *[32]byte, label byte, parts ...[]byte) {
+	s := prfScratchPool.Get().(*prfScratch)
+	p.load(s)
+	s.msg[0] = label
+	s.in.Write(s.msg[:1])
+	for _, part := range parts {
+		binary.BigEndian.PutUint64(s.msg[1:9], uint64(len(part)))
+		s.in.Write(s.msg[1:9])
+		s.in.Write(part)
+	}
+	p.finish(s)
+	copy(dst[:], s.block[:])
+	prfScratchPool.Put(s)
+}
+
+// Pos8 is the position PRF f(k, v) over an 8-byte big-endian value:
+// identical to Pos(key, EncodeUint64(v)) without any allocation.
+func (p *PRF) Pos8(v uint64) uint64 {
+	s := prfScratchPool.Get().(*prfScratch)
+	m := s.msg[:17]
+	m[0] = labelPos
+	binary.BigEndian.PutUint64(m[1:9], 8)
+	binary.BigEndian.PutUint64(m[9:17], v)
+	p.load(s)
+	s.in.Write(m)
+	p.finish(s)
+	out := binary.BigEndian.Uint64(s.block[:8])
+	prfScratchPool.Put(s)
+	return out
+}
+
+// Pos8Probe is the δ-th probe position f(k, v ‖ δ) over an 8-byte value:
+// identical to PosProbe(key, EncodeUint64(v), delta) without allocation.
+func (p *PRF) Pos8Probe(v uint64, delta int) uint64 {
+	s := prfScratchPool.Get().(*prfScratch)
+	m := s.msg[:29]
+	m[0] = labelPos
+	binary.BigEndian.PutUint64(m[1:9], 8)
+	binary.BigEndian.PutUint64(m[9:17], v)
+	binary.BigEndian.PutUint64(m[17:25], 4)
+	binary.BigEndian.PutUint32(m[25:29], uint32(delta))
+	p.load(s)
+	s.in.Write(m)
+	p.finish(s)
+	out := binary.BigEndian.Uint64(s.block[:8])
+	prfScratchPool.Put(s)
+	return out
+}
+
+// MaskInto writes g(k, table ‖ pos) expanded to len(dst) bytes into dst:
+// identical to Mask(key, table, pos, len(dst)) without allocation.
+func (p *PRF) MaskInto(dst []byte, table int, pos uint64) {
+	s := prfScratchPool.Get().(*prfScratch)
+	hdr := s.msg[40:56]
+	binary.BigEndian.PutUint64(hdr[:8], uint64(table))
+	binary.BigEndian.PutUint64(hdr[8:], pos)
+	p.expandWith(s, dst, labelMask, hdr)
+	prfScratchPool.Put(s)
+}
+
+// StreamGInto writes G(r) expanded to len(dst) bytes into dst: identical
+// to StreamG(key, r, len(dst)) without allocation.
+func (p *PRF) StreamGInto(dst, r []byte) {
+	s := prfScratchPool.Get().(*prfScratch)
+	p.expandWith(s, dst, labelG, r)
+	prfScratchPool.Put(s)
+}
+
+// expandWith fills dst with the counter-mode expansion
+// HMAC(key, label || ctr || seed) — the framing of the expand helper. seed
+// must not alias s.msg[:21].
+func (p *PRF) expandWith(s *prfScratch, dst []byte, label byte, seed []byte) {
+	m := s.msg[:21]
+	m[0] = label
+	binary.BigEndian.PutUint64(m[1:9], 4)
+	binary.BigEndian.PutUint64(m[13:21], uint64(len(seed)))
+	for i := uint32(0); len(dst) > 0; i++ {
+		binary.BigEndian.PutUint32(m[9:13], i)
+		p.load(s)
+		s.in.Write(m)
+		s.in.Write(seed)
+		p.finish(s)
+		n := copy(dst, s.block[:])
+		dst = dst[n:]
+	}
+}
+
+// tagTo computes the raw (unframed) HMAC over body into dst[:MACSize],
+// the encrypt-then-MAC tag of Enc.
+func (p *PRF) tagTo(dst, body []byte) {
+	s := prfScratchPool.Get().(*prfScratch)
+	p.load(s)
+	s.in.Write(body)
+	p.finish(s)
+	copy(dst[:MACSize], s.block[:])
+	prfScratchPool.Put(s)
+}
+
+// tagOf computes the raw HMAC over body and returns it in the scratch; the
+// caller must compare and return the scratch via prfScratchPool. Used by
+// Dec to verify without exposing intermediate buffers.
+func (p *PRF) tagOf(s *prfScratch, body []byte) []byte {
+	p.load(s)
+	s.in.Write(body)
+	p.finish(s)
+	return s.block[:]
+}
+
+// prfCache memoizes precomputed PRF instances per key. It is append-only:
+// a deployment touches a handful of keys (l table keys, k_G, and the two
+// derived MAC keys), so entries are never evicted. The cached states are
+// key material and exactly as sensitive as the KeySet they derive from.
+var (
+	prfMu    sync.RWMutex
+	prfCache = make(map[PRFKey]*PRF)
+)
+
+// ForKey returns the cached precomputed PRF for key, building it on first
+// use. The typed map avoids boxing the 32-byte key, so a cache hit does
+// not allocate.
+func ForKey(key PRFKey) *PRF {
+	prfMu.RLock()
+	p := prfCache[key]
+	prfMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = NewPRF(key)
+	prfMu.Lock()
+	if q, ok := prfCache[key]; ok {
+		p = q
+	} else {
+		prfCache[key] = p
+	}
+	prfMu.Unlock()
+	return p
+}
+
+// TablePRF returns the precomputed PRF for table j's key, the fast-path
+// handle for position and mask derivation in build and trapdoor code.
+func (k *KeySet) TablePRF(j int) *PRF { return ForKey(k.Table[j]) }
+
+// GPRF returns the precomputed PRF for k_G, the dynamic scheme's mask
+// expander.
+func (k *KeySet) GPRF() *PRF { return ForKey(k.KG) }

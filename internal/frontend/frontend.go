@@ -232,17 +232,38 @@ func (f *Frontend) BuildIndex(uploads []Upload) (*core.Index, map[uint64][]byte,
 	return idx, encProfiles, nil
 }
 
-// encryptProfiles produces {S*} for a batch of uploads.
+// encryptProfiles produces {S*} for a batch of uploads. Each profile's
+// encryption is independent (fresh IV, shared key), so the batch fans out
+// across CPUs; the map is assembled serially afterwards (maps are not
+// concurrent-write safe).
 func (f *Frontend) encryptProfiles(uploads []Upload) (map[uint64][]byte, error) {
+	cts, err := f.encryptProfileSlice(uploads)
+	if err != nil {
+		return nil, err
+	}
 	encProfiles := make(map[uint64][]byte, len(uploads))
-	for _, u := range uploads {
-		ct, err := f.EncryptProfile(u.Profile)
-		if err != nil {
-			return nil, fmt.Errorf("frontend: encrypt profile %d: %w", u.ID, err)
-		}
-		encProfiles[u.ID] = ct
+	for i, u := range uploads {
+		encProfiles[u.ID] = cts[i]
 	}
 	return encProfiles, nil
+}
+
+// encryptProfileSlice encrypts each upload's profile in parallel and
+// returns the ciphertexts aligned with uploads.
+func (f *Frontend) encryptProfileSlice(uploads []Upload) ([][]byte, error) {
+	cts := make([][]byte, len(uploads))
+	err := parallelFor(len(uploads), func(i int) error {
+		ct, err := f.EncryptProfile(uploads[i].Profile)
+		if err != nil {
+			return fmt.Errorf("frontend: encrypt profile %d: %w", uploads[i].ID, err)
+		}
+		cts[i] = ct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
 }
 
 // BuildDynamicIndex builds the updatable index variant plus its front-end
@@ -300,20 +321,38 @@ func (f *Frontend) Discover(server DiscoveryServer, targetProfile []float64, k i
 
 // rank implements GetRec(K, M): decrypt the matched profiles and order by
 // Euclidean distance to the target.
+//
+// Decryption and distance evaluation — the expensive part — run in
+// parallel into a distance array aligned with ids; the top-k heap is then
+// fed serially in the original id order. Feeding the heap in order (rather
+// than merging per-worker heaps) keeps the output byte-identical to the
+// serial implementation even when candidates tie in distance.
 func (f *Frontend) rank(target []float64, ids []uint64, encProfiles [][]byte, k int, excludeID uint64) ([]Match, error) {
 	if len(ids) != len(encProfiles) {
 		return nil, fmt.Errorf("frontend: %d ids but %d profiles", len(ids), len(encProfiles))
 	}
-	tk := vec.NewTopK(k)
-	for i, ct := range encProfiles {
+	dists := make([]float64, len(ids))
+	skip := make([]bool, len(ids))
+	err := parallelFor(len(ids), func(i int) error {
 		if excludeID != 0 && ids[i] == excludeID {
-			continue
+			skip[i] = true
+			return nil
 		}
-		s, err := crypt.DecProfile(f.keys.KS, ct)
+		s, err := crypt.DecProfile(f.keys.KS, encProfiles[i])
 		if err != nil {
-			return nil, fmt.Errorf("frontend: decrypt match %d: %w", ids[i], err)
+			return fmt.Errorf("frontend: decrypt match %d: %w", ids[i], err)
 		}
-		tk.Offer(ids[i], vec.Distance(target, s))
+		dists[i] = vec.Distance(target, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tk := vec.NewTopK(k)
+	for i := range ids {
+		if !skip[i] {
+			tk.Offer(ids[i], dists[i])
+		}
 	}
 	scored := tk.Sorted()
 	out := make([]Match, len(scored))

@@ -59,12 +59,12 @@ func (f *Frontend) BuildShardedIndex(uploads []Upload, shards int, owner func(ui
 	for s := range out {
 		out[s] = Shard{Index: idxs[s], EncProfiles: make(map[uint64][]byte)}
 	}
-	for _, u := range uploads {
-		ct, err := f.EncryptProfile(u.Profile)
-		if err != nil {
-			return nil, fmt.Errorf("frontend: encrypt profile %d: %w", u.ID, err)
-		}
-		out[owner(u.ID)].EncProfiles[u.ID] = ct
+	cts, err := f.encryptProfileSlice(uploads)
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range uploads {
+		out[owner(u.ID)].EncProfiles[u.ID] = cts[i]
 	}
 	return out, nil
 }
@@ -118,12 +118,12 @@ func (f *Frontend) BuildShardedDynamicIndex(uploads []Upload, shards int, owner 
 	f.params = p
 	f.built = true
 
-	for _, u := range uploads {
-		ct, err := f.EncryptProfile(u.Profile)
-		if err != nil {
-			return nil, fmt.Errorf("frontend: encrypt profile %d: %w", u.ID, err)
-		}
-		out[owner(u.ID)].EncProfiles[u.ID] = ct
+	cts, err := f.encryptProfileSlice(uploads)
+	if err != nil {
+		return nil, err
+	}
+	for i, u := range uploads {
+		out[owner(u.ID)].EncProfiles[u.ID] = cts[i]
 	}
 	return out, nil
 }
