@@ -129,15 +129,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, id := range targets {
+	if len(targets) > 1 {
+		// Several targets: amortize the round trip over one batched exchange.
+		profiles, excludes := targetProfiles(ds, targets)
 		start := time.Now()
-		matches, err := sf.Discover(client, ds.Profiles[id-1], *k, id)
+		batches, err := sf.DiscoverBatch(client, profiles, *k, excludes)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\ndiscovery for user %d (topics %v) took %s:\n",
-			id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond))
-		printMatches(ds, matches)
+		fmt.Printf("\nbatched discovery for %d users took %s:\n",
+			len(targets), time.Since(start).Round(time.Microsecond))
+		for i, id := range targets {
+			fmt.Printf("\nuser %d (topics %v):\n", id, ds.UserTopics[id-1])
+			printMatches(ds, batches[i])
+		}
+	} else {
+		for _, id := range targets {
+			start := time.Now()
+			matches, err := sf.Discover(client, ds.Profiles[id-1], *k, id)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\ndiscovery for user %d (topics %v) took %s:\n",
+				id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond))
+			printMatches(ds, matches)
+		}
 	}
 	sent, recv := client.Traffic()
 	fmt.Printf("\ntotal traffic: %.1f KB sent, %.1f KB received\n",
@@ -185,9 +201,11 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 	if err != nil {
 		return err
 	}
-	for _, id := range targets {
+	if len(targets) > 1 {
+		// Several targets: one batched SecRec call per shard for all of them.
+		profiles, excludes := targetProfiles(ds, targets)
 		start := time.Now()
-		matches, partial, err := sf.DiscoverSharded(context.Background(), pool, ds.Profiles[id-1], k, id)
+		batches, partial, err := sf.DiscoverShardedBatch(context.Background(), pool, profiles, k, excludes)
 		if err != nil {
 			return err
 		}
@@ -195,9 +213,27 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 		if partial {
 			note = " [PARTIAL: one or more shards unreachable]"
 		}
-		fmt.Printf("\nfan-out discovery for user %d (topics %v) took %s%s:\n",
-			id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond), note)
-		printMatches(ds, matches)
+		fmt.Printf("\nbatched fan-out discovery for %d users took %s%s:\n",
+			len(targets), time.Since(start).Round(time.Microsecond), note)
+		for i, id := range targets {
+			fmt.Printf("\nuser %d (topics %v):\n", id, ds.UserTopics[id-1])
+			printMatches(ds, batches[i])
+		}
+	} else {
+		for _, id := range targets {
+			start := time.Now()
+			matches, partial, err := sf.DiscoverSharded(context.Background(), pool, ds.Profiles[id-1], k, id)
+			if err != nil {
+				return err
+			}
+			note := ""
+			if partial {
+				note = " [PARTIAL: one or more shards unreachable]"
+			}
+			fmt.Printf("\nfan-out discovery for user %d (topics %v) took %s%s:\n",
+				id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond), note)
+			printMatches(ds, matches)
+		}
 	}
 	var sent, recv int64
 	for _, r := range remotes {
@@ -208,6 +244,17 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 	fmt.Printf("\ntotal traffic: %.1f KB sent, %.1f KB received across %d shards\n",
 		float64(sent)/1024, float64(recv)/1024, len(addrs))
 	return nil
+}
+
+// targetProfiles collects the profile and self-exclusion id per target.
+func targetProfiles(ds *dataset.Dataset, targets []uint64) ([][]float64, []uint64) {
+	profiles := make([][]float64, len(targets))
+	excludes := make([]uint64, len(targets))
+	for i, id := range targets {
+		profiles[i] = ds.Profiles[id-1]
+		excludes[i] = id
+	}
+	return profiles, excludes
 }
 
 func printMatches(ds *dataset.Dataset, matches []pisd.Match) {

@@ -41,6 +41,7 @@ func run() error {
 	addr := flag.String("addr", "127.0.0.1:7001", "listen address (shard i listens on port+i)")
 	stateDir := flag.String("state", "", "state directory for persistence (empty: in-memory only)")
 	shards := flag.Int("shards", 1, "number of cloud shards hosted by this process")
+	workers := flag.Int("workers", 0, "concurrent pipelined requests served per connection (0: server default)")
 	flag.Parse()
 
 	if *shards < 1 {
@@ -70,6 +71,9 @@ func run() error {
 			fmt.Printf("shard %d: loaded state from %s (%d profiles)\n", i, dir, cs.NumProfiles())
 		}
 		server := pisd.NewCloudServer(cs)
+		if *workers > 0 {
+			server.SetWorkersPerConn(*workers)
+		}
 		shardAddr := net.JoinHostPort(host, strconv.Itoa(port))
 		if port != 0 {
 			shardAddr = net.JoinHostPort(host, strconv.Itoa(port+i))

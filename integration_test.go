@@ -141,7 +141,7 @@ func TestFullSystemOverTCP(t *testing.T) {
 	if _, err := sf.DiscoverFoF(client, graph, 1, ds.Profiles[0], 5); err != nil {
 		t.Fatal(err)
 	}
-	batch, err := sf.DiscoverBatch(client, [][]float64{ds.Profiles[0], ds.Profiles[1]}, 5, 3,
+	batch, err := sf.DiscoverWithDecoys(client, [][]float64{ds.Profiles[0], ds.Profiles[1]}, 5, 3,
 		rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)

@@ -116,6 +116,43 @@ func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("cloud: %w", err)
 	}
+	outIDs, outProfiles := s.attachProfiles(ids)
+	return outIDs, outProfiles, nil
+}
+
+// SecRecBatch resolves a batch of trapdoors against the static index in
+// one pass: the paper's per-query protocol run q times under a single
+// index read-lock, with ONE pooled unmask scratch reused across the whole
+// batch instead of one checkout per query. Per-query results are identical
+// to q independent SecRec calls; the first failing query fails the batch.
+func (s *Server) SecRecBatch(ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.idx == nil {
+		return nil, nil, ErrNoIndex
+	}
+	sc, _ := s.secScratch.Get().(*core.SecRecScratch)
+	if sc == nil {
+		sc = core.NewSecRecScratch(s.idx.Params())
+	}
+	outIDs := make([][]uint64, len(ts))
+	outProfiles := make([][][]byte, len(ts))
+	for q, t := range ts {
+		ids, err := s.idx.SecRecWith(t, sc)
+		if err != nil {
+			s.secScratch.Put(sc)
+			return nil, nil, fmt.Errorf("cloud: batch query %d: %w", q, err)
+		}
+		outIDs[q], outProfiles[q] = s.attachProfiles(ids)
+	}
+	s.secScratch.Put(sc)
+	return outIDs, outProfiles, nil
+}
+
+// attachProfiles pairs recovered identifiers with their stored encrypted
+// profiles, skipping identifiers whose profile is missing (consistent with
+// buckets that decoded from stale state). Caller holds s.mu.
+func (s *Server) attachProfiles(ids []uint64) ([]uint64, [][]byte) {
 	outIDs := make([]uint64, 0, len(ids))
 	outProfiles := make([][]byte, 0, len(ids))
 	for _, id := range ids {
@@ -126,19 +163,25 @@ func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 		outIDs = append(outIDs, id)
 		outProfiles = append(outProfiles, ct)
 	}
-	return outIDs, outProfiles, nil
+	return outIDs, outProfiles
 }
 
 // FetchProfiles returns the encrypted profiles of the given identifiers,
-// the second interaction of a dynamic-scheme search.
+// the second interaction of a dynamic-scheme search. The result is aligned
+// with the request: duplicate identifiers each get their (shared)
+// ciphertext in request order, resolved by a single store lookup.
 func (s *Server) FetchProfiles(ids []uint64) ([][]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([][]byte, len(ids))
+	seen := make(map[uint64][]byte, len(ids))
 	for i, id := range ids {
-		ct, ok := s.profiles[id]
+		ct, ok := seen[id]
 		if !ok {
-			return nil, fmt.Errorf("%w: %d", ErrUnknownProfile, id)
+			if ct, ok = s.profiles[id]; !ok {
+				return nil, fmt.Errorf("%w: %d", ErrUnknownProfile, id)
+			}
+			seen[id] = ct
 		}
 		out[i] = ct
 	}

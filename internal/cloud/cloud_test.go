@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -95,6 +96,70 @@ func TestPutProfileCopies(t *testing.T) {
 	}
 	if got[0][0] != 1 {
 		t.Error("PutProfile aliases caller slice")
+	}
+}
+
+func TestFetchProfilesDuplicateIDs(t *testing.T) {
+	s := New()
+	s.PutProfiles(map[uint64][]byte{1: {10}, 2: {20}, 3: {30}})
+	req := []uint64{2, 1, 2, 3, 2, 1}
+	got, err := s.FetchProfiles(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(req) {
+		t.Fatalf("%d results for %d requested ids", len(got), len(req))
+	}
+	// Duplicate ids get one ciphertext each, aligned with request order.
+	want := []byte{20, 10, 20, 30, 20, 10}
+	for i, ct := range got {
+		if len(ct) != 1 || ct[0] != want[i] {
+			t.Fatalf("position %d = %v, want [%d]", i, ct, want[i])
+		}
+	}
+	// A duplicated unknown id still fails.
+	if _, err := s.FetchProfiles([]uint64{1, 9, 9}); !errors.Is(err, ErrUnknownProfile) {
+		t.Errorf("err = %v, want ErrUnknownProfile", err)
+	}
+}
+
+func TestSecRecBatchMatchesSerial(t *testing.T) {
+	idx, keys, p, metas := buildIndex(t, 150)
+	s := New()
+	s.SetIndex(idx)
+	for i := 0; i < 150; i++ {
+		s.PutProfile(uint64(i+1), []byte{byte(i)})
+	}
+	tds := make([]*core.Trapdoor, 20)
+	for q := range tds {
+		td, err := core.GenTpdr(keys, metas[q*3], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tds[q] = td
+	}
+	batchIDs, batchProfiles, err := s.SecRecBatch(tds)
+	if err != nil {
+		t.Fatalf("SecRecBatch: %v", err)
+	}
+	if len(batchIDs) != len(tds) || len(batchProfiles) != len(tds) {
+		t.Fatalf("batch of %d answered with %d/%d results", len(tds), len(batchIDs), len(batchProfiles))
+	}
+	for q, td := range tds {
+		ids, profiles, err := s.SecRec(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batchIDs[q], ids) {
+			t.Fatalf("query %d ids: %v, want %v", q, batchIDs[q], ids)
+		}
+		if !reflect.DeepEqual(batchProfiles[q], profiles) {
+			t.Fatalf("query %d profiles differ from serial SecRec", q)
+		}
+	}
+	// Without an index the batch fails like SecRec does.
+	if _, _, err := New().SecRecBatch(tds); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("no-index batch err = %v", err)
 	}
 }
 

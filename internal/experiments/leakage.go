@@ -107,7 +107,7 @@ func ExpLeakageAudit(s Scale) (*Table, error) {
 		})
 	}
 	t.Notes = append(t.Notes,
-		"deterministic trapdoors make repeat queries fully linkable (Definition 4); batching with decoys (frontend.DiscoverBatch) trades bandwidth against this linkage",
+		"deterministic trapdoors make repeat queries fully linkable (Definition 4); batching with decoys (frontend.DiscoverWithDecoys) trades bandwidth against this linkage",
 		"Verify() confirmed the implementation leaks exactly the proven profile: equal metadata <=> equal positions, nothing else",
 	)
 	return t, nil

@@ -8,16 +8,19 @@ import (
 	"pisd/internal/lsh"
 )
 
-// Batched discovery (Sec. IV remark): deterministic trapdoors leak the
-// similarity-search pattern, and the paper suggests that "to mitigate such
-// statistical information leakage, one trick is to batch the social
-// discovery requests for multiple randomly selected target users at once".
-// DiscoverBatch implements that mitigation: it interleaves the real
-// targets' trapdoors with decoy trapdoors for random metadata in a
+// DiscoverWithDecoys implements the paper's batched-discovery mitigation
+// (Sec. IV remark): deterministic trapdoors leak the similarity-search
+// pattern, and the paper suggests that "to mitigate such statistical
+// information leakage, one trick is to batch the social discovery requests
+// for multiple randomly selected target users at once". It interleaves the
+// real targets' trapdoors with decoy trapdoors for random metadata in a
 // shuffled order, issues them all, and unbatches the real results. The
 // cloud observes a larger anonymity set per round at the cost of
 // proportionally more bandwidth (exactly the trade-off the paper names).
-func (f *Frontend) DiscoverBatch(server DiscoveryServer, targets [][]float64, k, decoys int, rng *rand.Rand) ([][]Match, error) {
+//
+// DiscoverWithDecoys is a privacy mechanism; for a throughput mechanism
+// that amortises round trips over many real queries see DiscoverBatch.
+func (f *Frontend) DiscoverWithDecoys(server DiscoveryServer, targets [][]float64, k, decoys int, rng *rand.Rand) ([][]Match, error) {
 	if !f.built {
 		return nil, fmt.Errorf("frontend: no index built yet")
 	}
@@ -68,6 +71,92 @@ func (f *Frontend) DiscoverBatch(server DiscoveryServer, targets [][]float64, k,
 			return nil, err
 		}
 		out[s.target] = matches
+	}
+	return out, nil
+}
+
+// BatchDiscoveryServer is the cloud surface the front end drives for
+// batched static discovery: one exchange resolving q trapdoors, with
+// result q matching what SecRec would return for trapdoor q. cloud.Server
+// and the transport client both implement it.
+type BatchDiscoveryServer interface {
+	SecRecBatch(ts []*core.Trapdoor) (ids [][]uint64, encProfiles [][][]byte, err error)
+}
+
+// Trapdoors issues one discovery trapdoor per target profile, hashing and
+// PRF evaluation fanned out across CPUs (lsh.Family.Hash is stateless and
+// the PRF pools its scratch, so the fan-out is safe). Trapdoor generation
+// is deterministic, so the result is identical to calling Trapdoor per
+// profile.
+func (f *Frontend) Trapdoors(profiles [][]float64) ([]*core.Trapdoor, error) {
+	if !f.built {
+		return nil, fmt.Errorf("frontend: no index built yet")
+	}
+	tds := make([]*core.Trapdoor, len(profiles))
+	err := parallelFor(len(profiles), func(i int) error {
+		td, err := core.GenTpdr(f.keys, f.family.Hash(profiles[i]), f.params)
+		if err != nil {
+			return fmt.Errorf("frontend: trapdoor %d: %w", i, err)
+		}
+		tds[i] = td
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tds, nil
+}
+
+// DiscoverBatch runs the discovery flow for many target profiles in one
+// cloud exchange: parallel trapdoor generation → a single SecRecBatch round
+// trip → per-query decrypt/rank fanned out across CPUs. Result q is
+// byte-identical to Discover(server, targets[q], k, excludeIDs[q]) against
+// the same server. excludeIDs may be nil (exclude nothing); otherwise it
+// must align with targets, with 0 meaning no exclusion for that query.
+//
+// DiscoverBatch amortises round-trip and framing cost over the batch; it
+// does not add decoys (see DiscoverWithDecoys for the privacy batching).
+func (f *Frontend) DiscoverBatch(server BatchDiscoveryServer, targets [][]float64, k int, excludeIDs []uint64) ([][]Match, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("frontend: no targets")
+	}
+	if excludeIDs != nil && len(excludeIDs) != len(targets) {
+		return nil, fmt.Errorf("frontend: %d targets but %d exclude ids", len(targets), len(excludeIDs))
+	}
+	tds, err := f.Trapdoors(targets)
+	if err != nil {
+		return nil, err
+	}
+	ids, encProfiles, err := server.SecRecBatch(tds)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: batched discovery request: %w", err)
+	}
+	if len(ids) != len(targets) || len(encProfiles) != len(targets) {
+		return nil, fmt.Errorf("frontend: batch of %d queries answered with %d results", len(targets), len(ids))
+	}
+	return f.rankBatch(targets, ids, encProfiles, k, excludeIDs)
+}
+
+// rankBatch ranks every query of a batch, fanning the per-query GetRec
+// work across CPUs. Each query's ranking is exactly rank() — parallel over
+// queries, deterministic within a query — so per-query output matches the
+// serial discovery path byte for byte.
+func (f *Frontend) rankBatch(targets [][]float64, ids [][]uint64, encProfiles [][][]byte, k int, excludeIDs []uint64) ([][]Match, error) {
+	out := make([][]Match, len(targets))
+	err := parallelFor(len(targets), func(q int) error {
+		var exclude uint64
+		if excludeIDs != nil {
+			exclude = excludeIDs[q]
+		}
+		matches, err := f.rank(targets[q], ids[q], encProfiles[q], k, exclude)
+		if err != nil {
+			return err
+		}
+		out[q] = matches
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

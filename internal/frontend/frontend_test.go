@@ -366,9 +366,9 @@ func TestDiscoverBatchWithDecoys(t *testing.T) {
 
 	targets := [][]float64{ds.Profiles[0], ds.Profiles[1], ds.Profiles[2]}
 	rng := rand.New(rand.NewSource(5))
-	results, err := f.DiscoverBatch(cs, targets, 5, 7, rng)
+	results, err := f.DiscoverWithDecoys(cs, targets, 5, 7, rng)
 	if err != nil {
-		t.Fatalf("DiscoverBatch: %v", err)
+		t.Fatalf("DiscoverWithDecoys: %v", err)
 	}
 	if len(results) != len(targets) {
 		t.Fatalf("results for %d targets", len(results))
@@ -389,14 +389,14 @@ func TestDiscoverBatchWithDecoys(t *testing.T) {
 		}
 	}
 	// Validation paths.
-	if _, err := f.DiscoverBatch(cs, nil, 5, 0, rng); err == nil {
+	if _, err := f.DiscoverWithDecoys(cs, nil, 5, 0, rng); err == nil {
 		t.Error("empty targets accepted")
 	}
-	if _, err := f.DiscoverBatch(cs, targets, 5, -1, rng); err == nil {
+	if _, err := f.DiscoverWithDecoys(cs, targets, 5, -1, rng); err == nil {
 		t.Error("negative decoys accepted")
 	}
 	// Nil rng uses a default.
-	if _, err := f.DiscoverBatch(cs, targets[:1], 3, 2, nil); err != nil {
+	if _, err := f.DiscoverWithDecoys(cs, targets[:1], 3, 2, nil); err != nil {
 		t.Errorf("nil rng: %v", err)
 	}
 }

@@ -157,6 +157,45 @@ func (f *Frontend) DiscoverSharded(ctx context.Context, pool FanoutServer, targe
 	return matches, partial, nil
 }
 
+// FanoutBatchServer is the sharded cloud surface for batched static
+// discovery: one fan-out resolving q trapdoors with a single call per
+// shard, partial when some shards are down. shard.Pool implements it.
+type FanoutBatchServer interface {
+	SecRecBatch(ctx context.Context, ts []*core.Trapdoor) (ids [][]uint64, encProfiles [][][]byte, partial bool, err error)
+}
+
+// DiscoverShardedBatch runs batched discovery against a sharded cloud
+// tier: parallel trapdoor generation → one SecRecBatch call per shard →
+// per-query decrypt/rank fanned out across CPUs. Result q is byte-identical
+// to DiscoverSharded(ctx, pool, targets[q], k, excludeIDs[q]) over the same
+// set of healthy shards; partial reports that one or more shards were
+// skipped for the whole batch. excludeIDs may be nil, or aligned with
+// targets (0 = no exclusion).
+func (f *Frontend) DiscoverShardedBatch(ctx context.Context, pool FanoutBatchServer, targets [][]float64, k int, excludeIDs []uint64) ([][]Match, bool, error) {
+	if len(targets) == 0 {
+		return nil, false, fmt.Errorf("frontend: no targets")
+	}
+	if excludeIDs != nil && len(excludeIDs) != len(targets) {
+		return nil, false, fmt.Errorf("frontend: %d targets but %d exclude ids", len(targets), len(excludeIDs))
+	}
+	tds, err := f.Trapdoors(targets)
+	if err != nil {
+		return nil, false, err
+	}
+	ids, encProfiles, partial, err := pool.SecRecBatch(ctx, tds)
+	if err != nil {
+		return nil, false, fmt.Errorf("frontend: sharded batched discovery request: %w", err)
+	}
+	if len(ids) != len(targets) || len(encProfiles) != len(targets) {
+		return nil, false, fmt.Errorf("frontend: batch of %d queries answered with %d results", len(targets), len(ids))
+	}
+	matches, err := f.rankBatch(targets, ids, encProfiles, k, excludeIDs)
+	if err != nil {
+		return nil, false, err
+	}
+	return matches, partial, nil
+}
+
 // DynNode is the per-shard cloud surface sharded dynamic operations
 // drive: the bucket store plus the encrypted-profile store. shard.Node
 // implementations satisfy it.

@@ -34,6 +34,9 @@ type Node interface {
 	Ping(ctx context.Context) error
 	// SecRec runs one discovery leg against the shard's index.
 	SecRec(ctx context.Context, t *core.Trapdoor) (ids []uint64, encProfiles [][]byte, err error)
+	// SecRecBatch runs a batch of discovery legs in one exchange; result q
+	// matches what SecRec would return for ts[q].
+	SecRecBatch(ctx context.Context, ts []*core.Trapdoor) (ids [][]uint64, encProfiles [][][]byte, err error)
 	// FetchProfiles returns encrypted profiles stored on this shard.
 	FetchProfiles(ids []uint64) ([][]byte, error)
 	// PutProfiles uploads encrypted profiles to this shard.
@@ -73,6 +76,14 @@ func (l Local) SecRec(ctx context.Context, t *core.Trapdoor) ([]uint64, [][]byte
 		return nil, nil, err
 	}
 	return l.CS.SecRec(t)
+}
+
+// SecRecBatch implements Node.
+func (l Local) SecRecBatch(ctx context.Context, ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return l.CS.SecRecBatch(ts)
 }
 
 // FetchProfiles implements Node.

@@ -81,36 +81,23 @@ func (p *Pool) OwnerNode(id uint64) Node { return p.nodes[p.cfg.Owner(id)] }
 // any were. Only when every shard fails does SecRec return an error. The
 // signature implements frontend.FanoutServer.
 func (p *Pool) SecRec(ctx context.Context, t *core.Trapdoor) (ids []uint64, encProfiles [][]byte, partial bool, err error) {
-	type result struct {
+	type leg struct {
 		ids      []uint64
 		profiles [][]byte
-		err      error
 	}
-	results := make([]result, len(p.nodes))
-	var wg sync.WaitGroup
-	for s := range p.nodes {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			r := &results[s]
-			r.ids, r.profiles, r.err = p.attempt(ctx, s, func(cctx context.Context) ([]uint64, [][]byte, error) {
-				return p.nodes[s].SecRec(cctx, t)
-			})
-		}(s)
-	}
-	wg.Wait()
+	results, errs := fanout(p, ctx, func(cctx context.Context, s int) (leg, error) {
+		ids, profiles, err := p.nodes[s].SecRec(cctx, t)
+		return leg{ids: ids, profiles: profiles}, err
+	})
 
 	var firstErr error
 	failed := 0
 	seen := make(map[uint64]struct{})
 	for s, r := range results {
-		if r.err != nil {
+		if errs[s] != nil {
 			failed++
 			if firstErr == nil {
-				firstErr = fmt.Errorf("shard %d: %w", s, r.err)
-			}
-			if p.cfg.OnShardError != nil {
-				p.cfg.OnShardError(s, r.err)
+				firstErr = fmt.Errorf("shard %d: %w", s, errs[s])
 			}
 			continue
 		}
@@ -132,11 +119,93 @@ func (p *Pool) SecRec(ctx context.Context, t *core.Trapdoor) (ids []uint64, encP
 	return ids, encProfiles, failed > 0, nil
 }
 
+// SecRecBatch fans a batch of trapdoors out as ONE call per shard and
+// merges per query: result q is byte-identical to what SecRec(ctx, ts[q])
+// would return over the same set of healthy shards (shard-order merge,
+// per-query dedup). A shard that fails after the configured retries is
+// skipped for the whole batch and the result is flagged partial; only when
+// every shard fails does SecRecBatch return an error.
+func (p *Pool) SecRecBatch(ctx context.Context, ts []*core.Trapdoor) (ids [][]uint64, encProfiles [][][]byte, partial bool, err error) {
+	if len(ts) == 0 {
+		return nil, nil, false, nil
+	}
+	type batchLeg struct {
+		ids      [][]uint64
+		profiles [][][]byte
+	}
+	results, errs := fanout(p, ctx, func(cctx context.Context, s int) (batchLeg, error) {
+		ids, profiles, err := p.nodes[s].SecRecBatch(cctx, ts)
+		if err == nil && (len(ids) != len(ts) || len(profiles) != len(ts)) {
+			err = fmt.Errorf("shard: batch of %d queries answered with %d results", len(ts), len(ids))
+		}
+		return batchLeg{ids: ids, profiles: profiles}, err
+	})
+
+	var firstErr error
+	failed := 0
+	for s := range p.nodes {
+		if errs[s] != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", s, errs[s])
+			}
+		}
+	}
+	if failed == len(p.nodes) {
+		return nil, nil, false, fmt.Errorf("shard: all %d shards failed: %w", len(p.nodes), firstErr)
+	}
+	ids = make([][]uint64, len(ts))
+	encProfiles = make([][][]byte, len(ts))
+	for q := range ts {
+		seen := make(map[uint64]struct{})
+		for s, r := range results {
+			if errs[s] != nil {
+				continue
+			}
+			for i, id := range r.ids[q] {
+				if _, dup := seen[id]; dup {
+					continue
+				}
+				seen[id] = struct{}{}
+				ids[q] = append(ids[q], id)
+				encProfiles[q] = append(encProfiles[q], r.profiles[q][i])
+			}
+		}
+	}
+	return ids, encProfiles, failed > 0, nil
+}
+
+// fanout runs one retried call per shard concurrently and collects each
+// shard's result or final error. Shard failures are reported to
+// OnShardError here, once per fan-out.
+func fanout[T any](p *Pool, ctx context.Context, call func(context.Context, int) (T, error)) ([]T, []error) {
+	results := make([]T, len(p.nodes))
+	errs := make([]error, len(p.nodes))
+	var wg sync.WaitGroup
+	for s := range p.nodes {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			results[s], errs[s] = attempt(p, ctx, func(cctx context.Context) (T, error) {
+				return call(cctx, s)
+			})
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil && p.cfg.OnShardError != nil {
+			p.cfg.OnShardError(s, err)
+		}
+	}
+	return results, errs
+}
+
 // attempt runs one shard call with the pool's per-attempt deadline and
 // bounded retry. Only connection-level faults and per-attempt timeouts are
 // retried; a cancelled parent context or an application error ends the
 // attempts immediately.
-func (p *Pool) attempt(ctx context.Context, s int, call func(context.Context) ([]uint64, [][]byte, error)) ([]uint64, [][]byte, error) {
+func attempt[T any](p *Pool, ctx context.Context, call func(context.Context) (T, error)) (T, error) {
+	var zero T
 	var lastErr error
 	for try := 0; try <= p.cfg.Retries; try++ {
 		if err := ctx.Err(); err != nil {
@@ -146,17 +215,17 @@ func (p *Pool) attempt(ctx context.Context, s int, call func(context.Context) ([
 			break
 		}
 		cctx, cancel := p.attemptCtx(ctx)
-		ids, profiles, err := call(cctx)
+		r, err := call(cctx)
 		cancel()
 		if err == nil {
-			return ids, profiles, nil
+			return r, nil
 		}
 		lastErr = err
 		if !retryable(err) {
 			break
 		}
 	}
-	return nil, nil, lastErr
+	return zero, lastErr
 }
 
 // attemptCtx derives the per-attempt context.

@@ -2,17 +2,19 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"pisd/internal/core"
 	"pisd/internal/transport"
 )
 
-// Remote is a Node backed by a transport server over TCP. It dials
-// lazily and, because a connection-level failure (transport.ConnError)
-// leaves the gob stream in an undefined state, drops the broken client so
-// the next attempt — typically the pool's bounded retry — starts on a
-// fresh connection.
+// Remote is a Node backed by a transport server over TCP. It dials lazily
+// and drops a client whose connection actually died so the next attempt —
+// typically the pool's bounded retry — starts on a fresh connection. A
+// call that merely timed out or was cancelled keeps the client: the
+// multiplexed transport skips the late response by its request ID, so the
+// connection (and every other call pipelined on it) stays healthy.
 type Remote struct {
 	addr string
 
@@ -65,15 +67,18 @@ func (r *Remote) drop(c *transport.Client) {
 	c.Close()
 }
 
-// do runs one call, discarding the connection after a connection-level
-// failure so the next call redials.
+// do runs one call, discarding the connection after a fatal
+// connection-level failure so the next call redials. Deadline expiries and
+// cancellations are connection-level for retry classification but leave
+// the pipelined connection usable, so the client is kept.
 func (r *Remote) do(fn func(c *transport.Client) error) error {
 	c, err := r.client()
 	if err != nil {
 		return err
 	}
 	if err := fn(c); err != nil {
-		if transport.IsConnError(err) {
+		if transport.IsConnError(err) &&
+			!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
 			r.drop(c)
 		}
 		return err
@@ -93,6 +98,18 @@ func (r *Remote) SecRec(ctx context.Context, t *core.Trapdoor) ([]uint64, [][]by
 	err := r.do(func(c *transport.Client) error {
 		var err error
 		ids, profiles, err = c.SecRecContext(ctx, t)
+		return err
+	})
+	return ids, profiles, err
+}
+
+// SecRecBatch implements Node.
+func (r *Remote) SecRecBatch(ctx context.Context, ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
+	var ids [][]uint64
+	var profiles [][][]byte
+	err := r.do(func(c *transport.Client) error {
+		var err error
+		ids, profiles, err = c.SecRecBatchContext(ctx, ts)
 		return err
 	})
 	return ids, profiles, err

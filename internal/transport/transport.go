@@ -1,40 +1,60 @@
 // Package transport puts the paper's three-entity architecture on a real
-// network: a length-delimited gob protocol over TCP exposing the cloud
-// server's surface (SecRec discovery, encrypted profile and image storage,
-// dynamic bucket fetch/store) to remote front ends and user clients.
+// network: a framed, request-ID-multiplexed protocol over TCP exposing the
+// cloud server's surface (SecRec discovery, encrypted profile and image
+// storage, dynamic bucket fetch/store) to remote front ends and user
+// clients.
 //
-// The protocol is deliberately simple — one request, one response, framed
-// by gob on a persistent connection — because the interesting properties
-// (constant bandwidth per discovery, one round per operation) are those of
-// the scheme, not of the wire format. Message sizes are exposed so the
-// bandwidth experiments can measure real serialized traffic.
+// Wire format: every message is one length-prefixed frame — a 4-byte
+// big-endian payload length followed by the gob bytes of a request or
+// response envelope carrying a connection-unique request ID. Each direction
+// of a connection is one persistent gob stream chunked into those frames
+// (type descriptions travel once, encode/decode buffers stay warm across
+// messages), owned by a single writer and a single reader goroutine.
+// Because responses are dispatched by ID, many callers can pipeline
+// requests on one connection concurrently: the client writes frames as
+// callers arrive and its reader goroutine routes each response to the
+// caller that requested it, in whatever order the server finishes them. The
+// server, symmetrically, decodes frames as they arrive and executes each
+// request on a bounded per-connection worker pool instead of one-at-a-time,
+// so a single connection saturates the hardware rather than sustaining at
+// most one request per round trip.
+//
+// The interesting security properties (constant bandwidth per discovery,
+// one round per operation) are those of the scheme, not of the wire format.
+// Frame sizes are exposed so the bandwidth experiments measure real
+// serialized traffic.
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pisd/internal/cloud"
 	"pisd/internal/core"
 )
 
-// ConnError marks a connection-level failure: a failed dial, a send or
-// receive error, a timed-out or cancelled exchange, a server that closed
-// mid-call, or a truncated gob frame. After a ConnError the gob stream is
-// in an undefined state and the client must be discarded (re-dial to
-// retry). Callers distinguishing transient transport faults from
-// application errors — e.g. a shard pool deciding whether to retry —
-// should test with IsConnError.
+// ConnError marks a connection-level failure: a failed dial, a dead or
+// half-closed connection, a corrupt frame, or a timed-out / cancelled call.
+// Callers distinguishing transient transport faults from application errors
+// — e.g. a shard pool deciding whether to retry — should test with
+// IsConnError. A timed-out or cancelled call does NOT invalidate the
+// connection: the multiplexed stream skips the late response by its request
+// ID, so other in-flight and future calls proceed undisturbed.
 type ConnError struct {
 	// Op is the failing step: "dial", "call", "send" or "receive".
 	Op string
-	// Err is the underlying network or codec error.
+	// Err is the underlying network, codec or context error.
 	Err error
 }
 
@@ -45,8 +65,8 @@ func (e *ConnError) Error() string { return fmt.Sprintf("transport: %s: %v", e.O
 func (e *ConnError) Unwrap() error { return e.Err }
 
 // IsConnError reports whether err stems from the connection rather than
-// from the remote application logic. Connection errors are retryable on a
-// fresh connection; application errors (RemoteError) are not.
+// from the remote application logic. Connection errors are retryable;
+// application errors (RemoteError) are not.
 func IsConnError(err error) bool {
 	var ce *ConnError
 	return errors.As(err, &ce)
@@ -65,6 +85,7 @@ func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
 // Method names of the wire protocol.
 const (
 	MethodSecRec        = "SecRec"
+	MethodSecRecBatch   = "SecRecBatch"
 	MethodFetchProfiles = "FetchProfiles"
 	MethodPutProfile    = "PutProfile"
 	MethodDeleteProfile = "DeleteProfile"
@@ -77,32 +98,140 @@ const (
 	MethodInstallDyn    = "InstallDynIndex"
 )
 
-// Request is the single wire request envelope.
+// Request is the single wire request envelope body.
 type Request struct {
-	Method   string
-	Trapdoor *core.Trapdoor
-	Refs     []core.BucketRef
-	Buckets  []core.DynBucket
-	IDs      []uint64
-	UserID   uint64
-	Blob     []byte
-	Profiles map[uint64][]byte
-	Index    *core.Index
-	DynIndex *core.DynIndex
+	Method    string
+	Trapdoor  *core.Trapdoor
+	Trapdoors []*core.Trapdoor
+	Refs      []core.BucketRef
+	Buckets   []core.DynBucket
+	IDs       []uint64
+	UserID    uint64
+	Blob      []byte
+	Profiles  map[uint64][]byte
+	Index     *core.Index
+	DynIndex  *core.DynIndex
 }
 
-// Response is the single wire response envelope.
+// Response is the single wire response envelope body.
 type Response struct {
-	Err      string
-	IDs      []uint64
-	Profiles [][]byte
-	Buckets  []core.DynBucket
-	Blobs    [][]byte
+	Err           string
+	IDs           []uint64
+	Profiles      [][]byte
+	Buckets       []core.DynBucket
+	Blobs         [][]byte
+	BatchIDs      [][]uint64
+	BatchProfiles [][][]byte
 }
+
+// reqEnvelope frames one request with its connection-unique ID.
+type reqEnvelope struct {
+	ID  uint64
+	Req *Request
+}
+
+// respEnvelope frames one response with the ID of the request it answers.
+type respEnvelope struct {
+	ID   uint64
+	Resp *Response
+}
+
+const (
+	frameHeader = 4
+	// maxFrame bounds a single frame; an index install for millions of
+	// users fits, a corrupt length prefix fails fast.
+	maxFrame = 1 << 30
+	// readBufSize sizes the connection read buffer; large discovery
+	// responses arrive in few reads.
+	readBufSize = 1 << 16
+)
+
+// frameWriter owns one direction of a connection: a persistent gob encoder
+// writing into a reusable buffer whose contents ship as one length-prefixed
+// frame per message. Reusing the encoder sends type descriptions once and
+// keeps the buffer's capacity warm, so a steady stream of large responses
+// costs one memcpy and one write each instead of regrowing encode state
+// from zero. Safe for concurrent use; an encode failure leaves the gob
+// stream desynchronized, so callers must treat any error as fatal for the
+// connection.
+type frameWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf bytes.Buffer
+	enc *gob.Encoder
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	fw := &frameWriter{w: w}
+	fw.enc = gob.NewEncoder(&fw.buf)
+	return fw
+}
+
+// writeFrame encodes env and writes it as one frame, returning the wire
+// bytes written.
+func (fw *frameWriter) writeFrame(env interface{}) (int, error) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	fw.buf.Reset()
+	fw.buf.Write(make([]byte, frameHeader))
+	if err := fw.enc.Encode(env); err != nil {
+		return 0, err
+	}
+	frame := fw.buf.Bytes()
+	binary.BigEndian.PutUint32(frame[:frameHeader], uint32(len(frame)-frameHeader))
+	return fw.w.Write(frame)
+}
+
+// frameReader strips the length prefixes off the incoming frame sequence
+// and presents the payloads to a persistent gob decoder as one continuous
+// byte stream, enforcing the frame size limit and counting consumed wire
+// bytes. EOF at a frame boundary is a clean EOF; EOF inside a header or
+// payload surfaces as io.ErrUnexpectedEOF.
+type frameReader struct {
+	r    *bufio.Reader
+	left int   // payload bytes remaining in the current frame
+	n    int64 // total wire bytes consumed, headers included
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, readBufSize)}
+}
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	for fr.left == 0 {
+		var hdr [frameHeader]byte
+		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return 0, err // torn header
+			}
+			return 0, err // clean EOF between frames
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxFrame {
+			return 0, fmt.Errorf("frame of %d bytes exceeds limit", n)
+		}
+		fr.left = int(n)
+		fr.n += frameHeader
+	}
+	if len(p) > fr.left {
+		p = p[:fr.left]
+	}
+	n, err := fr.r.Read(p)
+	fr.left -= n
+	fr.n += int64(n)
+	if err == io.EOF && fr.left > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// consumed returns the total wire bytes read so far.
+func (fr *frameReader) consumed() int64 { return fr.n }
 
 // Server serves a cloud.Server over TCP.
 type Server struct {
-	cs *cloud.Server
+	cs      *cloud.Server
+	workers int
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -111,9 +240,24 @@ type Server struct {
 	closed   bool
 }
 
-// NewServer wraps a cloud server.
+// NewServer wraps a cloud server. Each connection executes its pipelined
+// requests on a bounded worker pool sized max(4, GOMAXPROCS); tune with
+// SetWorkersPerConn before Listen.
 func NewServer(cs *cloud.Server) *Server {
-	return &Server{cs: cs, conns: make(map[net.Conn]struct{})}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	return &Server{cs: cs, workers: workers, conns: make(map[net.Conn]struct{})}
+}
+
+// SetWorkersPerConn bounds how many of one connection's pipelined requests
+// execute concurrently (excess requests queue by backpressure: the
+// connection's frames stop being read). Call before Listen.
+func (s *Server) SetWorkersPerConn(n int) {
+	if n > 0 {
+		s.workers = n
+	}
 }
 
 // Listen binds the given address ("127.0.0.1:0" for an ephemeral port) and
@@ -159,6 +303,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// serveConn decodes request frames as they arrive and hands each to the
+// connection's worker pool; responses are written back in completion
+// order, matched to callers by request ID.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -167,23 +314,43 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, s.workers)
+		dec  = gob.NewDecoder(newFrameReader(conn))
+		fw   = newFrameWriter(conn)
+		dead atomic.Bool
+	)
+	defer wg.Wait()
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		var env reqEnvelope
+		if err := dec.Decode(&env); err != nil {
 			return // connection closed or corrupt stream
 		}
-		resp := s.dispatch(&req)
-		if err := enc.Encode(resp); err != nil {
+		if dead.Load() {
 			return
 		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(env reqEnvelope) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp := s.dispatch(env.Req)
+			if _, err := fw.writeFrame(&respEnvelope{ID: env.ID, Resp: resp}); err != nil {
+				dead.Store(true)
+				conn.Close()
+			}
+		}(env)
 	}
 }
 
 // dispatch executes one request against the cloud server.
 func (s *Server) dispatch(req *Request) *Response {
 	resp := &Response{}
+	if req == nil {
+		resp.Err = "transport: empty request envelope"
+		return resp
+	}
 	switch req.Method {
 	case MethodPing:
 	case MethodInstallIndex:
@@ -206,6 +373,14 @@ func (s *Server) dispatch(req *Request) *Response {
 		}
 		resp.IDs = ids
 		resp.Profiles = profiles
+	case MethodSecRecBatch:
+		ids, profiles, err := s.cs.SecRecBatch(req.Trapdoors)
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.BatchIDs = ids
+		resp.BatchProfiles = profiles
 	case MethodFetchProfiles:
 		profiles, err := s.cs.FetchProfiles(req.IDs)
 		if err != nil {
@@ -267,18 +442,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Client is a remote handle to a cloud server. It is safe for concurrent
-// use; requests are serialized on one connection.
+// use and pipelines: any number of callers share the one connection, each
+// call writes its frame immediately and waits only for its own response,
+// dispatched by request ID from a single reader goroutine.
 type Client struct {
-	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	// timeout bounds each request/response exchange (0 = none).
+	fw   *frameWriter // the connection's outbound gob stream
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Response
+	nextID  uint64
 	timeout time.Duration
-	// sentBytes / recvBytes accumulate serialized traffic for the
+	broken  error // set once the connection is unusable; sticky
+
+	// sentBytes / recvBytes accumulate exact framed wire traffic for the
 	// bandwidth experiments.
-	sentBytes int64
-	recvBytes int64
+	sentBytes atomic.Int64
+	recvBytes atomic.Int64
 }
 
 // Compile-time checks: the client presents the same surfaces as the
@@ -291,97 +471,143 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, &ConnError{Op: "dial", Err: err}
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	c := &Client{conn: conn, fw: newFrameWriter(conn), pending: make(map[uint64]chan *Response)}
+	go c.readLoop()
+	return c, nil
 }
 
-// Close tears down the connection.
+// Close tears down the connection; in-flight calls fail with a ConnError.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// SetTimeout bounds every subsequent request/response exchange; zero
-// disables the bound. Per-call context deadlines (the ...Context variants)
-// compose with this connection-global bound: the earlier deadline wins. A
-// timed-out call fails with a ConnError and leaves the gob stream in an
-// undefined state, so the client should be discarded after one.
+// SetTimeout bounds how long every subsequent call waits for its response;
+// zero disables the bound. Per-call context deadlines (the ...Context
+// variants) compose with this connection-global bound: the earlier
+// deadline wins. A timed-out call fails with a ConnError but leaves the
+// multiplexed connection fully usable — the late response is discarded by
+// its request ID when it eventually arrives.
 func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.timeout = d
 }
 
-// Traffic returns the cumulative serialized request and response bytes.
+// Traffic returns the cumulative framed request and response bytes.
 func (c *Client) Traffic() (sent, received int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sentBytes, c.recvBytes
+	return c.sentBytes.Load(), c.recvBytes.Load()
 }
 
-// call performs one request/response exchange without per-call deadline.
+// readLoop is the single response reader: it decodes response frames as
+// the server finishes requests (not necessarily in request order) and
+// routes each to the waiting caller by ID. Responses whose caller gave up
+// (timeout or cancellation) find no pending entry and are dropped.
+func (c *Client) readLoop() {
+	fr := newFrameReader(c.conn)
+	dec := gob.NewDecoder(fr)
+	for {
+		var env respEnvelope
+		if err := dec.Decode(&env); err != nil {
+			c.fail(&ConnError{Op: "receive", Err: err})
+			return
+		}
+		c.recvBytes.Store(fr.consumed())
+		c.mu.Lock()
+		ch, ok := c.pending[env.ID]
+		if ok {
+			delete(c.pending, env.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env.Resp // buffered; never blocks
+		}
+	}
+}
+
+// fail marks the connection broken and releases every waiting caller.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	waiting := c.pending
+	c.pending = make(map[uint64]chan *Response)
+	c.mu.Unlock()
+	for _, ch := range waiting {
+		close(ch)
+	}
+	c.conn.Close()
+}
+
+// forget abandons a pending call (its caller stopped waiting). A response
+// arriving later is skipped by ID in readLoop.
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// call performs one exchange without a per-call deadline.
 func (c *Client) call(req *Request) (*Response, error) {
 	return c.callContext(context.Background(), req)
 }
 
-// callContext performs one request/response exchange bounded by ctx: a
-// context deadline (combined with the connection-global timeout, earlier
-// wins) is applied to the socket, and a cancellation arriving mid-call
-// interrupts the blocked read by expiring the socket deadline. Requests on
-// one client serialize; the ctx of a queued call bounds only its own
-// exchange.
+// callContext performs one pipelined exchange bounded by ctx and the
+// connection-global timeout (earlier wins). The request frame is written
+// immediately — concurrent calls interleave on the connection — and the
+// caller waits only for its own response. Expiry or cancellation abandons
+// the call without disturbing the connection.
 func (c *Client) callContext(ctx context.Context, req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return nil, &ConnError{Op: "call", Err: err}
 	}
-	deadline := time.Time{}
-	if c.timeout > 0 {
-		deadline = time.Now().Add(c.timeout)
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return nil, err
 	}
-	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
-		deadline = d
+	id := c.nextID
+	c.nextID++
+	ch := make(chan *Response, 1)
+	c.pending[id] = ch
+	timeout := c.timeout
+	c.mu.Unlock()
+
+	n, werr := c.fw.writeFrame(&reqEnvelope{ID: id, Req: req})
+	if werr != nil {
+		// Both encode and write failures poison the outbound gob stream;
+		// the connection cannot be trusted for further calls.
+		c.forget(id)
+		c.fail(&ConnError{Op: "send", Err: werr})
+		return nil, &ConnError{Op: "send", Err: werr}
 	}
-	if !deadline.IsZero() {
-		if err := c.conn.SetDeadline(deadline); err != nil {
-			return nil, &ConnError{Op: "call", Err: err}
+	c.sentBytes.Add(int64(n))
+
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.broken
+			c.mu.Unlock()
+			return nil, err
 		}
-		defer c.conn.SetDeadline(time.Time{})
+		if resp.Err != "" {
+			return nil, &RemoteError{Msg: resp.Err}
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(id)
+		return nil, &ConnError{Op: "call", Err: ctx.Err()}
+	case <-expired:
+		c.forget(id)
+		return nil, &ConnError{Op: "call", Err: context.DeadlineExceeded}
 	}
-	// A cancellation (as opposed to a deadline) must also unblock the
-	// pending socket read; expiring the deadline does that.
-	stop := context.AfterFunc(ctx, func() { c.conn.SetDeadline(time.Now()) })
-	defer stop()
-
-	// Measure the serialized request size with a parallel encoding; gob
-	// stream framing on the live connection is equivalent modulo type
-	// descriptors sent once.
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(req); err == nil {
-		c.sentBytes += int64(buf.Len())
-	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, c.connErr(ctx, "send", err)
-	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, c.connErr(ctx, "receive", err)
-	}
-	var rbuf bytes.Buffer
-	if err := gob.NewEncoder(&rbuf).Encode(&resp); err == nil {
-		c.recvBytes += int64(rbuf.Len())
-	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Msg: resp.Err}
-	}
-	return &resp, nil
-}
-
-// connErr wraps a send/receive failure, preferring the context's own error
-// when the failure was induced by its expiry or cancellation so callers
-// can errors.Is against context.DeadlineExceeded / context.Canceled.
-func (c *Client) connErr(ctx context.Context, op string, err error) error {
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return &ConnError{Op: op, Err: fmt.Errorf("%w (%v)", ctxErr, err)}
-	}
-	return &ConnError{Op: op, Err: err}
 }
 
 // InstallIndex outsources a freshly built static index to the cloud.
@@ -430,6 +656,71 @@ func (c *Client) SecRecContext(ctx context.Context, t *core.Trapdoor) ([]uint64,
 		return nil, nil, err
 	}
 	return resp.IDs, resp.Profiles, nil
+}
+
+// maxBatchPerRPC caps how many trapdoors ride in a single SecRecBatch
+// wire exchange. Each recalled profile is a few hundred KB of ciphertext,
+// and gob allocates a fresh buffer for every message it reads — once a
+// response message crosses ~10 MB the stdlib additionally grows that
+// buffer by chunked appends, copying the payload several times over.
+// Keeping messages bounded and pipelining the sub-batches concurrently
+// on the multiplexed connection is strictly faster than one giant frame.
+const maxBatchPerRPC = 8
+
+// SecRecBatch implements frontend.BatchDiscoveryServer remotely: q
+// trapdoors resolved with per-query results identical to q serial SecRec
+// calls. Large batches are split into sub-batches of maxBatchPerRPC
+// queries issued concurrently over the shared connection, so the server
+// streams bounded response messages instead of one giant frame.
+func (c *Client) SecRecBatch(ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
+	return c.SecRecBatchContext(context.Background(), ts)
+}
+
+// SecRecBatchContext is SecRecBatch bounded by ctx.
+func (c *Client) SecRecBatchContext(ctx context.Context, ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
+	if len(ts) <= maxBatchPerRPC {
+		resp, err := c.callContext(ctx, &Request{Method: MethodSecRecBatch, Trapdoors: ts})
+		if err != nil {
+			return nil, nil, err
+		}
+		return resp.BatchIDs, resp.BatchProfiles, nil
+	}
+	ids := make([][]uint64, len(ts))
+	profiles := make([][][]byte, len(ts))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for lo := 0; lo < len(ts); lo += maxBatchPerRPC {
+		hi := lo + maxBatchPerRPC
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			resp, err := c.callContext(ctx, &Request{Method: MethodSecRecBatch, Trapdoors: ts[lo:hi]})
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			if len(resp.BatchIDs) != hi-lo || len(resp.BatchProfiles) != hi-lo {
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("transport: sub-batch of %d queries answered with %d/%d results",
+						hi-lo, len(resp.BatchIDs), len(resp.BatchProfiles))
+				})
+				return
+			}
+			copy(ids[lo:hi], resp.BatchIDs)
+			copy(profiles[lo:hi], resp.BatchProfiles)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return ids, profiles, nil
 }
 
 // FetchProfiles implements frontend.ProfileFetcher remotely.

@@ -1,34 +1,40 @@
 #!/usr/bin/env bash
 # bench.sh — benchmark trajectory tooling.
 #
-# Runs the paper-figure benchmarks (Fig. 3/4/5) and the crypt substrate
-# microbenchmarks with -benchmem, and writes BENCH_PR2.json at the repo
-# root: the pre-PR2 baseline (recorded once, constant below) next to the
-# freshly measured numbers, so the speedup claims in EXPERIMENTS.md stay
-# reproducible.
+# Runs the paper-figure benchmarks (Fig. 3/4/5), the crypt substrate
+# microbenchmarks with -benchmem, and the sustained-throughput benchmarks
+# (serial / pipelined / batched discovery with qps and p50/p99 latency),
+# and writes BENCH_PR3.json at the repo root: the pre-PR3 baseline
+# (recorded once, constant below) next to the freshly measured numbers,
+# so the speedup claims in EXPERIMENTS.md stay reproducible.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3s scripts/bench.sh    # longer runs for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR3.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFig' -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
+go test -run '^$' -bench 'BenchmarkThroughput' -benchtime "$BENCHTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkPos$|BenchmarkPos8$|BenchmarkMaskInto$|BenchmarkDRBGFill$|BenchmarkEncProfile1000$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/crypt/ | tee -a "$TMP"
 
-# Pre-PR2 baseline, measured at commit af44b90 on the reference machine
-# (Intel Xeon @ 2.10GHz, 1 CPU, go1.24.0 linux/amd64).
+# Pre-PR3 baseline, measured at commit 1ee2634 on the reference machine
+# (Intel Xeon @ 2.10GHz, 1 CPU, go1.24.0 linux/amd64). The throughput
+# entry is the serial request/response transport's single-connection
+# lockstep discovery loop — the operating point PR3's framed multiplexed
+# protocol replaces.
 BASELINE='{
     "BenchmarkFig4a_IndexBuild":   {"ns_per_op": 124957860, "bytes_per_op": 76619012, "allocs_per_op": 1270246},
     "BenchmarkFig4b_TrapdoorSecRec": {"ns_per_op": 640108, "bytes_per_op": 397208, "allocs_per_op": 7136},
     "BenchmarkFig4c_Search":       {"ns_per_op": 2006186, "bytes_per_op": 1555342, "allocs_per_op": 18832},
     "BenchmarkFig4c_DeleteInsert": {"ns_per_op": 7803890, "bytes_per_op": 5675300, "allocs_per_op": 67577},
     "BenchmarkFig5c_L100Trapdoor": {"ns_per_op": 1161078, "bytes_per_op": 746736, "allocs_per_op": 13802},
+    "BenchmarkThroughput_DiscoverySerial": {"ns_per_op": 3282774, "qps": 304.6, "p50_us": 2825, "p99_us": 6615},
     "BenchmarkPos":                {"ns_per_op": 675.0, "bytes_per_op": 560, "allocs_per_op": 9},
     "BenchmarkEncProfile1000":     {"ns_per_op": 12248, "bytes_per_op": 18424, "allocs_per_op": 17}
   }'
@@ -43,15 +49,24 @@ BASELINE='{
     awk '
         /^Benchmark/ {
             name = $1; sub(/-[0-9]+$/, "", name)
-            ns = ""; bop = "null"; aop = "null"
+            ns = ""; bop = ""; aop = ""; qps = ""; p50 = ""; p99 = ""
             for (i = 2; i <= NF; i++) {
                 if ($i == "ns/op")     ns  = $(i-1)
                 if ($i == "B/op")      bop = $(i-1)
                 if ($i == "allocs/op") aop = $(i-1)
+                if ($i == "qps")       qps = $(i-1)
+                if ($i == "p50_us")    p50 = $(i-1)
+                if ($i == "p99_us")    p99 = $(i-1)
             }
             if (ns == "") next
             if (n++) printf ",\n"
-            printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bop, aop
+            printf "    \"%s\": {\"ns_per_op\": %s", name, ns
+            if (bop != "") printf ", \"bytes_per_op\": %s", bop
+            if (aop != "") printf ", \"allocs_per_op\": %s", aop
+            if (qps != "") printf ", \"qps\": %s", qps
+            if (p50 != "") printf ", \"p50_us\": %s", p50
+            if (p99 != "") printf ", \"p99_us\": %s", p99
+            printf "}"
         }
         END { printf "\n" }
     ' "$TMP"

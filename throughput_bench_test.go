@@ -1,0 +1,214 @@
+// Sustained-throughput benchmarks for the serving stack: full
+// privacy-preserving discoveries (trapdoor → SecRec over TCP → decrypt →
+// rank) against a transport server on the Fig. 3 workload, measured as
+// queries per second with p50/p99 latency.
+//
+// Three operating points bracket the serving design space:
+//
+//   - DiscoverySerial: one client, lockstep request/response — the
+//     pre-multiplexing baseline (at most 1/RTT queries per connection).
+//   - Discovery: many goroutines pipelining on ONE shared connection via
+//     the request-ID-multiplexed transport; -cpu scales the concurrency.
+//   - DiscoverBatch: batches of trapdoors amortized over one SecRecBatch
+//     round trip per batch.
+package pisd
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pisd/internal/cloud"
+	"pisd/internal/dataset"
+	"pisd/internal/frontend"
+	"pisd/internal/transport"
+)
+
+type throughputFixture struct {
+	sf      *frontend.Frontend
+	addr    string
+	queries [][]float64
+}
+
+var (
+	tputOnce sync.Once
+	tput     *throughputFixture
+	tputErr  error
+)
+
+// getThroughputFixture builds the Fig. 3 workload once — 5000 users with
+// 1000-dim topic-structured profiles, secure index and encrypted profiles
+// installed on a cloud server behind a TCP transport — and returns the
+// front end plus the server address. The server lives for the whole bench
+// binary run.
+func getThroughputFixture(b *testing.B) *throughputFixture {
+	b.Helper()
+	tputOnce.Do(func() {
+		const n, dim = 5000, 1000
+		cfg := frontend.DefaultConfig(dim)
+		// d=10 as in BenchmarkFig3_Discovery: the synthetic topic clusters
+		// need more probing headroom than the paper's rendered images.
+		cfg.ProbeRange = 10
+		cfg.MaxLoop = 2000
+		cfg.KeySeed = "throughput-bench"
+		sf, err := frontend.New(cfg)
+		if err != nil {
+			tputErr = err
+			return
+		}
+		dcfg := dataset.DefaultConfig(n)
+		dcfg.Dim = dim
+		ds, err := dataset.Generate(dcfg)
+		if err != nil {
+			tputErr = err
+			return
+		}
+		uploads := make([]frontend.Upload, n)
+		for i, p := range ds.Profiles {
+			uploads[i] = frontend.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+		}
+		idx, encProfiles, err := sf.BuildIndex(uploads)
+		if err != nil {
+			tputErr = err
+			return
+		}
+		cs := cloud.New()
+		cs.SetIndex(idx)
+		cs.PutProfiles(encProfiles)
+		srv := transport.NewServer(cs)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			tputErr = err
+			return
+		}
+		queries, _ := ds.Queries(64, 5)
+		tput = &throughputFixture{sf: sf, addr: addr, queries: queries}
+	})
+	if tputErr != nil {
+		b.Fatalf("throughput fixture: %v", tputErr)
+	}
+	return tput
+}
+
+// latRecorder accumulates per-query latencies concurrently and reports
+// QPS and percentile metrics.
+type latRecorder struct {
+	mu   sync.Mutex
+	lats []time.Duration
+}
+
+func (r *latRecorder) observe(d time.Duration) {
+	r.mu.Lock()
+	r.lats = append(r.lats, d)
+	r.mu.Unlock()
+}
+
+// report emits qps, p50_us and p99_us for the elapsed wall time.
+func (r *latRecorder) report(b *testing.B, elapsed time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.lats) == 0 || elapsed <= 0 {
+		return
+	}
+	b.ReportMetric(float64(len(r.lats))/elapsed.Seconds(), "qps")
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(r.lats)-1))
+		return float64(r.lats[i].Microseconds())
+	}
+	b.ReportMetric(pct(0.50), "p50_us")
+	b.ReportMetric(pct(0.99), "p99_us")
+}
+
+// BenchmarkThroughput_DiscoverySerial is the single-connection lockstep
+// baseline: one outstanding request at a time, exactly what the serial
+// request/response transport sustained per connection.
+func BenchmarkThroughput_DiscoverySerial(b *testing.B) {
+	f := getThroughputFixture(b)
+	client, err := transport.Dial(f.addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	rec := &latRecorder{}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		q := f.queries[i%len(f.queries)]
+		qStart := time.Now()
+		if _, err := f.sf.Discover(client, q, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+		rec.observe(time.Since(qStart))
+	}
+	rec.report(b, time.Since(start))
+}
+
+// BenchmarkThroughput_Discovery is the pipelined operating point: many
+// concurrent clients multiplexed over ONE shared TCP connection, each
+// running full discoveries. GOMAXPROCS (the -cpu flag) scales the
+// goroutine count via RunParallel's GOMAXPROCS * SetParallelism workers.
+func BenchmarkThroughput_Discovery(b *testing.B) {
+	f := getThroughputFixture(b)
+	client, err := transport.Dial(f.addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	rec := &latRecorder{}
+	var qctr atomic.Uint64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := f.queries[(qctr.Add(1)-1)%uint64(len(f.queries))]
+			qStart := time.Now()
+			if _, err := f.sf.Discover(client, q, 10, 0); err != nil {
+				b.Error(err)
+				return
+			}
+			rec.observe(time.Since(qStart))
+		}
+	})
+	rec.report(b, time.Since(start))
+}
+
+// BenchmarkThroughput_DiscoverBatch amortizes the round trip over batches
+// of 32 queries: one SecRecBatch exchange per batch, per-query results
+// identical to serial Discover. Reported metrics are per QUERY (b.N counts
+// queries), so qps/p50/p99 compare directly with the other two points;
+// batch-boundary queries carry the whole exchange's latency.
+func BenchmarkThroughput_DiscoverBatch(b *testing.B) {
+	const batchSize = 32
+	f := getThroughputFixture(b)
+	client, err := transport.Dial(f.addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	rec := &latRecorder{}
+	b.ResetTimer()
+	start := time.Now()
+	for done := 0; done < b.N; done += batchSize {
+		size := batchSize
+		if left := b.N - done; left < size {
+			size = left
+		}
+		targets := make([][]float64, size)
+		for i := range targets {
+			targets[i] = f.queries[(done+i)%len(f.queries)]
+		}
+		bStart := time.Now()
+		if _, err := f.sf.DiscoverBatch(client, targets, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+		per := time.Since(bStart) / time.Duration(size)
+		for i := 0; i < size; i++ {
+			rec.observe(per)
+		}
+	}
+	rec.report(b, time.Since(start))
+}
