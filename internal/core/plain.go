@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pisd/internal/crypt"
+	"pisd/internal/cuckoo"
+	"pisd/internal/lsh"
+)
+
+// PlainMirror is the keyed plaintext twin of the static secure index: the
+// same cuckoo placement engine, PRF bucket addressing, kick seed,
+// probe/stash policy and insertion order as Build, with identifiers kept
+// in the clear instead of XOR-masked into buckets. Feeding a mirror the
+// items Build consumed — same keys, params and order — reproduces the
+// secure placement slot for slot, so Candidates predicts exactly what
+// SecRec recovers for any query. Differential tests use it as the
+// reference oracle: a secure pipeline whose results disagree with the
+// mirror has corrupted a bucket, a mask or a stream somewhere.
+type PlainMirror struct {
+	placer *cuckoo.Index
+	p      Params
+}
+
+// NewPlainMirror returns an empty mirror over the given keys and params.
+// The params must be the resolved ones the secure build used (Capacity
+// already computed), or placement diverges.
+func NewPlainMirror(keys *crypt.KeySet, p Params) (*PlainMirror, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkKeys(keys, p); err != nil {
+		return nil, err
+	}
+	placer, err := newPlacer(keys, p)
+	if err != nil {
+		return nil, err
+	}
+	return &PlainMirror{placer: placer, p: p}, nil
+}
+
+// Insert places one item, mirroring Build's insertion phase. Items must
+// arrive in the same order Build consumed them. A full table surfaces as
+// ErrNeedRehash, exactly when the secure build would have failed.
+func (m *PlainMirror) Insert(id uint64, meta lsh.Metadata) error {
+	if id == bottomID {
+		return fmt.Errorf("core: identifier %d is reserved", id)
+	}
+	if err := m.placer.Insert(id, meta); err != nil {
+		if errors.Is(err, cuckoo.ErrFull) {
+			return fmt.Errorf("%w: %v", ErrNeedRehash, err)
+		}
+		return fmt.Errorf("core: mirror insert %d: %w", id, err)
+	}
+	return nil
+}
+
+// Candidates returns exactly the identifiers SecRec recovers for a
+// trapdoor on meta, in SecRec's discovery order: tables ascending, probe
+// offset ascending within a table, then the stash, with repeats
+// deduplicated to their first appearance.
+func (m *PlainMirror) Candidates(meta lsh.Metadata) []uint64 {
+	raw := m.placer.Lookup(meta)
+	out := make([]uint64, 0, len(raw))
+	seen := make(map[uint64]bool, len(raw))
+	for _, id := range raw {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Len reports how many items the mirror holds.
+func (m *PlainMirror) Len() int { return m.placer.Len() }

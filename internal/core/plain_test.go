@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pisd/internal/lsh"
+)
+
+// randMeta draws one random metadata vector.
+func randMeta(rng *rand.Rand, tables int) lsh.Metadata {
+	meta := make(lsh.Metadata, tables)
+	for j := range meta {
+		meta[j] = rng.Uint64()
+	}
+	return meta
+}
+
+// buildWithMirror builds the secure index and its plaintext mirror over
+// the same items in the same order.
+func buildWithMirror(t *testing.T, p Params, items []Item) (*Index, *PlainMirror) {
+	t.Helper()
+	keys := testKeys(t, p.Tables)
+	idx, err := Build(keys, items, p)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mirror, err := NewPlainMirror(keys, p)
+	if err != nil {
+		t.Fatalf("NewPlainMirror: %v", err)
+	}
+	for _, it := range items {
+		if err := mirror.Insert(it.ID, it.Meta); err != nil {
+			t.Fatalf("mirror insert %d: %v", it.ID, err)
+		}
+	}
+	return idx, mirror
+}
+
+// TestMirrorMatchesSecRecExactly is the core differential property: for
+// the same keys, params and insertion order, SecRec over the encrypted
+// index and Candidates over the plaintext mirror return identical
+// identifier sequences — same identifiers, same discovery order — for
+// indexed and non-indexed queries alike.
+func TestMirrorMatchesSecRecExactly(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			p := testParams(200)
+			p.Seed = seed
+			items := randItems(rng, 200, p.Tables)
+			idx, mirror := buildWithMirror(t, p, items)
+			keys := testKeys(t, p.Tables)
+
+			queries := make([]lsh.Metadata, 0, 60)
+			for i := 0; i < 40; i++ {
+				queries = append(queries, items[rng.Intn(len(items))].Meta)
+			}
+			for i := 0; i < 20; i++ {
+				queries = append(queries, randMeta(rng, p.Tables))
+			}
+			for q, meta := range queries {
+				td, err := GenTpdr(keys, meta, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := idx.SecRec(td)
+				if err != nil {
+					t.Fatalf("SecRec: %v", err)
+				}
+				want := mirror.Candidates(meta)
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("query %d: SecRec %v, mirror %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMirrorMatchesSecRecWithStash forces items through the stash path
+// (tiny capacity, stash enabled) and checks the mirror still predicts
+// SecRec exactly — the stash is part of the placement it replays.
+func TestMirrorMatchesSecRecWithStash(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Params{Tables: 3, Capacity: 8, ProbeRange: 1, MaxLoop: 8, Seed: 4, StashSize: 8}
+	keys := testKeys(t, p.Tables)
+
+	// Fill until the stash itself overflows, then keep the largest prefix
+	// that fits: with the table this tight the stash is necessarily in
+	// use, and the mirror must agree on every query.
+	probe, err := NewPlainMirror(keys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var items []Item
+	overflowed := false
+	for i := 0; i < 200; i++ {
+		it := Item{ID: uint64(i + 1), Meta: randMeta(rng, p.Tables)}
+		if err := probe.Insert(it.ID, it.Meta); err != nil {
+			overflowed = true
+			break
+		}
+		items = append(items, it)
+	}
+	// Overflow means the stash was full when the last insert failed, so
+	// the retained prefix holds StashSize stashed items.
+	if !overflowed {
+		t.Fatal("tiny table never overflowed; stash cannot be proven in use")
+	}
+	idx, mirror := buildWithMirror(t, p, items)
+	if got, want := mirror.Len(), len(items); got != want {
+		t.Fatalf("mirror holds %d items, want %d", got, want)
+	}
+	for _, it := range items {
+		td, err := GenTpdr(keys, it.Meta, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := idx.SecRec(td)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mirror.Candidates(it.Meta)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("id %d: SecRec %v, mirror %v", it.ID, got, want)
+		}
+		found := false
+		for _, id := range got {
+			if id == it.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("id %d not recovered by its own metadata", it.ID)
+		}
+	}
+}
+
+// TestMirrorOverflowParity checks that the mirror reports ErrNeedRehash on
+// exactly the item the secure build chokes on: stash exhaustion is part of
+// the mirrored placement, not an approximation.
+func TestMirrorOverflowParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := Params{Tables: 2, Capacity: 4, ProbeRange: 1, MaxLoop: 4, Seed: 5, StashSize: 1}
+	keys := testKeys(t, p.Tables)
+	mirror, err := NewPlainMirror(keys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placed []Item
+	overflowAt := -1
+	for i := 0; i < 200; i++ {
+		it := Item{ID: uint64(i + 1), Meta: randMeta(rng, p.Tables)}
+		if err := mirror.Insert(it.ID, it.Meta); err != nil {
+			if !errors.Is(err, ErrNeedRehash) {
+				t.Fatalf("mirror overflow surfaced %v, want ErrNeedRehash", err)
+			}
+			overflowAt = i
+			break
+		}
+		placed = append(placed, it)
+	}
+	if overflowAt < 0 {
+		t.Fatal("tiny table never overflowed; test is inert")
+	}
+	// The secure build over the same prefix succeeds; adding the fatal
+	// item makes it fail the same way.
+	if _, err := Build(keys, placed, p); err != nil {
+		t.Fatalf("Build over pre-overflow prefix: %v", err)
+	}
+	// Rebuild the exact sequence including the overflowing item: the rng
+	// stream must match, so replay the draws from scratch.
+	rng = rand.New(rand.NewSource(5))
+	var seq []Item
+	for i := 0; i <= overflowAt; i++ {
+		seq = append(seq, Item{ID: uint64(i + 1), Meta: randMeta(rng, p.Tables)})
+	}
+	if _, err := Build(keys, seq, p); !errors.Is(err, ErrNeedRehash) {
+		t.Fatalf("Build over overflowing sequence: %v, want ErrNeedRehash", err)
+	}
+}
+
+// TestMirrorMatchesPartitionedUnion checks the sharded static tier against
+// the mirror: each shard's SecRec must equal the mirror's candidates
+// restricted to that shard's users, in discovery order.
+func TestMirrorMatchesPartitionedUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := testParams(150)
+	p.Seed = 6
+	items := randItems(rng, 150, p.Tables)
+	keys := testKeys(t, p.Tables)
+	const shards = 3
+	owner := DefaultOwner(shards)
+	idxs, err := BuildPartitioned(keys, items, p, shards, owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror, err := NewPlainMirror(keys, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := mirror.Insert(it.ID, it.Meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		meta := items[rng.Intn(len(items))].Meta
+		td, err := GenTpdr(keys, meta, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := mirror.Candidates(meta)
+		for s := 0; s < shards; s++ {
+			got, err := idxs[s].SecRec(td)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []uint64
+			for _, id := range all {
+				if owner(id) == s {
+					want = append(want, id)
+				}
+			}
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("query %d shard %d: SecRec %v, mirror projection %v", i, s, got, want)
+			}
+		}
+	}
+}

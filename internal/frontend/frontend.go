@@ -100,6 +100,11 @@ type Frontend struct {
 	family *lsh.Family
 	params core.Params
 	built  bool
+	// rehashed records whether the most recent successful build went
+	// through the rehash() step, i.e. whether upload metadata supplied by
+	// clients was recomputed under fresh LSH parameters. BuildOracle needs
+	// it to replay the build's placement exactly.
+	rehashed bool
 }
 
 // New creates a front end, generating keys via Gen(1^λ) and instantiating
@@ -192,6 +197,7 @@ func (f *Frontend) buildLoop(uploads []Upload, build func(items []core.Item, p c
 	for attempt := 0; ; attempt++ {
 		err = build(items, p)
 		if err == nil {
+			f.rehashed = attempt > 0
 			return p, nil
 		}
 		if !errors.Is(err, core.ErrNeedRehash) || attempt >= f.cfg.MaxRehash {
@@ -279,6 +285,7 @@ func (f *Frontend) BuildDynamicIndex(uploads []Upload) (*core.DynIndex, *core.Dy
 	}
 	f.params = p
 	f.built = true
+	f.rehashed = false
 	encProfiles, err := f.encryptProfiles(uploads)
 	if err != nil {
 		return nil, nil, nil, err

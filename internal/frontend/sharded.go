@@ -117,6 +117,7 @@ func (f *Frontend) BuildShardedDynamicIndex(uploads []Upload, shards int, owner 
 	}
 	f.params = p
 	f.built = true
+	f.rehashed = false
 
 	cts, err := f.encryptProfileSlice(uploads)
 	if err != nil {

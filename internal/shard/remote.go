@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"pisd/internal/core"
 	"pisd/internal/transport"
@@ -17,9 +18,11 @@ import (
 // connection (and every other call pipelined on it) stays healthy.
 type Remote struct {
 	addr string
+	dial transport.Dialer
 
-	mu sync.Mutex
-	c  *transport.Client
+	mu      sync.Mutex
+	c       *transport.Client
+	timeout time.Duration
 }
 
 var _ Node = (*Remote)(nil)
@@ -28,8 +31,30 @@ var _ Node = (*Remote)(nil)
 // connection is made until the first call.
 func NewRemote(addr string) *Remote { return &Remote{addr: addr} }
 
+// NewRemoteDialer is NewRemote with an injectable connection factory:
+// every dial — the lazy first one and each post-fault redial — goes
+// through dial. Fault-injection harnesses (faultnet.Network.Dialer) hook
+// in here; nil behaves like NewRemote.
+func NewRemoteDialer(addr string, dial transport.Dialer) *Remote {
+	return &Remote{addr: addr, dial: dial}
+}
+
 // Addr returns the shard server's address.
 func (r *Remote) Addr() string { return r.addr }
+
+// SetTimeout bounds every call on this node, including calls without a
+// context (profile and bucket operations) and calls on fresh connections
+// after a redial; zero means unbounded. On a lossy network an unbounded
+// bucket fetch whose request frame vanished would wait forever — dynamic
+// churn through faulty links needs this bound.
+func (r *Remote) SetTimeout(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timeout = d
+	if r.c != nil {
+		r.c.SetTimeout(d)
+	}
+}
 
 // Close tears down the current connection, if any.
 func (r *Remote) Close() error {
@@ -48,9 +73,12 @@ func (r *Remote) client() (*transport.Client, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.c == nil {
-		c, err := transport.Dial(r.addr)
+		c, err := transport.DialWith(r.addr, r.dial)
 		if err != nil {
 			return nil, err
+		}
+		if r.timeout > 0 {
+			c.SetTimeout(r.timeout)
 		}
 		r.c = c
 	}

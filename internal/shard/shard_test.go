@@ -2,7 +2,6 @@ package shard
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -12,6 +11,7 @@ import (
 	"pisd/internal/cloud"
 	"pisd/internal/core"
 	"pisd/internal/dataset"
+	"pisd/internal/faultnet"
 	"pisd/internal/frontend"
 	"pisd/internal/lsh"
 	"pisd/internal/transport"
@@ -286,26 +286,44 @@ func TestPingReportsDeadShard(t *testing.T) {
 	}
 }
 
-// flakyNode wraps a Node and fails the first SecRec calls with a
-// connection-level error, to exercise the pool's bounded retry.
-type flakyNode struct {
-	Node
-	mu       sync.Mutex
-	failures int
+// faultPool builds a sharded index served by real transport servers and
+// dials every shard through the faultnet harness, one peer per shard
+// (shardPeer(s)), so tests can script faults and partitions per shard.
+func faultPool(t *testing.T, f *frontend.Frontend, uploads []frontend.Upload, nShards int, cfg Config, fn *faultnet.Network) *Pool {
+	t.Helper()
+	shards, err := f.BuildShardedIndex(uploads, nShards, nil)
+	if err != nil {
+		t.Fatalf("BuildShardedIndex: %v", err)
+	}
+	nodes := make([]Node, nShards)
+	for s := range nodes {
+		srv := transport.NewServer(cloud.New())
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen shard %d: %v", s, err)
+		}
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+		remote := NewRemoteDialer(addr, fn.Dialer(shardPeer(s)))
+		t.Cleanup(func() { remote.Close() })
+		nodes[s] = remote
+	}
+	pool, err := NewPool(cfg, nodes...)
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	for s, sh := range shards {
+		if err := pool.InstallShard(s, sh.Index, sh.EncProfiles); err != nil {
+			t.Fatalf("InstallShard(%d): %v", s, err)
+		}
+	}
+	return pool
 }
 
-func (f *flakyNode) SecRec(ctx context.Context, td *core.Trapdoor) ([]uint64, [][]byte, error) {
-	f.mu.Lock()
-	fail := f.failures > 0
-	if fail {
-		f.failures--
-	}
-	f.mu.Unlock()
-	if fail {
-		return nil, nil, &transport.ConnError{Op: "receive", Err: errors.New("injected fault")}
-	}
-	return f.Node.SecRec(ctx, td)
-}
+func shardPeer(s int) string { return fmt.Sprintf("shard%d", s) }
 
 // appErrNode wraps a Node and fails every SecRec with an application
 // error, which must not be retried.
@@ -323,29 +341,26 @@ func (a *appErrNode) SecRec(context.Context, *core.Trapdoor) ([]uint64, [][]byte
 }
 
 // TestRetryRecoversConnError checks that one transient connection fault
-// per shard is absorbed by the pool's single default retry, yielding a
-// complete (non-partial) result.
+// per shard — a real mid-request connection kill, injected on the wire by
+// the faultnet harness — is absorbed by the pool's single default retry,
+// yielding a complete (non-partial) result on fresh connections.
 func TestRetryRecoversConnError(t *testing.T) {
 	const n, shards = 240, 4
 
 	f := testFrontend(t, "shard-retry")
 	uploads, ds := testUploads(t, f, n)
-	built, err := f.BuildShardedIndex(uploads, shards, nil)
-	if err != nil {
-		t.Fatalf("BuildShardedIndex: %v", err)
-	}
-	nodes := make([]Node, shards)
-	for s := range nodes {
-		nodes[s] = &flakyNode{Node: NewLocal(cloud.New()), failures: 1}
-	}
-	pool, err := NewPool(DefaultConfig(), nodes...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for s, sh := range built {
-		if err := pool.InstallShard(s, sh.Index, sh.EncProfiles); err != nil {
-			t.Fatal(err)
+	fn := faultnet.New(faultnet.Plan{Seed: 42})
+	fn.SetEnabled(false) // no background noise; only the scripted faults
+	pool := faultPool(t, f, uploads, shards, DefaultConfig(), fn)
+
+	// Warm every shard's connection, then kill each shard's next write.
+	for s, err := range pool.Ping(context.Background()) {
+		if err != nil {
+			t.Fatalf("Ping shard %d: %v", s, err)
 		}
+	}
+	for s := 0; s < shards; s++ {
+		fn.FailNextWrites(shardPeer(s), 1)
 	}
 	queries, _ := ds.Queries(1, 11)
 	matches, partial, err := f.DiscoverSharded(context.Background(), pool, queries[0], 10, 0)
@@ -357,6 +372,57 @@ func TestRetryRecoversConnError(t *testing.T) {
 	}
 	if len(matches) == 0 {
 		t.Fatal("no matches")
+	}
+}
+
+// TestPoolUnderSeededFaults runs discoveries against remote shards through
+// a seeded random fault schedule (dropped frames and connection resets)
+// and checks every complete result against the fault-free reference: the
+// pool's retries may sweat, but results must never be silently wrong or
+// reordered. Reproduce any failure with the printed seed.
+func TestPoolUnderSeededFaults(t *testing.T) {
+	const n, shards, seed = 240, 3, 77
+	t.Logf("faultnet seed %d", seed)
+
+	f := testFrontend(t, "shard-seeded-faults")
+	uploads, ds := testUploads(t, f, n)
+	fn := faultnet.New(faultnet.Plan{Seed: seed, DropProb: 0.05, ResetProb: 0.03})
+	fn.SetEnabled(false)
+	cfg := DefaultConfig()
+	cfg.Timeout = 300 * time.Millisecond
+	cfg.Retries = 4
+	pool := faultPool(t, f, uploads, shards, cfg, fn)
+
+	queries, _ := ds.Queries(12, 23)
+	want := make([][]frontend.Match, len(queries))
+	for q, target := range queries {
+		m, partial, err := f.DiscoverSharded(context.Background(), pool, target, 8, 0)
+		if err != nil || partial {
+			t.Fatalf("fault-free query %d: partial=%v err=%v", q, partial, err)
+		}
+		want[q] = m
+	}
+
+	fn.SetEnabled(true)
+	complete := 0
+	for q, target := range queries {
+		got, partial, err := f.DiscoverSharded(context.Background(), pool, target, 8, 0)
+		if err != nil {
+			if !transport.IsConnError(err) {
+				t.Fatalf("query %d failed with non-transport error %T: %v", q, err, err)
+			}
+			continue
+		}
+		if partial {
+			continue
+		}
+		complete++
+		if err := frontend.EqualMatches(got, want[q]); err != nil {
+			t.Fatalf("seed %d query %d diverged under faults: %v", seed, q, err)
+		}
+	}
+	if complete == 0 {
+		t.Fatalf("seed %d: no query completed; fault plan too hostile to assert anything", seed)
 	}
 }
 

@@ -1,0 +1,117 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"io"
+	"testing"
+)
+
+// encodeFrames gob-encodes the given envelopes through a frameWriter into
+// one contiguous wire stream, exactly as a live peer would produce it.
+func encodeFrames(tb testing.TB, envs ...*respEnvelope) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	for _, env := range envs {
+		if _, err := fw.writeFrame(env); err != nil {
+			tb.Fatalf("writeFrame: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrameDecode throws arbitrary byte streams at the length-prefixed
+// frame reader + gob decoder pair that every connection's read side runs.
+// Whatever the bytes — malformed lengths, torn headers, truncated
+// payloads, garbage gob, frames spliced from different streams — decoding
+// must terminate with a clean error or clean EOF, never panic, never spin,
+// and never report more consumed bytes than were on the wire.
+func FuzzFrameDecode(f *testing.F) {
+	// A well-formed single response.
+	valid := encodeFrames(f, &respEnvelope{ID: 1, Resp: &Response{Err: "x"}})
+	f.Add(valid)
+	// Two frames with interleaved request IDs, as a pipelined server
+	// writes them: completion order, not request order.
+	f.Add(encodeFrames(f,
+		&respEnvelope{ID: 7, Resp: &Response{IDs: []uint64{1, 2, 3}}},
+		&respEnvelope{ID: 3, Resp: &Response{Err: "later request answered first"}},
+	))
+	// Truncated payload: a frame whose advertised length exceeds the bytes
+	// behind it.
+	f.Add(valid[:len(valid)-3])
+	// Torn header.
+	f.Add(valid[:2])
+	// Oversized length prefix.
+	huge := make([]byte, frameHeader)
+	binary.BigEndian.PutUint32(huge, maxFrame+1)
+	f.Add(huge)
+	// Zero-length frame followed by a valid one.
+	f.Add(append(make([]byte, frameHeader), valid...))
+	// Non-gob garbage with a plausible length prefix.
+	garbage := []byte{0, 0, 0, 8, 0xde, 0xad, 0xbe, 0xef, 0xca, 0xfe, 0xba, 0xbe}
+	f.Add(garbage)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := newFrameReader(bytes.NewReader(data))
+		dec := gob.NewDecoder(fr)
+		for decoded := 0; ; decoded++ {
+			var env respEnvelope
+			if err := dec.Decode(&env); err != nil {
+				return // every malformed stream must end in an error or EOF
+			}
+			if fr.consumed() > int64(len(data)) {
+				t.Fatalf("reader claims %d consumed bytes of a %d-byte input", fr.consumed(), len(data))
+			}
+			if decoded > len(data) {
+				t.Fatalf("decoded %d envelopes from %d bytes; decoder is spinning", decoded, len(data))
+			}
+		}
+	})
+}
+
+// TestFrameDecodeInterleavedIDs pins the codec-level half of response
+// multiplexing: frames written in completion order decode in that order
+// with their request IDs and payloads intact, so the client's reader can
+// route each to its caller.
+func TestFrameDecodeInterleavedIDs(t *testing.T) {
+	envs := []*respEnvelope{
+		{ID: 2, Resp: &Response{IDs: []uint64{20}}},
+		{ID: 0, Resp: &Response{IDs: []uint64{10}}},
+		{ID: 1, Resp: &Response{Err: "third"}},
+	}
+	wire := encodeFrames(t, envs...)
+	fr := newFrameReader(bytes.NewReader(wire))
+	dec := gob.NewDecoder(fr)
+	for i, want := range envs {
+		var got respEnvelope
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got.ID != want.ID {
+			t.Fatalf("frame %d carried ID %d, want %d", i, got.ID, want.ID)
+		}
+		if want.Resp.Err != "" && got.Resp.Err != want.Resp.Err {
+			t.Fatalf("frame %d error %q, want %q", i, got.Resp.Err, want.Resp.Err)
+		}
+		if len(want.Resp.IDs) > 0 && (len(got.Resp.IDs) != len(want.Resp.IDs) || got.Resp.IDs[0] != want.Resp.IDs[0]) {
+			t.Fatalf("frame %d payload %v, want %v", i, got.Resp.IDs, want.Resp.IDs)
+		}
+	}
+	var extra respEnvelope
+	if err := dec.Decode(&extra); err != io.EOF {
+		t.Fatalf("stream must end cleanly, got %v", err)
+	}
+}
+
+// TestFrameReaderRejectsOversizedFrame pins the fail-fast path for a
+// corrupt length prefix.
+func TestFrameReaderRejectsOversizedFrame(t *testing.T) {
+	hdr := make([]byte, frameHeader)
+	binary.BigEndian.PutUint32(hdr, maxFrame+1)
+	fr := newFrameReader(bytes.NewReader(hdr))
+	if _, err := fr.Read(make([]byte, 1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

@@ -269,18 +269,30 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("transport: listen: %w", err)
 	}
+	if err := s.Serve(ln); err != nil {
+		return "", err
+	}
+	return ln.Addr().String(), nil
+}
+
+// Serve starts accepting connections from an already-bound listener until
+// Shutdown; the server owns ln from here on and closes it at shutdown.
+// Like Listen it returns immediately — serving continues in background
+// goroutines. This is the hook fault-injection harnesses use to interpose
+// a wrapped listener between the network and the server.
+func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		ln.Close()
-		return "", errors.New("transport: server already shut down")
+		return errors.New("transport: server already shut down")
 	}
 	s.listener = ln
 	s.mu.Unlock()
 
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return nil
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -467,7 +479,22 @@ var _ core.BucketStore = (*Client)(nil)
 
 // Dial connects to a transport server. A failed dial returns a ConnError.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialWith(addr, nil)
+}
+
+// Dialer opens the raw connection a client multiplexes its calls over.
+// It exists so tests can interpose fault-injecting wrappers between the
+// client and the network; nil means plain net.Dial("tcp", addr).
+type Dialer func(addr string) (net.Conn, error)
+
+// DialWith is Dial with an injectable connection factory. Errors from the
+// dialer are wrapped as ConnErrors so pool retry logic treats a failed
+// dial like any other connection-level fault.
+func DialWith(addr string, dial Dialer) (*Client, error) {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, &ConnError{Op: "dial", Err: err}
 	}
