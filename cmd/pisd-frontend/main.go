@@ -14,6 +14,12 @@
 //
 //	pisd-server -addr 127.0.0.1:7001 -shards 4 &   # terminal 1
 //	pisd-frontend -cloud 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004
+//
+// With -obs ADDR, an observability HTTP endpoint serves a JSON metrics
+// snapshot at /metrics — frontend per-stage latency, per-shard fan-out
+// health, transport traffic — plus /debug/pprof/; the process then stays
+// alive after the discoveries until interrupted, so the endpoint can be
+// scraped.
 package main
 
 import (
@@ -23,8 +29,10 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pisd"
@@ -49,8 +57,17 @@ func run() error {
 		k         = flag.Int("k", 5, "recommendations per discovery")
 		discover  = flag.String("discover", "1", "comma-separated target user ids")
 		seed      = flag.Int64("seed", 1, "population seed")
+		obsAddr   = flag.String("obs", "", "observability HTTP address for /metrics and /debug/pprof; keeps the process alive until interrupted (empty: disabled)")
 	)
 	flag.Parse()
+
+	if *obsAddr != "" {
+		bound, err := pisd.ServeMetrics(pisd.Metrics, *obsAddr)
+		if err != nil {
+			return fmt.Errorf("observability endpoint: %w", err)
+		}
+		fmt.Printf("observability endpoint on http://%s (/metrics, /debug/pprof/)\n", bound)
+	}
 
 	ds, err := dataset.Generate(dataset.Config{
 		Users: *users, Dim: *dim, Topics: *topics, TopicsPerUser: 2,
@@ -100,7 +117,10 @@ func run() error {
 		return errors.New("no cloud address given")
 	}
 	if len(addrs) > 1 {
-		return runSharded(sf, ds, uploads, addrs, *k, *discover)
+		if err := runSharded(sf, ds, uploads, addrs, *k, *discover); err != nil {
+			return err
+		}
+		return lingerIfObs(*obsAddr)
 	}
 
 	client, err := pisd.DialCloud(addrs[0])
@@ -158,6 +178,20 @@ func run() error {
 	sent, recv := client.Traffic()
 	fmt.Printf("\ntotal traffic: %.1f KB sent, %.1f KB received\n",
 		float64(sent)/1024, float64(recv)/1024)
+	return lingerIfObs(*obsAddr)
+}
+
+// lingerIfObs keeps the process alive until interrupted when the
+// observability endpoint is enabled, so /metrics stays scrapeable after
+// the discoveries complete (the CI smoke step depends on this).
+func lingerIfObs(obsAddr string) error {
+	if obsAddr == "" {
+		return nil
+	}
+	fmt.Println("\nobservability endpoint active; press Ctrl-C to exit")
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
 	return nil
 }
 

@@ -13,6 +13,12 @@
 // sharded front end: shard i keeps its own index and profile store and
 // listens on port+i; state, when enabled, lives in per-shard
 // subdirectories shard-0 ... shard-N-1.
+//
+// With -obs ADDR, an observability HTTP endpoint serves a JSON metrics
+// snapshot at /metrics (per-tier counters and latency histograms) and the
+// standard runtime profiles under /debug/pprof/. The endpoint exposes
+// operation counts and timings only — no key material or plaintext ever
+// reaches this process, so there is nothing secret to leak.
 package main
 
 import (
@@ -42,10 +48,18 @@ func run() error {
 	stateDir := flag.String("state", "", "state directory for persistence (empty: in-memory only)")
 	shards := flag.Int("shards", 1, "number of cloud shards hosted by this process")
 	workers := flag.Int("workers", 0, "concurrent pipelined requests served per connection (0: server default)")
+	obsAddr := flag.String("obs", "", "observability HTTP address for /metrics and /debug/pprof (empty: disabled)")
 	flag.Parse()
 
 	if *shards < 1 {
 		return fmt.Errorf("shards must be >= 1, got %d", *shards)
+	}
+	if *obsAddr != "" {
+		bound, err := pisd.ServeMetrics(pisd.Metrics, *obsAddr)
+		if err != nil {
+			return fmt.Errorf("observability endpoint: %w", err)
+		}
+		fmt.Printf("observability endpoint on http://%s (/metrics, /debug/pprof/)\n", bound)
 	}
 	host, portStr, err := net.SplitHostPort(*addr)
 	if err != nil {

@@ -9,8 +9,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"pisd/internal/core"
+	"pisd/internal/obs"
 )
 
 var (
@@ -33,6 +35,7 @@ type Server struct {
 	// a shard answering its slice of a fanned-out query allocates nothing
 	// per request beyond the result slices.
 	secScratch sync.Pool
+	met        serverMetrics
 }
 
 // Compile-time check: the server exposes the dynamic scheme's bucket
@@ -44,6 +47,7 @@ func New() *Server {
 	return &Server{
 		profiles: make(map[uint64][]byte),
 		images:   make(map[uint64][][]byte),
+		met:      newServerMetrics(obs.Default, "cloud."),
 	}
 }
 
@@ -107,6 +111,7 @@ func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 	if s.idx == nil {
 		return nil, nil, ErrNoIndex
 	}
+	start := time.Now()
 	sc, _ := s.secScratch.Get().(*core.SecRecScratch)
 	if sc == nil {
 		sc = core.NewSecRecScratch(s.idx.Params())
@@ -116,7 +121,9 @@ func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("cloud: %w", err)
 	}
+	s.recordQuery(t)
 	outIDs, outProfiles := s.attachProfiles(ids)
+	s.met.secrecNs.ObserveSince(start)
 	return outIDs, outProfiles, nil
 }
 
@@ -131,6 +138,7 @@ func (s *Server) SecRecBatch(ts []*core.Trapdoor) ([][]uint64, [][][]byte, error
 	if s.idx == nil {
 		return nil, nil, ErrNoIndex
 	}
+	start := time.Now()
 	sc, _ := s.secScratch.Get().(*core.SecRecScratch)
 	if sc == nil {
 		sc = core.NewSecRecScratch(s.idx.Params())
@@ -138,14 +146,18 @@ func (s *Server) SecRecBatch(ts []*core.Trapdoor) ([][]uint64, [][][]byte, error
 	outIDs := make([][]uint64, len(ts))
 	outProfiles := make([][][]byte, len(ts))
 	for q, t := range ts {
+		qStart := time.Now()
 		ids, err := s.idx.SecRecWith(t, sc)
 		if err != nil {
 			s.secScratch.Put(sc)
 			return nil, nil, fmt.Errorf("cloud: batch query %d: %w", q, err)
 		}
+		s.recordQuery(t)
 		outIDs[q], outProfiles[q] = s.attachProfiles(ids)
+		s.met.secrecNs.ObserveSince(qStart)
 	}
 	s.secScratch.Put(sc)
+	s.met.batchNs.ObserveSince(start)
 	return outIDs, outProfiles, nil
 }
 
@@ -163,6 +175,7 @@ func (s *Server) attachProfiles(ids []uint64) ([]uint64, [][]byte) {
 		outIDs = append(outIDs, id)
 		outProfiles = append(outProfiles, ct)
 	}
+	s.met.profilesServed.Add(int64(len(outIDs)))
 	return outIDs, outProfiles
 }
 
@@ -196,6 +209,7 @@ func (s *Server) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {
 	if s.dyn == nil {
 		return nil, ErrNoIndex
 	}
+	s.met.dynFetched.Add(int64(len(refs)))
 	return s.dyn.FetchBuckets(refs)
 }
 
@@ -207,6 +221,7 @@ func (s *Server) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) e
 	if s.dyn == nil {
 		return ErrNoIndex
 	}
+	s.met.dynStored.Add(int64(len(refs)))
 	return s.dyn.StoreBuckets(refs, buckets)
 }
 

@@ -71,6 +71,48 @@ func FuzzDynIndexUnmarshal(f *testing.F) {
 	})
 }
 
+// FuzzStaticPayload covers the static bucket payload codec from both
+// directions: encodePayload(id) must always decode back to (id, true), and
+// arbitrary unmasked bucket bytes must either be rejected as padding or
+// carry a correctly self-checking identifier.
+func FuzzStaticPayload(f *testing.F) {
+	valid := encodePayload(42)
+	f.Add(valid[:], uint64(7))
+	f.Add(make([]byte, BucketSize), uint64(0))
+	f.Add([]byte{}, ^uint64(0))
+	f.Fuzz(func(t *testing.T, raw []byte, id uint64) {
+		// Direction 1: encode→decode is the identity for every id,
+		// including the reserved ⊥ marker.
+		enc := encodePayload(id)
+		got, ok := decodePayload(enc)
+		if !ok || got != id {
+			t.Fatalf("encodePayload(%d) decoded to (%d, %v)", id, got, ok)
+		}
+		// Direction 2: arbitrary bucket bytes. Anything accepted must
+		// re-encode to a payload with identical id+check prefix — i.e. the
+		// 8-byte integrity tag really binds the identifier.
+		var b [BucketSize]byte
+		copy(b[:], raw)
+		if did, ok := decodePayload(b); ok {
+			re := encodePayload(did)
+			for i := 0; i < 16; i++ {
+				if re[i] != b[i] {
+					t.Fatalf("accepted payload %x re-encodes to %x", b[:16], re[:16])
+				}
+			}
+		}
+		// Tampering any byte of the id or tag must flip acceptance off
+		// (an id change without a matching tag cannot survive).
+		for i := 0; i < 16; i++ {
+			tam := enc
+			tam[i] ^= 1
+			if tid, ok := decodePayload(tam); ok && tid == id {
+				t.Fatalf("byte %d flip kept payload valid for id %d", i, id)
+			}
+		}
+	})
+}
+
 func FuzzDecodeDynPayload(f *testing.F) {
 	f.Add(encodeDynPayload(42, lsh.Metadata{1, 2, 3}, 3), 3)
 	f.Add([]byte{}, 3)

@@ -298,6 +298,7 @@ func Dec(key EncKey, ciphertext []byte) ([]byte, error) {
 	ok := subtle.ConstantTimeCompare(st.mac.tagOf(s, body), tag) == 1
 	prfScratchPool.Put(s)
 	if !ok {
+		mDecAuthFail.Inc()
 		return nil, ErrAuthentication
 	}
 	plaintext := make([]byte, len(body)-ivSize)

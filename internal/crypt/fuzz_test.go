@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"crypto/hmac"
 	"crypto/sha256"
+	"errors"
+	"math"
 	"testing"
+
+	"pisd/internal/obs"
 )
 
 // xorRef is the obvious byte-at-a-time reference the word-wise XOR must
@@ -84,6 +88,167 @@ func FuzzDRBG(f *testing.F) {
 			t.Error("Fill result depends on prior buffer content")
 		}
 	})
+}
+
+// FuzzEncDecRoundTrip is the authenticated-encryption contract under fuzz:
+// Enc then Dec recovers the plaintext exactly, any single-byte tampering of
+// the ciphertext (IV, body or tag) fails with ErrAuthentication, and
+// truncation below the fixed overhead fails with ErrCiphertextTooShort.
+func FuzzEncDecRoundTrip(f *testing.F) {
+	f.Add([]byte("k"), []byte("hello"), uint16(0))
+	f.Add([]byte{}, []byte{}, uint16(3))
+	f.Add(bytes.Repeat([]byte{0x11}, 16), bytes.Repeat([]byte{0xee}, 300), uint16(150))
+	f.Fuzz(func(t *testing.T, keyBytes, plaintext []byte, tamperAt uint16) {
+		var key EncKey
+		copy(key[:], keyBytes)
+		ct, err := Enc(key, plaintext)
+		if err != nil {
+			t.Fatalf("Enc: %v", err)
+		}
+		if len(ct) != len(plaintext)+Overhead {
+			t.Fatalf("ciphertext %d bytes, want %d", len(ct), len(plaintext)+Overhead)
+		}
+		pt, err := Dec(key, ct)
+		if err != nil {
+			t.Fatalf("Dec of fresh ciphertext: %v", err)
+		}
+		if !bytes.Equal(pt, plaintext) {
+			t.Fatalf("round trip diverged: got %x want %x", pt, plaintext)
+		}
+		// Flip one bit somewhere in the ciphertext: MAC must catch it no
+		// matter whether it lands in the IV, the body or the tag.
+		tampered := append([]byte(nil), ct...)
+		tampered[int(tamperAt)%len(ct)] ^= 1
+		if _, err := Dec(key, tampered); !errors.Is(err, ErrAuthentication) {
+			t.Fatalf("tampered ciphertext: err = %v, want ErrAuthentication", err)
+		}
+		// A different key must also fail authentication, not yield garbage.
+		var other EncKey
+		copy(other[:], keyBytes)
+		other[0] ^= 0xff
+		if _, err := Dec(other, ct); !errors.Is(err, ErrAuthentication) {
+			t.Fatalf("wrong-key Dec: err = %v, want ErrAuthentication", err)
+		}
+		if _, err := Dec(key, ct[:Overhead-1]); !errors.Is(err, ErrCiphertextTooShort) {
+			t.Fatalf("truncated ciphertext: err = %v, want ErrCiphertextTooShort", err)
+		}
+	})
+}
+
+// FuzzProfileCodecRoundTrip checks both profile encodings against their
+// decoder and the encrypted form against Dec∘Decode: every finite vector
+// round-trips exactly (full precision) or to float32 (compact).
+func FuzzProfileCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, true)
+	f.Add(bytes.Repeat([]byte{0x3f}, 80), false)
+	f.Fuzz(func(t *testing.T, raw []byte, compact bool) {
+		// Interpret the fuzz bytes as a vector of float64s in [0, 1).
+		s := make([]float64, len(raw)/8)
+		for i := range s {
+			s[i] = float64(uint64(raw[8*i])|uint64(raw[8*i+1])<<8) / 65536
+		}
+		var enc []byte
+		if compact {
+			enc = EncodeProfileCompact(s)
+		} else {
+			enc = EncodeProfile(s)
+		}
+		got, err := DecodeProfile(enc)
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if len(got) != len(s) {
+			t.Fatalf("dim changed: %d -> %d", len(s), len(got))
+		}
+		for i := range s {
+			want := s[i]
+			if compact {
+				want = float64(float32(s[i]))
+			}
+			if got[i] != want {
+				t.Fatalf("entry %d: got %v want %v", i, got[i], want)
+			}
+		}
+		// Encrypted form: EncProfile → DecProfile is the same round trip.
+		var key EncKey
+		copy(key[:], raw)
+		ct, err := EncProfile(key, s)
+		if err != nil {
+			t.Fatalf("EncProfile: %v", err)
+		}
+		back, err := DecProfile(key, ct)
+		if err != nil {
+			t.Fatalf("DecProfile: %v", err)
+		}
+		for i := range s {
+			if back[i] != s[i] && !(math.IsNaN(back[i]) && math.IsNaN(s[i])) {
+				t.Fatalf("encrypted round trip entry %d: got %v want %v", i, back[i], s[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeProfile feeds the profile decoder raw attacker bytes: it must
+// never panic, anything it accepts must keep its length/dimension contract,
+// and re-encoding the result must decode back to the same vector. (Strict
+// byte-identity is too strong a property: a fuzzed compact encoding can
+// carry a signaling-NaN float32 payload, which the float64 round trip
+// legitimately quiets.)
+func FuzzDecodeProfile(f *testing.F) {
+	f.Add(EncodeProfile([]float64{0.25, 0.5}))
+	f.Add(EncodeProfileCompact([]float64{1, 2, 3}))
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeProfile(data)
+		if err != nil {
+			return
+		}
+		var re []byte
+		if data[0]&0x80 != 0 { // compactFlag lives in the header's top bit
+			re = EncodeProfileCompact(s)
+		} else {
+			re = EncodeProfile(s)
+		}
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != %d", len(re), len(data))
+		}
+		back, err := DecodeProfile(re)
+		if err != nil {
+			t.Fatalf("re-encoded profile rejected: %v", err)
+		}
+		if len(back) != len(s) {
+			t.Fatalf("dimension changed on re-encode: %d -> %d", len(s), len(back))
+		}
+		for i := range s {
+			if back[i] != s[i] && !(math.IsNaN(back[i]) && math.IsNaN(s[i])) {
+				t.Fatalf("entry %d not idempotent: %v -> %v", i, s[i], back[i])
+			}
+		}
+	})
+}
+
+// TestDecAuthFailCounter pins the observability hook on the Dec reject
+// path: a tampered ciphertext must bump crypt.dec_auth_fail in the
+// registry the package is pointed at.
+func TestDecAuthFailCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetRegistry(reg)
+	defer SetRegistry(obs.Default)
+
+	var key EncKey
+	ct, err := Enc(key, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[len(ct)-1] ^= 1
+	if _, err := Dec(key, ct); !errors.Is(err, ErrAuthentication) {
+		t.Fatalf("Dec: %v", err)
+	}
+	if got := reg.Snapshot().Counters["crypt.dec_auth_fail"]; got != 1 {
+		t.Fatalf("crypt.dec_auth_fail = %d, want 1", got)
+	}
 }
 
 // FuzzPRFReference pins the precomputed HMAC state machinery to the

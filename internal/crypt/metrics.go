@@ -1,0 +1,44 @@
+package crypt
+
+import (
+	"pisd/internal/obs"
+)
+
+// Package-level metric handles. The PRF fast paths are the hottest code
+// in the system (hundreds of calls per query), so they count into striped
+// counters — one padded cell per pooled scratch — and never touch a
+// shared cache line from two cores. All handles are nil-safe: SetRegistry
+// (nil) turns the whole package into the disabled mode at zero cost
+// beyond a nil check per call.
+//
+// Counter semantics (names under "crypt."):
+//
+//	prf_pos_ops    position PRF evaluations (Pos8, Pos8Probe)
+//	prf_mask_ops   mask/stream expansions (MaskInto, StreamGInto)
+//	prf_mac_ops    MAC tag computations (Enc tagging, Dec verification)
+//	dec_auth_fail  Dec calls rejected by MAC verification
+//
+// These are operation counts and failure totals only — they carry no key
+// or plaintext-derived information (DESIGN.md §13).
+var (
+	mPosOps      *obs.StripedCounter
+	mMaskOps     *obs.StripedCounter
+	mMacOps      *obs.StripedCounter
+	mDecAuthFail *obs.Counter
+)
+
+func init() { SetRegistry(obs.Default) }
+
+// SetRegistry points the package's metrics at r (nil disables them).
+// Intended for process setup and test isolation; not safe to call
+// concurrently with in-flight PRF work.
+func SetRegistry(r *obs.Registry) {
+	if r == nil {
+		mPosOps, mMaskOps, mMacOps, mDecAuthFail = nil, nil, nil, nil
+		return
+	}
+	mPosOps = r.Striped("crypt.prf_pos_ops")
+	mMaskOps = r.Striped("crypt.prf_mask_ops")
+	mMacOps = r.Striped("crypt.prf_mac_ops")
+	mDecAuthFail = r.Counter("crypt.dec_auth_fail")
+}

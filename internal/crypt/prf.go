@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"sync/atomic"
 )
 
 // shaDigest is the capability set the fast path needs from crypto/sha256
@@ -69,15 +70,22 @@ func NewPRF(key PRFKey) *PRF {
 // intermediate buffers live here so hot-path calls stay allocation-free.
 type prfScratch struct {
 	in, out shaDigest
+	hint    uint32            // striped-counter cell hint, fixed per scratch
 	isum    [sha256.Size]byte // inner digest
 	block   [sha256.Size]byte // final tag / current expansion block
 	msg     [64]byte          // staging area for framed messages
 }
 
+// scratchSeq hands each pooled scratch a distinct striped-counter hint at
+// construction. Scratches are effectively per-worker, so op counts from
+// concurrent goroutines land on different counter cells.
+var scratchSeq atomic.Uint32
+
 var prfScratchPool = sync.Pool{New: func() interface{} {
 	return &prfScratch{
-		in:  sha256.New().(shaDigest),
-		out: sha256.New().(shaDigest),
+		in:   sha256.New().(shaDigest),
+		out:  sha256.New().(shaDigest),
+		hint: scratchSeq.Add(1),
 	}
 }}
 
@@ -128,6 +136,7 @@ func (p *PRF) Pos8(v uint64) uint64 {
 	s.in.Write(m)
 	p.finish(s)
 	out := binary.BigEndian.Uint64(s.block[:8])
+	mPosOps.Add(s.hint, 1)
 	prfScratchPool.Put(s)
 	return out
 }
@@ -146,6 +155,7 @@ func (p *PRF) Pos8Probe(v uint64, delta int) uint64 {
 	s.in.Write(m)
 	p.finish(s)
 	out := binary.BigEndian.Uint64(s.block[:8])
+	mPosOps.Add(s.hint, 1)
 	prfScratchPool.Put(s)
 	return out
 }
@@ -158,6 +168,7 @@ func (p *PRF) MaskInto(dst []byte, table int, pos uint64) {
 	binary.BigEndian.PutUint64(hdr[:8], uint64(table))
 	binary.BigEndian.PutUint64(hdr[8:], pos)
 	p.expandWith(s, dst, labelMask, hdr)
+	mMaskOps.Add(s.hint, 1)
 	prfScratchPool.Put(s)
 }
 
@@ -166,6 +177,7 @@ func (p *PRF) MaskInto(dst []byte, table int, pos uint64) {
 func (p *PRF) StreamGInto(dst, r []byte) {
 	s := prfScratchPool.Get().(*prfScratch)
 	p.expandWith(s, dst, labelG, r)
+	mMaskOps.Add(s.hint, 1)
 	prfScratchPool.Put(s)
 }
 
@@ -196,6 +208,7 @@ func (p *PRF) tagTo(dst, body []byte) {
 	s.in.Write(body)
 	p.finish(s)
 	copy(dst[:MACSize], s.block[:])
+	mMacOps.Add(s.hint, 1)
 	prfScratchPool.Put(s)
 }
 
@@ -206,6 +219,7 @@ func (p *PRF) tagOf(s *prfScratch, body []byte) []byte {
 	p.load(s)
 	s.in.Write(body)
 	p.finish(s)
+	mMacOps.Add(s.hint, 1)
 	return s.block[:]
 }
 

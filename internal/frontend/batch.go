@@ -6,6 +6,7 @@ import (
 
 	"pisd/internal/core"
 	"pisd/internal/lsh"
+	"pisd/internal/obs"
 )
 
 // DiscoverWithDecoys implements the paper's batched-discovery mitigation
@@ -123,10 +124,13 @@ func (f *Frontend) DiscoverBatch(server BatchDiscoveryServer, targets [][]float6
 	if excludeIDs != nil && len(excludeIDs) != len(targets) {
 		return nil, fmt.Errorf("frontend: %d targets but %d exclude ids", len(targets), len(excludeIDs))
 	}
+	var sp obs.Span
+	sp.Start()
 	tds, err := f.Trapdoors(targets)
 	if err != nil {
 		return nil, err
 	}
+	sp.Mark("trapdoor", fmet.trapdoorNs)
 	ids, encProfiles, err := server.SecRecBatch(tds)
 	if err != nil {
 		return nil, fmt.Errorf("frontend: batched discovery request: %w", err)
@@ -134,7 +138,14 @@ func (f *Frontend) DiscoverBatch(server BatchDiscoveryServer, targets [][]float6
 	if len(ids) != len(targets) || len(encProfiles) != len(targets) {
 		return nil, fmt.Errorf("frontend: batch of %d queries answered with %d results", len(targets), len(ids))
 	}
-	return f.rankBatch(targets, ids, encProfiles, k, excludeIDs)
+	sp.Mark("fanout", fmet.fanoutNs)
+	out, err := f.rankBatch(targets, ids, encProfiles, k, excludeIDs)
+	if err != nil {
+		return nil, err
+	}
+	sp.Finish(fmet.batchNs)
+	fmet.batches.Inc()
+	return out, nil
 }
 
 // rankBatch ranks every query of a batch, fanning the per-query GetRec

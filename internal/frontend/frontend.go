@@ -13,6 +13,7 @@ import (
 	"pisd/internal/crypt"
 	"pisd/internal/fof"
 	"pisd/internal/lsh"
+	"pisd/internal/obs"
 	"pisd/internal/vec"
 )
 
@@ -315,15 +316,39 @@ func (f *Frontend) TrapdoorForMeta(meta lsh.Metadata) (*core.Trapdoor, error) {
 // distance ranking → top-k recommendations (GetRec). excludeID removes the
 // target's own identifier from the results (pass 0 to keep everything).
 func (f *Frontend) Discover(server DiscoveryServer, targetProfile []float64, k int, excludeID uint64) ([]Match, error) {
+	return f.discover(server, targetProfile, k, excludeID, nil)
+}
+
+// DiscoverTraced is Discover returning, alongside the matches, a per-query
+// trace with the latency of each stage (trapdoor, fanout, decrypt, rank).
+// The same stage durations feed the frontend.* histograms on every
+// discovery; the trace is the single-query view of that breakdown.
+func (f *Frontend) DiscoverTraced(server DiscoveryServer, targetProfile []float64, k int, excludeID uint64) ([]Match, *obs.Trace, error) {
+	tr := obs.NewTrace("discover")
+	matches, err := f.discover(server, targetProfile, k, excludeID, tr)
+	return matches, tr, err
+}
+
+func (f *Frontend) discover(server DiscoveryServer, targetProfile []float64, k int, excludeID uint64, tr *obs.Trace) ([]Match, error) {
+	var sp obs.Span
+	sp.StartTraced(tr)
 	td, err := f.Trapdoor(targetProfile)
 	if err != nil {
 		return nil, err
 	}
+	sp.Mark("trapdoor", fmet.trapdoorNs)
 	ids, encProfiles, err := server.SecRec(td)
 	if err != nil {
 		return nil, fmt.Errorf("frontend: discovery request: %w", err)
 	}
-	return f.rank(targetProfile, ids, encProfiles, k, excludeID)
+	sp.Mark("fanout", fmet.fanoutNs)
+	matches, err := f.rankSpanned(targetProfile, ids, encProfiles, k, excludeID, &sp)
+	if err != nil {
+		return nil, err
+	}
+	sp.Finish(fmet.discoverNs)
+	fmet.discoveries.Inc()
+	return matches, nil
 }
 
 // rank implements GetRec(K, M): decrypt the matched profiles and order by
@@ -335,6 +360,13 @@ func (f *Frontend) Discover(server DiscoveryServer, targetProfile []float64, k i
 // than merging per-worker heaps) keeps the output byte-identical to the
 // serial implementation even when candidates tie in distance.
 func (f *Frontend) rank(target []float64, ids []uint64, encProfiles [][]byte, k int, excludeID uint64) ([]Match, error) {
+	return f.rankSpanned(target, ids, encProfiles, k, excludeID, nil)
+}
+
+// rankSpanned is rank with an optional in-progress discovery span: the
+// decrypt+distance phase and the top-k phase are marked as separate
+// stages (sp may be nil).
+func (f *Frontend) rankSpanned(target []float64, ids []uint64, encProfiles [][]byte, k int, excludeID uint64, sp *obs.Span) ([]Match, error) {
 	if len(ids) != len(encProfiles) {
 		return nil, fmt.Errorf("frontend: %d ids but %d profiles", len(ids), len(encProfiles))
 	}
@@ -355,6 +387,7 @@ func (f *Frontend) rank(target []float64, ids []uint64, encProfiles [][]byte, k 
 	if err != nil {
 		return nil, err
 	}
+	sp.Mark("decrypt", fmet.decryptNs)
 	tk := vec.NewTopK(k)
 	for i := range ids {
 		if !skip[i] {
@@ -366,6 +399,7 @@ func (f *Frontend) rank(target []float64, ids []uint64, encProfiles [][]byte, k 
 	for i, s := range scored {
 		out[i] = Match{ID: s.ID, Distance: s.Score}
 	}
+	sp.Mark("rank", fmet.rankNs)
 	return out, nil
 }
 
@@ -398,6 +432,8 @@ func (f *Frontend) DiscoverFoF(server DiscoveryServer, graph *fof.Graph, targetI
 // candidate ids from the bucket store, then fetches and ranks their
 // encrypted profiles.
 func (f *Frontend) DynSearch(client *core.DynClient, store core.BucketStore, fetch ProfileFetcher, targetProfile []float64, k int, excludeID uint64) ([]Match, error) {
+	var sp obs.Span
+	sp.Start()
 	ids, err := client.Search(store, f.family.Hash(targetProfile))
 	if err != nil {
 		return nil, fmt.Errorf("frontend: dynamic search: %w", err)
@@ -406,7 +442,12 @@ func (f *Frontend) DynSearch(client *core.DynClient, store core.BucketStore, fet
 	if err != nil {
 		return nil, fmt.Errorf("frontend: fetch profiles: %w", err)
 	}
-	return f.rank(targetProfile, ids, encProfiles, k, excludeID)
+	matches, err := f.rank(targetProfile, ids, encProfiles, k, excludeID)
+	if err != nil {
+		return nil, err
+	}
+	sp.Finish(fmet.dynNs)
+	return matches, nil
 }
 
 // ProfileFetcher is the cloud surface returning encrypted profiles by id.

@@ -1,0 +1,49 @@
+package frontend
+
+import (
+	"pisd/internal/obs"
+)
+
+// fmet is the front-end tier's metric surface (names under "frontend.").
+// The four stage histograms decompose every discovery the way the paper's
+// evaluation does — trapdoor generation, cloud exchange, match
+// decryption, distance ranking — so a Snapshot() diff over any workload
+// yields the per-stage latency breakdown live (EXPERIMENTS.md). All
+// handles are nil-safe; SetRegistry(nil) is the disabled mode.
+var fmet struct {
+	discoverNs *obs.Histogram // end-to-end single discovery
+	batchNs    *obs.Histogram // end-to-end batched discovery (whole batch)
+	trapdoorNs *obs.Histogram // stage: GenTpdr (batch: all trapdoors)
+	fanoutNs   *obs.Histogram // stage: cloud SecRec exchange / shard fan-out
+	decryptNs  *obs.Histogram // stage: profile decryption + distance eval
+	rankNs     *obs.Histogram // stage: top-k selection
+	dynNs      *obs.Histogram // end-to-end dynamic search
+
+	discoveries *obs.Counter // single discoveries completed
+	batches     *obs.Counter // batched discoveries completed
+	partials    *obs.Counter // sharded discoveries degraded to partial results
+}
+
+func init() { SetRegistry(obs.Default) }
+
+// SetRegistry points the front-end metrics at r (nil disables them).
+// Intended for process setup and test isolation; not safe to call
+// concurrently with in-flight discoveries.
+func SetRegistry(r *obs.Registry) {
+	if r == nil {
+		fmet.discoverNs, fmet.batchNs = nil, nil
+		fmet.trapdoorNs, fmet.fanoutNs, fmet.decryptNs, fmet.rankNs, fmet.dynNs = nil, nil, nil, nil, nil
+		fmet.discoveries, fmet.batches, fmet.partials = nil, nil, nil
+		return
+	}
+	fmet.discoverNs = r.Histogram("frontend.discover")
+	fmet.batchNs = r.Histogram("frontend.discover_batch")
+	fmet.trapdoorNs = r.Histogram("frontend.trapdoor")
+	fmet.fanoutNs = r.Histogram("frontend.fanout")
+	fmet.decryptNs = r.Histogram("frontend.decrypt")
+	fmet.rankNs = r.Histogram("frontend.rank")
+	fmet.dynNs = r.Histogram("frontend.dyn_search")
+	fmet.discoveries = r.Counter("frontend.discoveries")
+	fmet.batches = r.Counter("frontend.batch_discoveries")
+	fmet.partials = r.Counter("frontend.partial_results")
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"pisd/internal/core"
+	"pisd/internal/obs"
 )
 
 // Shard is one cloud shard's installable state: the partitioned secure
@@ -143,19 +144,39 @@ type FanoutServer interface {
 // dataset and keys the non-partial result is identical to Discover against
 // a single cloud node.
 func (f *Frontend) DiscoverSharded(ctx context.Context, pool FanoutServer, targetProfile []float64, k int, excludeID uint64) ([]Match, bool, error) {
+	matches, partial, _, err := f.discoverSharded(ctx, pool, targetProfile, k, excludeID, nil)
+	return matches, partial, err
+}
+
+// DiscoverShardedTraced is DiscoverSharded returning a per-query trace
+// with the latency of each stage (trapdoor, fanout, decrypt, rank).
+func (f *Frontend) DiscoverShardedTraced(ctx context.Context, pool FanoutServer, targetProfile []float64, k int, excludeID uint64) ([]Match, bool, *obs.Trace, error) {
+	return f.discoverSharded(ctx, pool, targetProfile, k, excludeID, obs.NewTrace("discover_sharded"))
+}
+
+func (f *Frontend) discoverSharded(ctx context.Context, pool FanoutServer, targetProfile []float64, k int, excludeID uint64, tr *obs.Trace) ([]Match, bool, *obs.Trace, error) {
+	var sp obs.Span
+	sp.StartTraced(tr)
 	td, err := f.Trapdoor(targetProfile)
 	if err != nil {
-		return nil, false, err
+		return nil, false, tr, err
 	}
+	sp.Mark("trapdoor", fmet.trapdoorNs)
 	ids, encProfiles, partial, err := pool.SecRec(ctx, td)
 	if err != nil {
-		return nil, false, fmt.Errorf("frontend: sharded discovery request: %w", err)
+		return nil, false, tr, fmt.Errorf("frontend: sharded discovery request: %w", err)
 	}
-	matches, err := f.rank(targetProfile, ids, encProfiles, k, excludeID)
+	sp.Mark("fanout", fmet.fanoutNs)
+	matches, err := f.rankSpanned(targetProfile, ids, encProfiles, k, excludeID, &sp)
 	if err != nil {
-		return nil, false, err
+		return nil, false, tr, err
 	}
-	return matches, partial, nil
+	sp.Finish(fmet.discoverNs)
+	fmet.discoveries.Inc()
+	if partial {
+		fmet.partials.Inc()
+	}
+	return matches, partial, tr, nil
 }
 
 // FanoutBatchServer is the sharded cloud surface for batched static
@@ -179,10 +200,13 @@ func (f *Frontend) DiscoverShardedBatch(ctx context.Context, pool FanoutBatchSer
 	if excludeIDs != nil && len(excludeIDs) != len(targets) {
 		return nil, false, fmt.Errorf("frontend: %d targets but %d exclude ids", len(targets), len(excludeIDs))
 	}
+	var sp obs.Span
+	sp.Start()
 	tds, err := f.Trapdoors(targets)
 	if err != nil {
 		return nil, false, err
 	}
+	sp.Mark("trapdoor", fmet.trapdoorNs)
 	ids, encProfiles, partial, err := pool.SecRecBatch(ctx, tds)
 	if err != nil {
 		return nil, false, fmt.Errorf("frontend: sharded batched discovery request: %w", err)
@@ -190,9 +214,15 @@ func (f *Frontend) DiscoverShardedBatch(ctx context.Context, pool FanoutBatchSer
 	if len(ids) != len(targets) || len(encProfiles) != len(targets) {
 		return nil, false, fmt.Errorf("frontend: batch of %d queries answered with %d results", len(targets), len(ids))
 	}
+	sp.Mark("fanout", fmet.fanoutNs)
 	matches, err := f.rankBatch(targets, ids, encProfiles, k, excludeIDs)
 	if err != nil {
 		return nil, false, err
+	}
+	sp.Finish(fmet.batchNs)
+	fmet.batches.Inc()
+	if partial {
+		fmet.partials.Inc()
 	}
 	return matches, partial, nil
 }
@@ -217,6 +247,8 @@ func (f *Frontend) DynSearchSharded(shards []DynShard, nodes []DynNode, targetPr
 	if len(shards) == 0 || len(shards) != len(nodes) {
 		return nil, false, fmt.Errorf("frontend: %d shards but %d nodes", len(shards), len(nodes))
 	}
+	var sp obs.Span
+	sp.Start()
 	meta := f.family.Hash(targetProfile)
 	type result struct {
 		ids      []uint64
@@ -262,6 +294,10 @@ func (f *Frontend) DynSearchSharded(shards []DynShard, nodes []DynNode, targetPr
 	matches, err := f.rank(targetProfile, ids, encProfiles, k, excludeID)
 	if err != nil {
 		return nil, false, err
+	}
+	sp.Finish(fmet.dynNs)
+	if failed > 0 {
+		fmet.partials.Inc()
 	}
 	return matches, failed > 0, nil
 }

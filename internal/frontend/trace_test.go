@@ -1,0 +1,62 @@
+package frontend
+
+import (
+	"testing"
+
+	"pisd/internal/cloud"
+	"pisd/internal/obs"
+)
+
+// TestDiscoverTraced checks that a traced discovery records the four
+// stages in order and feeds the frontend stage histograms.
+func TestDiscoverTraced(t *testing.T) {
+	const n = 200
+	f, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := testPopulation(t, n)
+	idx, encProfiles, err := f.BuildIndex(uploadsFrom(ds, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cloud.New()
+	cs.SetIndex(idx)
+	cs.PutProfiles(encProfiles)
+
+	before := obs.Default.Snapshot()
+	matches, tr, err := f.DiscoverTraced(cs, ds.Profiles[7], 5, 0)
+	if err != nil {
+		t.Fatalf("DiscoverTraced: %v", err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	want := []string{"trapdoor", "fanout", "decrypt", "rank"}
+	if len(tr.Stages) != len(want) {
+		t.Fatalf("trace has %d stages (%v), want %v", len(tr.Stages), tr.String(), want)
+	}
+	var sum int64
+	for i, st := range tr.Stages {
+		if st.Name != want[i] {
+			t.Errorf("stage %d = %q, want %q", i, st.Name, want[i])
+		}
+		if st.Dur < 0 {
+			t.Errorf("stage %q has negative duration", st.Name)
+		}
+		sum += st.Dur.Nanoseconds()
+	}
+	if tr.Total <= 0 || tr.Total.Nanoseconds() < sum {
+		t.Errorf("trace total %v shorter than stage sum %dns", tr.Total, sum)
+	}
+
+	d := obs.Default.Snapshot().Diff(before)
+	for _, h := range []string{"frontend.trapdoor", "frontend.fanout", "frontend.decrypt", "frontend.rank", "frontend.discover", "cloud.secrec"} {
+		if d.Histograms[h].Count < 1 {
+			t.Errorf("histogram %s not fed by traced discovery", h)
+		}
+	}
+	if d.Counters["frontend.discoveries"] < 1 {
+		t.Error("frontend.discoveries not incremented")
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry's observability
+// surface:
+//
+//	/metrics        flat JSON snapshot (Snapshot().Flatten())
+//	/metrics/raw    full structured snapshot (counters, gauges, histograms)
+//	/debug/pprof/*  the standard runtime profiles
+//
+// The pprof handlers are wired explicitly onto the returned mux rather
+// than imported for their DefaultServeMux side effect, so enabling
+// observability never exposes profiles on a mux the caller did not ask
+// for.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot().Flatten())
+	})
+	mux.HandleFunc("/metrics/raw", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve starts an HTTP server for Handler(r) on addr in a new goroutine
+// and returns the listener address actually bound (useful with ":0").
+// Errors after startup are ignored — observability must never take the
+// serving path down. The server runs until process exit.
+func Serve(r *Registry, addr string) (string, error) {
+	srv := &http.Server{Addr: addr, Handler: Handler(r)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"strconv"
+	"time"
+
+	"pisd/internal/obs"
+)
+
+// poolMetrics is the shard tier's metric surface. Per-shard metrics carry
+// the shard index in the name ("shard.3.secrec", "shard.3.retries"), so a
+// flattened snapshot exposes every shard's fan-out health side by side —
+// including the derived "shard.<i>.secrec_p99_ns" latency keys. A nil
+// *poolMetrics (pool built against a nil registry) is the disabled mode.
+type poolMetrics struct {
+	fanouts  *obs.Counter // fan-out operations issued (SecRec + SecRecBatch)
+	partials *obs.Counter // fan-outs that returned degraded/partial results
+	fanoutNs *obs.Histogram
+
+	// Indexed by shard.
+	legNs    []*obs.Histogram // successful per-shard leg latency (incl. retries)
+	attempts []*obs.Counter   // call attempts, first tries included
+	retries  []*obs.Counter   // attempts beyond the first (a retryable fault preceded)
+	timeouts []*obs.Counter   // attempts failed by per-attempt deadline
+	failures []*obs.Counter   // legs failed for good after all retries
+}
+
+func newPoolMetrics(r *obs.Registry, shards int) *poolMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &poolMetrics{
+		fanouts:  r.Counter("shard.fanouts"),
+		partials: r.Counter("shard.partial_results"),
+		fanoutNs: r.Histogram("shard.fanout"),
+		legNs:    make([]*obs.Histogram, shards),
+		attempts: make([]*obs.Counter, shards),
+		retries:  make([]*obs.Counter, shards),
+		timeouts: make([]*obs.Counter, shards),
+		failures: make([]*obs.Counter, shards),
+	}
+	for s := 0; s < shards; s++ {
+		prefix := "shard." + strconv.Itoa(s) + "."
+		m.legNs[s] = r.Histogram(prefix + "secrec")
+		m.attempts[s] = r.Counter(prefix + "attempts")
+		m.retries[s] = r.Counter(prefix + "retries")
+		m.timeouts[s] = r.Counter(prefix + "timeouts")
+		m.failures[s] = r.Counter(prefix + "failures")
+	}
+	return m
+}
+
+func (m *poolMetrics) leg(s int) *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.legNs[s]
+}
+
+func (m *poolMetrics) attempt(s int, try int) {
+	if m == nil {
+		return
+	}
+	m.attempts[s].Inc()
+	if try > 0 {
+		m.retries[s].Inc()
+	}
+}
+
+func (m *poolMetrics) timeout(s int) {
+	if m != nil {
+		m.timeouts[s].Inc()
+	}
+}
+
+func (m *poolMetrics) failure(s int) {
+	if m != nil {
+		m.failures[s].Inc()
+	}
+}
+
+func (m *poolMetrics) fanout(start time.Time, partial bool) {
+	if m == nil {
+		return
+	}
+	m.fanouts.Inc()
+	if partial {
+		m.partials.Inc()
+	}
+	m.fanoutNs.ObserveSince(start)
+}
+
+// SetRegistry re-registers the pool's metrics in r under the "shard."
+// prefix (nil disables them). Pools start on obs.Default; call during
+// setup or for test isolation, not concurrently with fan-outs.
+func (p *Pool) SetRegistry(r *obs.Registry) {
+	p.met = newPoolMetrics(r, len(p.nodes))
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pisd/internal/core"
+	"pisd/internal/obs"
 	"pisd/internal/transport"
 )
 
@@ -40,6 +41,7 @@ func DefaultConfig() Config {
 type Pool struct {
 	cfg   Config
 	nodes []Node
+	met   *poolMetrics
 }
 
 // NewPool assembles a pool over the given shard nodes. The node order is
@@ -59,7 +61,7 @@ func NewPool(cfg Config, nodes ...Node) (*Pool, error) {
 	if cfg.Owner == nil {
 		cfg.Owner = core.DefaultOwner(len(nodes))
 	}
-	return &Pool{cfg: cfg, nodes: nodes}, nil
+	return &Pool{cfg: cfg, nodes: nodes, met: newPoolMetrics(obs.Default, len(nodes))}, nil
 }
 
 // Len returns the shard count.
@@ -81,6 +83,7 @@ func (p *Pool) OwnerNode(id uint64) Node { return p.nodes[p.cfg.Owner(id)] }
 // any were. Only when every shard fails does SecRec return an error. The
 // signature implements frontend.FanoutServer.
 func (p *Pool) SecRec(ctx context.Context, t *core.Trapdoor) (ids []uint64, encProfiles [][]byte, partial bool, err error) {
+	start := time.Now()
 	type leg struct {
 		ids      []uint64
 		profiles [][]byte
@@ -116,6 +119,7 @@ func (p *Pool) SecRec(ctx context.Context, t *core.Trapdoor) (ids []uint64, encP
 	if failed == len(p.nodes) {
 		return nil, nil, false, fmt.Errorf("shard: all %d shards failed: %w", len(p.nodes), firstErr)
 	}
+	p.met.fanout(start, failed > 0)
 	return ids, encProfiles, failed > 0, nil
 }
 
@@ -129,6 +133,7 @@ func (p *Pool) SecRecBatch(ctx context.Context, ts []*core.Trapdoor) (ids [][]ui
 	if len(ts) == 0 {
 		return nil, nil, false, nil
 	}
+	start := time.Now()
 	type batchLeg struct {
 		ids      [][]uint64
 		profiles [][][]byte
@@ -172,6 +177,7 @@ func (p *Pool) SecRecBatch(ctx context.Context, ts []*core.Trapdoor) (ids [][]ui
 			}
 		}
 	}
+	p.met.fanout(start, failed > 0)
 	return ids, encProfiles, failed > 0, nil
 }
 
@@ -186,9 +192,15 @@ func fanout[T any](p *Pool, ctx context.Context, call func(context.Context, int)
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			results[s], errs[s] = attempt(p, ctx, func(cctx context.Context) (T, error) {
+			start := time.Now()
+			results[s], errs[s] = attempt(p, ctx, s, func(cctx context.Context) (T, error) {
 				return call(cctx, s)
 			})
+			if errs[s] == nil {
+				p.met.leg(s).ObserveSince(start)
+			} else {
+				p.met.failure(s)
+			}
 		}(s)
 	}
 	wg.Wait()
@@ -200,11 +212,19 @@ func fanout[T any](p *Pool, ctx context.Context, call func(context.Context, int)
 	return results, errs
 }
 
-// attempt runs one shard call with the pool's per-attempt deadline and
+// attempt runs shard s's call with the pool's per-attempt deadline and
 // bounded retry. Only connection-level faults and per-attempt timeouts are
 // retried; a cancelled parent context or an application error ends the
 // attempts immediately.
-func attempt[T any](p *Pool, ctx context.Context, call func(context.Context) (T, error)) (T, error) {
+//
+// Only the FINAL error is returned: a retryable ConnError on an early try
+// followed by an application error on the next is reported as the
+// application error alone. That is the right error to act on, but it
+// makes the preceding connection fault invisible to callers — the
+// per-shard attempts/retries/timeouts counters exist precisely so those
+// swallowed intermediate faults stay visible in aggregate
+// (TestAttemptAccountsSwallowedConnError pins this down).
+func attempt[T any](p *Pool, ctx context.Context, s int, call func(context.Context) (T, error)) (T, error) {
 	var zero T
 	var lastErr error
 	for try := 0; try <= p.cfg.Retries; try++ {
@@ -214,6 +234,7 @@ func attempt[T any](p *Pool, ctx context.Context, call func(context.Context) (T,
 			}
 			break
 		}
+		p.met.attempt(s, try)
 		cctx, cancel := p.attemptCtx(ctx)
 		r, err := call(cctx)
 		cancel()
@@ -221,6 +242,9 @@ func attempt[T any](p *Pool, ctx context.Context, call func(context.Context) (T,
 			return r, nil
 		}
 		lastErr = err
+		if errors.Is(err, context.DeadlineExceeded) {
+			p.met.timeout(s)
+		}
 		if !retryable(err) {
 			break
 		}

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pisd/internal/cloud"
+	"pisd/internal/core"
+	"pisd/internal/obs"
+	"pisd/internal/transport"
+)
+
+// flakyNode fails its first SecRec with a retryable connection error and
+// every later one with a non-retryable application error: the exact
+// sequence in which attempt() swallows the intermediate ConnError.
+type flakyNode struct {
+	Node
+	mu    sync.Mutex
+	calls int
+}
+
+func (n *flakyNode) SecRec(context.Context, *core.Trapdoor) ([]uint64, [][]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.calls++
+	if n.calls == 1 {
+		return nil, nil, &transport.ConnError{Op: "receive", Err: errors.New("connection reset")}
+	}
+	return nil, nil, &transport.RemoteError{Msg: "no index installed"}
+}
+
+// TestAttemptAccountsSwallowedConnError pins the retry-loop error
+// semantics documented on attempt(): when a retryable connection fault is
+// followed by an application error on the retry, only the FINAL
+// application error is surfaced (to the caller and to OnShardError) — the
+// intermediate ConnError is swallowed from the error path, and the only
+// place it remains visible is the per-shard attempts/retries counters.
+func TestAttemptAccountsSwallowedConnError(t *testing.T) {
+	flaky := &flakyNode{Node: NewLocal(cloud.New())}
+	cfg := DefaultConfig()
+	cfg.Retries = 2
+	var reported []error
+	var mu sync.Mutex
+	cfg.OnShardError = func(s int, err error) {
+		mu.Lock()
+		reported = append(reported, err)
+		mu.Unlock()
+	}
+	pool, err := NewPool(cfg, flaky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pool.SetRegistry(reg)
+
+	_, _, _, err = pool.SecRec(context.Background(), nil)
+	if err == nil {
+		t.Fatal("expected the single-shard fan-out to fail")
+	}
+	// The surfaced error is the application error; the preceding ConnError
+	// has been swallowed from the error chain entirely.
+	var remote *transport.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("surfaced error is %v, want the final RemoteError", err)
+	}
+	if transport.IsConnError(err) {
+		t.Fatalf("surfaced error still carries the intermediate ConnError: %v", err)
+	}
+
+	// The node was called twice (initial try + one retry); the app error
+	// stopped the remaining retry budget.
+	flaky.mu.Lock()
+	calls := flaky.calls
+	flaky.mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("node called %d times, want 2 (conn fault, then app error)", calls)
+	}
+
+	// OnShardError observed exactly one (final) error.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reported) != 1 {
+		t.Fatalf("OnShardError called %d times, want 1", len(reported))
+	}
+	if !errors.As(reported[0], &remote) {
+		t.Fatalf("OnShardError got %v, want the final RemoteError", reported[0])
+	}
+
+	// The swallowed fault stays visible in the counters: two attempts, of
+	// which one was a retry, and one terminal failure.
+	c := reg.Snapshot().Counters
+	if got := c["shard.0.attempts"]; got != 2 {
+		t.Errorf("shard.0.attempts = %d, want 2", got)
+	}
+	if got := c["shard.0.retries"]; got != 1 {
+		t.Errorf("shard.0.retries = %d, want 1 (the swallowed ConnError's trace)", got)
+	}
+	if got := c["shard.0.failures"]; got != 1 {
+		t.Errorf("shard.0.failures = %d, want 1", got)
+	}
+	if got := c["shard.0.timeouts"]; got != 0 {
+		t.Errorf("shard.0.timeouts = %d, want 0", got)
+	}
+}
+
+// stallNode blocks every SecRec until the per-attempt context expires.
+type stallNode struct {
+	Node
+}
+
+func (n stallNode) SecRec(ctx context.Context, _ *core.Trapdoor) ([]uint64, [][]byte, error) {
+	<-ctx.Done()
+	return nil, nil, &transport.ConnError{Op: "call", Err: ctx.Err()}
+}
+
+// TestAttemptTimeoutCounted checks the timeout leg of the same accounting:
+// per-attempt deadline expiries are retryable, so a stalled shard burns
+// the whole retry budget and every expiry lands in shard.<i>.timeouts.
+func TestAttemptTimeoutCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Timeout = 20 * time.Millisecond
+	cfg.Retries = 1
+	pool, err := NewPool(cfg, stallNode{Node: NewLocal(cloud.New())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	pool.SetRegistry(reg)
+
+	_, _, _, err = pool.SecRec(context.Background(), nil)
+	if err == nil {
+		t.Fatal("expected the stalled fan-out to fail")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline expiry", err)
+	}
+	c := reg.Snapshot().Counters
+	if got := c["shard.0.attempts"]; got != 2 {
+		t.Errorf("shard.0.attempts = %d, want 2", got)
+	}
+	if got := c["shard.0.timeouts"]; got != 2 {
+		t.Errorf("shard.0.timeouts = %d, want 2 (every attempt expired)", got)
+	}
+	if got := c["shard.0.failures"]; got != 1 {
+		t.Errorf("shard.0.failures = %d, want 1", got)
+	}
+}

@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"pisd/internal/obs"
+)
+
+// tmet is the transport tier's metric surface (names under "transport.").
+// Counters record frame and byte traffic the network observer already
+// sees, plus multiplexing health: in-flight pipelined calls, per-call
+// timeouts, and late responses dropped by request ID after their caller
+// gave up. All handles are nil-safe; SetRegistry(nil) is the disabled
+// mode.
+var tmet struct {
+	framesOut  *obs.Counter // client request frames written
+	framesIn   *obs.Counter // client response frames decoded
+	bytesOut   *obs.Counter // client framed wire bytes written
+	bytesIn    *obs.Counter // client framed wire bytes read
+	inflight   *obs.Gauge   // pipelined calls awaiting their response
+	timeouts   *obs.Counter // calls abandoned by deadline or cancellation
+	lateDrops  *obs.Counter // responses arriving after their caller gave up
+	connFails  *obs.Counter // connections declared broken (sticky failure)
+	dials      *obs.Counter // dial attempts
+	dialErrors *obs.Counter // failed dials
+	srvConns   *obs.Gauge   // server: live connections
+	srvFrames  *obs.Counter // server: request frames decoded
+	srvBytesIn *obs.Counter // server: framed wire bytes read
+}
+
+func init() { SetRegistry(obs.Default) }
+
+// SetRegistry points the transport metrics at r (nil disables them).
+// Intended for process setup and test isolation; not safe to call
+// concurrently with live connections.
+func SetRegistry(r *obs.Registry) {
+	if r == nil {
+		tmet.framesOut, tmet.framesIn = nil, nil
+		tmet.bytesOut, tmet.bytesIn = nil, nil
+		tmet.inflight, tmet.timeouts, tmet.lateDrops, tmet.connFails = nil, nil, nil, nil
+		tmet.dials, tmet.dialErrors = nil, nil
+		tmet.srvConns, tmet.srvFrames, tmet.srvBytesIn = nil, nil, nil
+		return
+	}
+	tmet.framesOut = r.Counter("transport.frames_out")
+	tmet.framesIn = r.Counter("transport.frames_in")
+	tmet.bytesOut = r.Counter("transport.bytes_out")
+	tmet.bytesIn = r.Counter("transport.bytes_in")
+	tmet.inflight = r.Gauge("transport.inflight")
+	tmet.timeouts = r.Counter("transport.timeouts")
+	tmet.lateDrops = r.Counter("transport.late_drops")
+	tmet.connFails = r.Counter("transport.conn_failures")
+	tmet.dials = r.Counter("transport.dials")
+	tmet.dialErrors = r.Counter("transport.dial_errors")
+	tmet.srvConns = r.Gauge("transport.server.conns")
+	tmet.srvFrames = r.Counter("transport.server.frames_in")
+	tmet.srvBytesIn = r.Counter("transport.server.bytes_in")
+}

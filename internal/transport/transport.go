@@ -310,6 +310,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		tmet.srvConns.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -325,13 +326,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		tmet.srvConns.Add(-1)
 	}()
 	var (
 		wg   sync.WaitGroup
 		sem  = make(chan struct{}, s.workers)
-		dec  = gob.NewDecoder(newFrameReader(conn))
+		fr   = newFrameReader(conn)
+		dec  = gob.NewDecoder(fr)
 		fw   = newFrameWriter(conn)
 		dead atomic.Bool
+		read int64
 	)
 	defer wg.Wait()
 	for {
@@ -339,6 +343,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&env); err != nil {
 			return // connection closed or corrupt stream
 		}
+		tmet.srvFrames.Inc()
+		tmet.srvBytesIn.Add(fr.consumed() - read)
+		read = fr.consumed()
 		if dead.Load() {
 			return
 		}
@@ -494,8 +501,10 @@ func DialWith(addr string, dial Dialer) (*Client, error) {
 	if dial == nil {
 		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
+	tmet.dials.Inc()
 	conn, err := dial(addr)
 	if err != nil {
+		tmet.dialErrors.Inc()
 		return nil, &ConnError{Op: "dial", Err: err}
 	}
 	c := &Client{conn: conn, fw: newFrameWriter(conn), pending: make(map[uint64]chan *Response)}
@@ -536,6 +545,8 @@ func (c *Client) readLoop() {
 			c.fail(&ConnError{Op: "receive", Err: err})
 			return
 		}
+		tmet.framesIn.Inc()
+		tmet.bytesIn.Add(fr.consumed() - c.recvBytes.Load())
 		c.recvBytes.Store(fr.consumed())
 		c.mu.Lock()
 		ch, ok := c.pending[env.ID]
@@ -545,6 +556,8 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- env.Resp // buffered; never blocks
+		} else {
+			tmet.lateDrops.Inc()
 		}
 	}
 }
@@ -554,6 +567,7 @@ func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.broken == nil {
 		c.broken = err
+		tmet.connFails.Inc()
 	}
 	waiting := c.pending
 	c.pending = make(map[uint64]chan *Response)
@@ -598,6 +612,8 @@ func (c *Client) callContext(ctx context.Context, req *Request) (*Response, erro
 	c.pending[id] = ch
 	timeout := c.timeout
 	c.mu.Unlock()
+	tmet.inflight.Add(1)
+	defer tmet.inflight.Add(-1)
 
 	n, werr := c.fw.writeFrame(&reqEnvelope{ID: id, Req: req})
 	if werr != nil {
@@ -608,6 +624,8 @@ func (c *Client) callContext(ctx context.Context, req *Request) (*Response, erro
 		return nil, &ConnError{Op: "send", Err: werr}
 	}
 	c.sentBytes.Add(int64(n))
+	tmet.framesOut.Inc()
+	tmet.bytesOut.Add(int64(n))
 
 	var timer *time.Timer
 	var expired <-chan time.Time
@@ -630,9 +648,11 @@ func (c *Client) callContext(ctx context.Context, req *Request) (*Response, erro
 		return resp, nil
 	case <-ctx.Done():
 		c.forget(id)
+		tmet.timeouts.Inc()
 		return nil, &ConnError{Op: "call", Err: ctx.Err()}
 	case <-expired:
 		c.forget(id)
+		tmet.timeouts.Inc()
 		return nil, &ConnError{Op: "call", Err: context.DeadlineExceeded}
 	}
 }

@@ -1,0 +1,210 @@
+package pisd_test
+
+import (
+	"context"
+	"testing"
+
+	"pisd"
+	"pisd/internal/dataset"
+	"pisd/internal/obs"
+)
+
+// The paper's access-pattern guarantee, checked end to end through the
+// observability counters: every SecRec query unmasks exactly the fixed
+// l·(d+1)+stash bucket budget, regardless of the target profile or how
+// many users actually match. The cloud's own leakage_invariant_violations
+// counter must stay at zero, and the per-query delta of
+// cloud.buckets_unmasked must be constant across queries. The tests run
+// under -race in CI, so they double as a concurrency check on the
+// counters along the Discover path.
+
+func leakageFixture(t *testing.T, keySeed string) (*pisd.Frontend, *dataset.Dataset, []pisd.Upload) {
+	t.Helper()
+	const (
+		nUsers = 150
+		dim    = 100
+	)
+	ds, err := dataset.Generate(dataset.Config{
+		Users: nUsers, Dim: dim, Topics: 10, TopicsPerUser: 2,
+		ActiveWords: 15, Noise: 0.02, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pisd.DefaultFrontendConfig(dim)
+	cfg.KeySeed = keySeed
+	sf, err := pisd.NewFrontend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]pisd.Upload, nUsers)
+	for i, p := range ds.Profiles {
+		uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+	}
+	return sf, ds, uploads
+}
+
+func counters(reg *obs.Registry) map[string]int64 {
+	return reg.Snapshot().Counters
+}
+
+// TestLeakageInvariantStatic pins the single-server case: each Discover
+// unmasks exactly BucketsPerQuery() buckets, for targets with very
+// different match densities, and DiscoverBatch costs exactly q times that.
+func TestLeakageInvariantStatic(t *testing.T) {
+	sf, ds, uploads := leakageFixture(t, "leakage-static")
+	idx, encProfiles, err := sf.BuildIndex(uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := pisd.NewCloud()
+	reg := obs.NewRegistry()
+	cs.SetRegistry(reg)
+	cs.SetIndex(idx)
+	cs.PutProfiles(encProfiles)
+
+	p, err := sf.IndexParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(p.BucketsPerQuery())
+	if budget <= 0 {
+		t.Fatalf("bucket budget = %d", budget)
+	}
+
+	// Targets from different corners of the population: match counts vary,
+	// unmasked bucket counts must not.
+	targets := []uint64{1, 40, 77, 150}
+	for _, id := range targets {
+		before := counters(reg)
+		matches, err := sf.Discover(cs, ds.Profiles[id-1], 5, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := counters(reg)
+		unmasked := after["cloud.buckets_unmasked"] - before["cloud.buckets_unmasked"]
+		if unmasked != budget {
+			t.Errorf("target %d (%d matches): unmasked %d buckets, want the fixed budget %d",
+				id, len(matches), unmasked, budget)
+		}
+		if q := after["cloud.queries"] - before["cloud.queries"]; q != 1 {
+			t.Errorf("target %d: cloud.queries advanced by %d, want 1", id, q)
+		}
+	}
+
+	// Batched discovery: one SecRecBatch call, exactly q·budget buckets.
+	profiles := [][]float64{ds.Profiles[0], ds.Profiles[59], ds.Profiles[119]}
+	excludes := []uint64{1, 60, 120}
+	before := counters(reg)
+	if _, err := sf.DiscoverBatch(cs, profiles, 5, excludes); err != nil {
+		t.Fatal(err)
+	}
+	after := counters(reg)
+	if unmasked := after["cloud.buckets_unmasked"] - before["cloud.buckets_unmasked"]; unmasked != 3*budget {
+		t.Errorf("batch of 3: unmasked %d buckets, want %d", unmasked, 3*budget)
+	}
+	if q := after["cloud.queries"] - before["cloud.queries"]; q != 3 {
+		t.Errorf("batch of 3: cloud.queries advanced by %d, want 3", q)
+	}
+
+	if v := after["cloud.leakage_invariant_violations"]; v != 0 {
+		t.Errorf("cloud.leakage_invariant_violations = %d, want 0", v)
+	}
+}
+
+// TestLeakageInvariantSharded pins the fan-out case: every shard answers
+// every query against its own projected index, so per fan-out each shard
+// unmasks exactly its own index's bucket budget — no shard's access
+// pattern depends on which shard holds the matching users.
+func TestLeakageInvariantSharded(t *testing.T) {
+	sf, ds, uploads := leakageFixture(t, "leakage-sharded")
+	const nShards = 3
+	shards, err := sf.BuildShardedIndex(uploads, nShards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]*obs.Registry, nShards)
+	nodes := make([]pisd.ShardNode, nShards)
+	for s, sh := range shards {
+		cs := pisd.NewCloud()
+		regs[s] = obs.NewRegistry()
+		cs.SetRegistry(regs[s])
+		cs.SetIndex(sh.Index)
+		cs.PutProfiles(sh.EncProfiles)
+		nodes[s] = pisd.NewLocalShard(cs)
+	}
+	pool, err := pisd.NewShardPool(pisd.DefaultShardPoolConfig(), nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []uint64{3, 88, 149} {
+		before := make([]map[string]int64, nShards)
+		for s := range regs {
+			before[s] = counters(regs[s])
+		}
+		_, partial, err := sf.DiscoverSharded(context.Background(), pool, ds.Profiles[id-1], 5, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if partial {
+			t.Fatal("local fan-out reported partial results")
+		}
+		for s := range regs {
+			after := counters(regs[s])
+			budget := int64(shards[s].Index.Params().BucketsPerQuery())
+			if unmasked := after["cloud.buckets_unmasked"] - before[s]["cloud.buckets_unmasked"]; unmasked != budget {
+				t.Errorf("target %d shard %d: unmasked %d buckets, want %d", id, s, unmasked, budget)
+			}
+			if q := after["cloud.queries"] - before[s]["cloud.queries"]; q != 1 {
+				t.Errorf("target %d shard %d: cloud.queries advanced by %d, want 1", id, s, q)
+			}
+			if v := after["cloud.leakage_invariant_violations"]; v != 0 {
+				t.Errorf("shard %d: leakage_invariant_violations = %d, want 0", s, v)
+			}
+		}
+	}
+}
+
+// TestLeakageInvariantDynamic pins the dynamic scheme's weaker but still
+// data-independent profile: a search fetches at most l·(d+1) buckets (the
+// client dedups PRF position collisions before fetching), and the fetched
+// count is a pure function of the target's metadata — repeating a search
+// fetches exactly the same number again.
+func TestLeakageInvariantDynamic(t *testing.T) {
+	sf, ds, uploads := leakageFixture(t, "leakage-dynamic")
+	dynIdx, dynClient, dynProfiles, err := sf.BuildDynamicIndex(uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := pisd.NewCloud()
+	reg := obs.NewRegistry()
+	cs.SetRegistry(reg)
+	cs.SetDynIndex(dynIdx)
+	cs.PutProfiles(dynProfiles)
+
+	p, err := sf.IndexParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRefs := int64(p.Tables * (p.ProbeRange + 1))
+
+	for _, id := range []uint64{5, 111} {
+		fetched := make([]int64, 2)
+		for round := range fetched {
+			before := counters(reg)
+			if _, err := sf.DynSearch(dynClient, cs, cs, ds.Profiles[id-1], 5, id); err != nil {
+				t.Fatal(err)
+			}
+			after := counters(reg)
+			fetched[round] = after["cloud.dyn_buckets_fetched"] - before["cloud.dyn_buckets_fetched"]
+			if fetched[round] <= 0 || fetched[round] > maxRefs {
+				t.Errorf("target %d round %d: fetched %d buckets, want in (0, %d]",
+					id, round, fetched[round], maxRefs)
+			}
+		}
+		if fetched[0] != fetched[1] {
+			t.Errorf("target %d: fetch count not deterministic: %d then %d", id, fetched[0], fetched[1])
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"pisd/internal/groups"
 	"pisd/internal/imaging"
 	"pisd/internal/lsh"
+	"pisd/internal/obs"
 	"pisd/internal/shard"
 	"pisd/internal/sharing"
 	"pisd/internal/surf"
@@ -113,6 +114,12 @@ type (
 	GroupNeighbor = groups.Neighbor
 	// GroupOptions tunes group discovery.
 	GroupOptions = groups.Options
+	// MetricsRegistry is a named collection of observability metrics.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time metrics capture with Diff/Flatten.
+	MetricsSnapshot = obs.Snapshot
+	// QueryTrace is one discovery's per-stage latency breakdown.
+	QueryTrace = obs.Trace
 )
 
 // Constructors re-exported with the package's vocabulary.
@@ -150,6 +157,16 @@ var (
 	DefaultShardPoolConfig = shard.DefaultConfig
 	// DefaultShardOwner is the id-mod-S shard ownership function.
 	DefaultShardOwner = core.DefaultOwner
+	// Metrics is the process-wide observability registry every tier
+	// records into by default.
+	Metrics = obs.Default
+	// ServeMetrics starts the observability HTTP endpoint (/metrics JSON
+	// snapshot + /debug/pprof/*) for a registry and returns the bound
+	// address.
+	ServeMetrics = obs.Serve
+	// MetricsHandler builds the observability http.Handler without
+	// binding a listener.
+	MetricsHandler = obs.Handler
 )
 
 // Batch update operations (Sec. III-D batch-update extension).

@@ -4,16 +4,17 @@
 # Runs the paper-figure benchmarks (Fig. 3/4/5), the crypt substrate
 # microbenchmarks with -benchmem, and the sustained-throughput benchmarks
 # (serial / pipelined / batched discovery with qps and p50/p99 latency),
-# and writes BENCH_PR3.json at the repo root: the pre-PR3 baseline
+# and writes BENCH_PR5.json at the repo root: the pre-PR5 baseline
 # (recorded once, constant below) next to the freshly measured numbers,
-# so the speedup claims in EXPERIMENTS.md stay reproducible.
+# so the no-regression claim for the observability layer stays
+# reproducible.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3s scripts/bench.sh    # longer runs for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR5.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -23,20 +24,25 @@ go test -run '^$' -bench 'BenchmarkThroughput' -benchtime "$BENCHTIME" . | tee -
 go test -run '^$' -bench 'BenchmarkPos$|BenchmarkPos8$|BenchmarkMaskInto$|BenchmarkDRBGFill$|BenchmarkEncProfile1000$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/crypt/ | tee -a "$TMP"
 
-# Pre-PR3 baseline, measured at commit 1ee2634 on the reference machine
-# (Intel Xeon @ 2.10GHz, 1 CPU, go1.24.0 linux/amd64). The throughput
-# entry is the serial request/response transport's single-connection
-# lockstep discovery loop — the operating point PR3's framed multiplexed
-# protocol replaces.
+# Pre-PR5 baseline: BENCH_PR3.json's "after" numbers, measured at commit
+# 7784bd5 on the reference machine (Intel Xeon @ 2.10GHz, 1 CPU,
+# go1.24.0 linux/amd64, BENCHTIME=3s) — the operating point before the
+# observability layer was threaded through the discovery path. PR5's
+# acceptance bar: Throughput/Fig4a/Fig5c within 3% of these.
 BASELINE='{
-    "BenchmarkFig4a_IndexBuild":   {"ns_per_op": 124957860, "bytes_per_op": 76619012, "allocs_per_op": 1270246},
-    "BenchmarkFig4b_TrapdoorSecRec": {"ns_per_op": 640108, "bytes_per_op": 397208, "allocs_per_op": 7136},
-    "BenchmarkFig4c_Search":       {"ns_per_op": 2006186, "bytes_per_op": 1555342, "allocs_per_op": 18832},
-    "BenchmarkFig4c_DeleteInsert": {"ns_per_op": 7803890, "bytes_per_op": 5675300, "allocs_per_op": 67577},
-    "BenchmarkFig5c_L100Trapdoor": {"ns_per_op": 1161078, "bytes_per_op": 746736, "allocs_per_op": 13802},
-    "BenchmarkThroughput_DiscoverySerial": {"ns_per_op": 3282774, "qps": 304.6, "p50_us": 2825, "p99_us": 6615},
-    "BenchmarkPos":                {"ns_per_op": 675.0, "bytes_per_op": 560, "allocs_per_op": 9},
-    "BenchmarkEncProfile1000":     {"ns_per_op": 12248, "bytes_per_op": 18424, "allocs_per_op": 17}
+    "BenchmarkFig3_Discovery": {"ns_per_op": 187228, "bytes_per_op": 11800, "allocs_per_op": 40},
+    "BenchmarkFig4a_IndexBuild": {"ns_per_op": 37461950, "bytes_per_op": 5562604, "allocs_per_op": 336},
+    "BenchmarkFig4b_TrapdoorSecRec": {"ns_per_op": 200699, "bytes_per_op": 32968, "allocs_per_op": 26},
+    "BenchmarkFig4c_Search": {"ns_per_op": 616064, "bytes_per_op": 341128, "allocs_per_op": 1870},
+    "BenchmarkFig4c_DeleteInsert": {"ns_per_op": 1996475, "bytes_per_op": 1190635, "allocs_per_op": 7149},
+    "BenchmarkFig5a_BuildPhases": {"ns_per_op": 32927586, "bytes_per_op": 5562605, "allocs_per_op": 336},
+    "BenchmarkFig5b_AccuracyQuery": {"ns_per_op": 4462010, "bytes_per_op": 37688, "allocs_per_op": 113},
+    "BenchmarkFig5c_L100Trapdoor": {"ns_per_op": 256145, "bytes_per_op": 41136, "allocs_per_op": 202},
+    "BenchmarkThroughput_DiscoverySerial": {"ns_per_op": 2278962, "qps": 438.8, "p50_us": 2023, "p99_us": 4770},
+    "BenchmarkThroughput_Discovery": {"ns_per_op": 2490633, "qps": 401.5, "p50_us": 17598, "p99_us": 37571},
+    "BenchmarkThroughput_DiscoverBatch": {"ns_per_op": 2716519, "qps": 368.1, "p50_us": 2718, "p99_us": 2955},
+    "BenchmarkPos": {"ns_per_op": 225.6, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BenchmarkEncProfile1000": {"ns_per_op": 12040, "bytes_per_op": 16896, "allocs_per_op": 3}
   }'
 
 {

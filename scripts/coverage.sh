@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# coverage.sh — per-package coverage floor.
+#
+# Runs the short test suite with coverage over the whole module, writes
+# the raw report to coverage.txt (CI uploads it as an artifact), and
+# compares every package against the recorded floor in
+# scripts/coverage_baseline.txt. A package that drops more than
+# $SLACK_PT percentage points below its recorded value fails the run; a
+# package listed in the baseline but missing from the report fails too
+# (deleting a package means editing the baseline, on purpose, in the same
+# change). New packages and improvements pass — re-record with:
+#
+#   scripts/coverage.sh --record
+#
+# Usage: scripts/coverage.sh [--record] [report.txt]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/coverage_baseline.txt
+SLACK_PT="${SLACK_PT:-2.0}"
+
+RECORD=0
+if [ "${1:-}" = "--record" ]; then
+    RECORD=1
+    shift
+fi
+OUT="${1:-coverage.txt}"
+
+go test -short -cover ./... | tee "$OUT"
+
+# Extract "package percent" pairs from the report; packages without test
+# files (cmd/, examples/) report 0.0% without an "ok" line and are skipped.
+report_pairs() {
+    awk '$1 == "ok" {
+        for (i = 1; i <= NF; i++) {
+            if ($i == "coverage:") {
+                pct = $(i+1); sub(/%$/, "", pct)
+                print $2, pct
+            }
+        }
+    }' "$OUT"
+}
+
+if [ "$RECORD" -eq 1 ]; then
+    {
+        echo "# Per-package coverage floor, recorded by scripts/coverage.sh --record."
+        echo "# CI fails when a package drops more than ${SLACK_PT} points below its line."
+        report_pairs | sort
+    } > "$BASELINE"
+    echo "recorded $BASELINE"
+    exit 0
+fi
+
+report_pairs | sort | awk -v slack="$SLACK_PT" -v base="$BASELINE" '
+    BEGIN {
+        while ((getline line < base) > 0) {
+            if (line ~ /^#/ || line == "") continue
+            split(line, f, " ")
+            want[f[1]] = f[2]
+        }
+        close(base)
+    }
+    {
+        got[$1] = $2
+        if (!($1 in want)) {
+            printf "NEW   %-40s %6.1f%% (not in baseline; record it)\n", $1, $2
+            next
+        }
+        delta = $2 - want[$1]
+        if (delta < -slack) {
+            printf "FAIL  %-40s %6.1f%% (baseline %.1f%%, dropped %.1f pts)\n", $1, $2, want[$1], -delta
+            failed = 1
+        } else if (delta > slack) {
+            printf "UP    %-40s %6.1f%% (baseline %.1f%%; consider re-recording)\n", $1, $2, want[$1]
+        } else {
+            printf "ok    %-40s %6.1f%% (baseline %.1f%%)\n", $1, $2, want[$1]
+        }
+    }
+    END {
+        for (p in want) {
+            if (!(p in got)) {
+                printf "FAIL  %-40s missing from report (baseline %.1f%%)\n", p, want[p]
+                failed = 1
+            }
+        }
+        if (failed) {
+            print "coverage floor violated" > "/dev/stderr"
+            exit 1
+        }
+    }
+'
+echo "coverage floor holds (slack ${SLACK_PT} pts)"

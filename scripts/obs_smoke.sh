@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end smoke of the observability endpoint.
+#
+# Builds the server and frontend binaries, brings up a 2-shard deployment
+# with -obs enabled on both processes, runs a couple of discoveries, and
+# asserts that each /metrics endpoint serves the keys the deployment
+# dashboards rely on, with sane values:
+#
+#   server   cloud.buckets_unmasked        > 0 (SecRec answered queries)
+#   server   cloud.leakage_invariant_violations == 0
+#   frontend transport.frames_out          > 0 (multiplexed frames sent)
+#   frontend shard.0.secrec_p99_ns         > 0 (per-shard latency derived)
+#
+# The frontend lingers after the discoveries when -obs is set, which is
+# what makes scraping it here possible.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVER_OBS=127.0.0.1:9310
+FRONTEND_OBS=127.0.0.1:9311
+CLOUD=127.0.0.1:7310
+
+BIN="$(mktemp -d)"
+server_pid=""
+frontend_pid=""
+cleanup() {
+    [ -n "$frontend_pid" ] && kill "$frontend_pid" 2>/dev/null || true
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/pisd-server" ./cmd/pisd-server
+go build -o "$BIN/pisd-frontend" ./cmd/pisd-frontend
+
+"$BIN/pisd-server" -addr "$CLOUD" -shards 2 -obs "$SERVER_OBS" &
+server_pid=$!
+
+# Wait for the server's obs endpoint before starting the frontend.
+for i in $(seq 1 50); do
+    curl -sf "http://$SERVER_OBS/metrics" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+"$BIN/pisd-frontend" -cloud "$CLOUD,127.0.0.1:7311" -users 400 -dim 100 \
+    -discover 1,2 -obs "$FRONTEND_OBS" &
+frontend_pid=$!
+
+# metric ENDPOINT KEY prints the key's value, failing if absent.
+metric() {
+    curl -sf "http://$1/metrics" | tr -d ' ' | tr ',{}' '\n\n\n' \
+        | awk -F: -v k="\"$2\"" '$1 == k { print $2; found = 1 } END { exit !found }'
+}
+
+# Poll until the discoveries have gone through (buckets were unmasked).
+unmasked=0
+for i in $(seq 1 100); do
+    unmasked="$(metric "$SERVER_OBS" cloud.buckets_unmasked 2>/dev/null || echo 0)"
+    [ "$unmasked" -gt 0 ] && break
+    sleep 0.3
+done
+
+fail=0
+check() { # check NAME VALUE TEST...
+    local name=$1 value=$2
+    shift 2
+    if [ -z "$value" ] || ! [ "$value" "$@" ]; then
+        echo "FAIL  $name = '$value' (want $*)" >&2
+        fail=1
+    else
+        echo "ok    $name = $value"
+    fi
+}
+
+check cloud.buckets_unmasked "$unmasked" -gt 0
+check cloud.leakage_invariant_violations \
+    "$(metric "$SERVER_OBS" cloud.leakage_invariant_violations || true)" -eq 0
+check transport.frames_out \
+    "$(metric "$FRONTEND_OBS" transport.frames_out || true)" -gt 0
+check shard.0.secrec_p99_ns \
+    "$(metric "$FRONTEND_OBS" shard.0.secrec_p99_ns || true)" -gt 0
+
+# pprof must answer too: the index page is enough to prove it is wired up.
+if ! curl -sf "http://$SERVER_OBS/debug/pprof/" >/dev/null; then
+    echo "FAIL  /debug/pprof/ not served" >&2
+    fail=1
+else
+    echo "ok    /debug/pprof/ served"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "observability smoke failed" >&2
+    exit 1
+fi
+echo "observability smoke passed"
