@@ -15,6 +15,16 @@
 //	pisd-server -addr 127.0.0.1:7001 -shards 4 &   # terminal 1
 //	pisd-frontend -cloud 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003,127.0.0.1:7004
 //
+// With -attach, the front end skips building entirely and attaches to a
+// segmented index that pisd-segbuild streamed to disk earlier: it restores
+// the keys from the (required) -keys file, re-derives the index parameters
+// from the population size, and goes straight to discovery against a
+// server started with -segments. -users and -keys must match the build.
+//
+//	pisd-segbuild -users 20000 -out segs -state state -keys sf.keys
+//	pisd-server -segments segs -state state &
+//	pisd-frontend -attach -users 20000 -keys sf.keys -discover 1,2
+//
 // With -obs ADDR, an observability HTTP endpoint serves a JSON metrics
 // snapshot at /metrics — frontend per-stage latency, per-shard fan-out
 // health, transport traffic — plus /debug/pprof/; the process then stays
@@ -53,9 +63,10 @@ func run() error {
 		keysFile  = flag.String("keys", "", "key file: loaded if present, written after fresh key generation (keep it secret)")
 		users     = flag.Int("users", 5000, "population size")
 		dim       = flag.Int("dim", 500, "profile dimensionality")
-		topics    = flag.Int("topics", 25, "interest topics in the population")
+		topics    = flag.Int("topics", 0, "interest topics in the population (0: scale with population size)")
 		k         = flag.Int("k", 5, "recommendations per discovery")
 		discover  = flag.String("discover", "1", "comma-separated target user ids")
+		attach    = flag.Bool("attach", false, "attach to a pisd-segbuild index instead of building (requires the build's -keys file and -users)")
 		seed      = flag.Int64("seed", 1, "population seed")
 		obsAddr   = flag.String("obs", "", "observability HTTP address for /metrics and /debug/pprof; keeps the process alive until interrupted (empty: disabled)")
 	)
@@ -69,15 +80,24 @@ func run() error {
 		fmt.Printf("observability endpoint on http://%s (/metrics, /debug/pprof/)\n", bound)
 	}
 
+	if *topics == 0 {
+		*topics = dataset.AutoTopics(*users)
+	}
+	// This config literal is shared verbatim with pisd-segbuild: -attach
+	// regenerates the population deterministically, so the two tools must
+	// agree on it for the same flags.
 	ds, err := dataset.Generate(dataset.Config{
 		Users: *users, Dim: *dim, Topics: *topics, TopicsPerUser: 2,
-		ActiveWords: *dim / 12, Noise: 0.02, Seed: *seed,
+		ActiveWords: *dim / 12, Noise: 0.02, PersonalWeight: 0.6, Seed: *seed,
 	})
 	if err != nil {
 		return err
 	}
 
-	cfg := pisd.DefaultFrontendConfig(*dim)
+	// Derive the LSH atom count from -users the same way pisd-segbuild
+	// does, so -attach computes trapdoors under the hash family the
+	// segmented index was built with.
+	cfg := pisd.FrontendConfigForPopulation(*dim, *users)
 	var sf *pisd.Frontend
 	if *keysFile != "" {
 		if blob, err := os.ReadFile(*keysFile); err == nil {
@@ -89,6 +109,9 @@ func run() error {
 		} else if !errors.Is(err, fs.ErrNotExist) {
 			return err
 		}
+	}
+	if *attach && sf == nil {
+		return errors.New("-attach requires -keys pointing at the key file pisd-segbuild wrote")
 	}
 	if sf == nil {
 		var err error
@@ -107,9 +130,13 @@ func run() error {
 			fmt.Printf("generated fresh keys and saved them to %s\n", *keysFile)
 		}
 	}
-	uploads := make([]pisd.Upload, len(ds.Profiles))
-	for i, p := range ds.Profiles {
-		uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+	var uploads []pisd.Upload
+	if !*attach {
+		// Attach mode issues trapdoors only; no uploads are (re)hashed.
+		uploads = make([]pisd.Upload, len(ds.Profiles))
+		for i, p := range ds.Profiles {
+			uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+		}
 	}
 
 	addrs := splitList(*cloudAddr)
@@ -117,6 +144,9 @@ func run() error {
 		return errors.New("no cloud address given")
 	}
 	if len(addrs) > 1 {
+		if *attach {
+			return errors.New("-attach supports a single cloud server")
+		}
 		if err := runSharded(sf, ds, uploads, addrs, *k, *discover); err != nil {
 			return err
 		}
@@ -129,21 +159,28 @@ func run() error {
 	}
 	defer client.Close()
 
-	buildStart := time.Now()
-	idx, encProfiles, err := sf.BuildIndex(uploads)
-	if err != nil {
-		return err
+	if *attach {
+		if err := sf.AttachSegmented(*users); err != nil {
+			return err
+		}
+		fmt.Printf("attached to segmented index over %d users at %s\n", *users, addrs[0])
+	} else {
+		buildStart := time.Now()
+		idx, encProfiles, err := sf.BuildIndex(uploads)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built secure index over %d users in %s (%.1f MB)\n",
+			len(uploads), time.Since(buildStart).Round(time.Millisecond),
+			float64(idx.SizeBytes())/(1<<20))
+		if err := client.InstallIndex(idx); err != nil {
+			return err
+		}
+		if err := client.PutProfiles(encProfiles); err != nil {
+			return err
+		}
+		fmt.Printf("outsourced index and %d encrypted profiles to %s\n", len(encProfiles), *cloudAddr)
 	}
-	fmt.Printf("built secure index over %d users in %s (%.1f MB)\n",
-		len(uploads), time.Since(buildStart).Round(time.Millisecond),
-		float64(idx.SizeBytes())/(1<<20))
-	if err := client.InstallIndex(idx); err != nil {
-		return err
-	}
-	if err := client.PutProfiles(encProfiles); err != nil {
-		return err
-	}
-	fmt.Printf("outsourced index and %d encrypted profiles to %s\n", len(encProfiles), *cloudAddr)
 
 	targets, err := parseTargets(*discover, len(ds.Profiles))
 	if err != nil {

@@ -9,6 +9,12 @@
 // profiles, encrypted images) from the directory at startup and saves it
 // back on shutdown.
 //
+// With -segments, the server backs the static index with a segmented
+// on-disk store built by pisd-segbuild: SecRec fans trapdoors across the
+// live segments, reading bucket ranges on demand instead of holding the
+// index in RAM. Combine with -state to also serve the encrypted profiles
+// pisd-segbuild saved there.
+//
 // With -shards N (N > 1) the process hosts an N-shard cloud tier for a
 // sharded front end: shard i keeps its own index and profile store and
 // listens on port+i; state, when enabled, lives in per-shard
@@ -46,6 +52,7 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7001", "listen address (shard i listens on port+i)")
 	stateDir := flag.String("state", "", "state directory for persistence (empty: in-memory only)")
+	segments := flag.String("segments", "", "segment directory built by pisd-segbuild to serve as the static index (single shard only)")
 	shards := flag.Int("shards", 1, "number of cloud shards hosted by this process")
 	workers := flag.Int("workers", 0, "concurrent pipelined requests served per connection (0: server default)")
 	obsAddr := flag.String("obs", "", "observability HTTP address for /metrics and /debug/pprof (empty: disabled)")
@@ -53,6 +60,9 @@ func run() error {
 
 	if *shards < 1 {
 		return fmt.Errorf("shards must be >= 1, got %d", *shards)
+	}
+	if *segments != "" && *shards > 1 {
+		return fmt.Errorf("-segments serves one store and needs -shards 1")
 	}
 	if *obsAddr != "" {
 		bound, err := pisd.ServeMetrics(pisd.Metrics, *obsAddr)
@@ -83,6 +93,17 @@ func run() error {
 				return fmt.Errorf("shard %d: load state: %w", i, err)
 			}
 			fmt.Printf("shard %d: loaded state from %s (%d profiles)\n", i, dir, cs.NumProfiles())
+		}
+		if *segments != "" {
+			st, err := pisd.OpenSegmentStore(*segments)
+			if err != nil {
+				return fmt.Errorf("open segment store: %w", err)
+			}
+			defer st.Close()
+			st.SetRegistry(pisd.Metrics)
+			cs.SetSegmentStore(st)
+			fmt.Printf("serving segmented index from %s (%d segments, %.1f MB)\n",
+				*segments, len(st.Segments()), float64(st.Bytes())/(1<<20))
 		}
 		server := pisd.NewCloudServer(cs)
 		if *workers > 0 {

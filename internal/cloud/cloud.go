@@ -13,6 +13,7 @@ import (
 
 	"pisd/internal/core"
 	"pisd/internal/obs"
+	"pisd/internal/segstore"
 )
 
 var (
@@ -28,6 +29,7 @@ var (
 type Server struct {
 	mu       sync.RWMutex
 	idx      *core.Index
+	segs     *segstore.Store
 	dyn      *core.DynIndex
 	profiles map[uint64][]byte
 	images   map[uint64][][]byte
@@ -61,6 +63,24 @@ func (s *Server) SetIndex(idx *core.Index) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.idx = idx
+}
+
+// SetSegmentStore installs a segmented index store as the static index
+// backend. While installed it takes precedence over an in-RAM index:
+// SecRec fans trapdoors across the store's live segments, reading bucket
+// ranges from disk on demand, with results byte-identical to the
+// monolithic path. Pass nil to detach.
+func (s *Server) SetSegmentStore(st *segstore.Store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segs = st
+}
+
+// SegmentStore returns the installed segmented store (nil if none).
+func (s *Server) SegmentStore() *segstore.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.segs
 }
 
 // SetDynIndex installs the dynamic secure index.
@@ -108,6 +128,17 @@ func (s *Server) NumProfiles() int {
 func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.segs != nil {
+		start := time.Now()
+		ids, err := s.segs.SecRec(t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cloud: %w", err)
+		}
+		s.recordQuery(t, s.segs.Params())
+		outIDs, outProfiles := s.attachProfiles(ids)
+		s.met.secrecNs.ObserveSince(start)
+		return outIDs, outProfiles, nil
+	}
 	if s.idx == nil {
 		return nil, nil, ErrNoIndex
 	}
@@ -121,7 +152,7 @@ func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("cloud: %w", err)
 	}
-	s.recordQuery(t)
+	s.recordQuery(t, s.idx.Params())
 	outIDs, outProfiles := s.attachProfiles(ids)
 	s.met.secrecNs.ObserveSince(start)
 	return outIDs, outProfiles, nil
@@ -135,6 +166,9 @@ func (s *Server) SecRec(t *core.Trapdoor) ([]uint64, [][]byte, error) {
 func (s *Server) SecRecBatch(ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.segs != nil {
+		return s.secRecBatchSegmented(ts)
+	}
 	if s.idx == nil {
 		return nil, nil, ErrNoIndex
 	}
@@ -152,11 +186,32 @@ func (s *Server) SecRecBatch(ts []*core.Trapdoor) ([][]uint64, [][][]byte, error
 			s.secScratch.Put(sc)
 			return nil, nil, fmt.Errorf("cloud: batch query %d: %w", q, err)
 		}
-		s.recordQuery(t)
+		s.recordQuery(t, s.idx.Params())
 		outIDs[q], outProfiles[q] = s.attachProfiles(ids)
 		s.met.secrecNs.ObserveSince(qStart)
 	}
 	s.secScratch.Put(sc)
+	s.met.batchNs.ObserveSince(start)
+	return outIDs, outProfiles, nil
+}
+
+// secRecBatchSegmented is SecRecBatch over the segmented store: one
+// segment snapshot for the whole batch (every sub-query sees the same live
+// set even under concurrent compaction), answers byte-identical to the
+// monolithic path. Caller holds s.mu for reading, s.segs non-nil.
+func (s *Server) secRecBatchSegmented(ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
+	start := time.Now()
+	idLists, err := s.segs.SecRecBatch(ts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cloud: %w", err)
+	}
+	p := s.segs.Params()
+	outIDs := make([][]uint64, len(ts))
+	outProfiles := make([][][]byte, len(ts))
+	for q, ids := range idLists {
+		s.recordQuery(ts[q], p)
+		outIDs[q], outProfiles[q] = s.attachProfiles(ids)
+	}
 	s.met.batchNs.ObserveSince(start)
 	return outIDs, outProfiles, nil
 }
@@ -246,10 +301,15 @@ func (s *Server) Images(id uint64) [][]byte {
 	return out
 }
 
-// IndexSizeBytes reports the installed static index footprint (0 if none).
+// IndexSizeBytes reports the installed static index footprint (0 if none):
+// the on-disk byte total of the segmented store when one is installed,
+// otherwise the in-RAM index size.
 func (s *Server) IndexSizeBytes() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.segs != nil {
+		return int(s.segs.Bytes())
+	}
 	if s.idx == nil {
 		return 0
 	}

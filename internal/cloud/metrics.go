@@ -50,16 +50,16 @@ func (s *Server) SetRegistry(r *obs.Registry) {
 }
 
 // recordQuery accounts one answered SecRec sub-query: the number of
-// buckets the trapdoor addressed and whether it matched the index's fixed
-// per-query budget. Caller holds at least a read lock (s.idx non-nil).
-func (s *Server) recordQuery(t *core.Trapdoor) {
+// buckets the trapdoor addressed and whether it matched the backend's
+// fixed per-query budget p. Caller holds at least a read lock.
+func (s *Server) recordQuery(t *core.Trapdoor, p core.Params) {
 	if s.met.queries == nil {
 		return
 	}
 	n := t.Entries()
 	s.met.queries.Inc()
 	s.met.bucketsUnmasked.Add(int64(n))
-	if n != s.idx.Params().BucketsPerQuery() {
+	if n != p.BucketsPerQuery() {
 		s.met.invariantViol.Inc()
 	}
 }

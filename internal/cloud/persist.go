@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"pisd/internal/core"
+	"pisd/internal/segstore"
 )
 
 // Persistence: the cloud server can save its entire state — secure
@@ -16,6 +17,15 @@ import (
 // reload it on restart. Everything written is ciphertext or padding, so
 // the state directory is exactly as sensitive as the server's memory:
 // opaque to anyone without the front end's keys.
+//
+// Every file is a segstore sealed envelope (magic, version, kind, length,
+// SHA-256 trailer) written temp-file-then-rename: a crash mid-save leaves
+// the previous file intact, never a torn one, and any truncation or bit
+// flip fails the load with ErrCorruptState instead of decoding garbage.
+
+// ErrCorruptState reports a damaged state file on load; it is
+// segstore.ErrCorruptState, shared across everything the system persists.
+var ErrCorruptState = segstore.ErrCorruptState
 
 // State file names inside the directory.
 const (
@@ -28,8 +38,10 @@ const (
 const profilesMagic = 0x50505246 // "PPRF"
 const imagesMagic = 0x50494D47   // "PIMG"
 
-// SaveTo writes the server state into dir (created if absent). Files for
-// absent components are removed so a reload reflects the live state.
+// SaveTo writes the server state into dir (created if absent), each file
+// atomically. Files for absent components are removed so a reload
+// reflects the live state. A segmented store is not copied: it already
+// lives on disk in its own directory.
 func (s *Server) SaveTo(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("cloud: save: %w", err)
@@ -42,7 +54,7 @@ func (s *Server) SaveTo(dir string) error {
 		if err != nil {
 			return fmt.Errorf("cloud: save index: %w", err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, fileIndex), blob, 0o644); err != nil {
+		if err := segstore.WriteSealedFile(filepath.Join(dir, fileIndex), segstore.KindIndex, blob); err != nil {
 			return fmt.Errorf("cloud: save index: %w", err)
 		}
 	} else {
@@ -53,17 +65,17 @@ func (s *Server) SaveTo(dir string) error {
 		if err != nil {
 			return fmt.Errorf("cloud: save dynamic index: %w", err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, fileDynIndex), blob, 0o644); err != nil {
+		if err := segstore.WriteSealedFile(filepath.Join(dir, fileDynIndex), segstore.KindDynIndex, blob); err != nil {
 			return fmt.Errorf("cloud: save dynamic index: %w", err)
 		}
 	} else {
 		removeIfExists(filepath.Join(dir, fileDynIndex))
 	}
 
-	if err := os.WriteFile(filepath.Join(dir, fileProfiles), encodeProfiles(s.profiles), 0o644); err != nil {
+	if err := segstore.WriteSealedFile(filepath.Join(dir, fileProfiles), segstore.KindProfiles, encodeProfiles(s.profiles)); err != nil {
 		return fmt.Errorf("cloud: save profiles: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, fileImages), encodeImages(s.images), 0o644); err != nil {
+	if err := segstore.WriteSealedFile(filepath.Join(dir, fileImages), segstore.KindImages, encodeImages(s.images)); err != nil {
 		return fmt.Errorf("cloud: save images: %w", err)
 	}
 	return nil
@@ -71,41 +83,42 @@ func (s *Server) SaveTo(dir string) error {
 
 // LoadFrom replaces the server state with the contents of dir. Missing
 // index files leave the corresponding index uninstalled; missing profile
-// or image files yield empty stores.
+// or image files yield empty stores. Damaged files fail with an error
+// wrapping ErrCorruptState.
 func (s *Server) LoadFrom(dir string) error {
 	var idx *core.Index
-	if blob, err := os.ReadFile(filepath.Join(dir, fileIndex)); err == nil {
+	if blob, err := segstore.ReadSealedFile(filepath.Join(dir, fileIndex), segstore.KindIndex); err == nil {
 		idx = &core.Index{}
 		if err := idx.UnmarshalBinary(blob); err != nil {
-			return fmt.Errorf("cloud: load index: %w", err)
+			return fmt.Errorf("cloud: load index: %w: %v", ErrCorruptState, err)
 		}
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cloud: load index: %w", err)
 	}
 	var dyn *core.DynIndex
-	if blob, err := os.ReadFile(filepath.Join(dir, fileDynIndex)); err == nil {
+	if blob, err := segstore.ReadSealedFile(filepath.Join(dir, fileDynIndex), segstore.KindDynIndex); err == nil {
 		dyn = &core.DynIndex{}
 		if err := dyn.UnmarshalBinary(blob); err != nil {
-			return fmt.Errorf("cloud: load dynamic index: %w", err)
+			return fmt.Errorf("cloud: load dynamic index: %w: %v", ErrCorruptState, err)
 		}
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cloud: load dynamic index: %w", err)
 	}
 
 	profiles := make(map[uint64][]byte)
-	if blob, err := os.ReadFile(filepath.Join(dir, fileProfiles)); err == nil {
+	if blob, err := segstore.ReadSealedFile(filepath.Join(dir, fileProfiles), segstore.KindProfiles); err == nil {
 		profiles, err = decodeProfiles(blob)
 		if err != nil {
-			return fmt.Errorf("cloud: load profiles: %w", err)
+			return fmt.Errorf("cloud: load profiles: %w: %v", ErrCorruptState, err)
 		}
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cloud: load profiles: %w", err)
 	}
 	images := make(map[uint64][][]byte)
-	if blob, err := os.ReadFile(filepath.Join(dir, fileImages)); err == nil {
+	if blob, err := segstore.ReadSealedFile(filepath.Join(dir, fileImages), segstore.KindImages); err == nil {
 		images, err = decodeImages(blob)
 		if err != nil {
-			return fmt.Errorf("cloud: load images: %w", err)
+			return fmt.Errorf("cloud: load images: %w: %v", ErrCorruptState, err)
 		}
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("cloud: load images: %w", err)

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -140,8 +141,8 @@ func TestLoadRejectsCorruptFiles(t *testing.T) {
 			if err := os.WriteFile(filepath.Join(d, name), []byte("garbage!"), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			if err := New().LoadFrom(d); err == nil {
-				t.Errorf("corrupt %s accepted", name)
+			if err := New().LoadFrom(d); !errors.Is(err, ErrCorruptState) {
+				t.Errorf("corrupt %s: error = %v, want ErrCorruptState", name, err)
 			}
 		})
 	}

@@ -13,9 +13,77 @@ import (
 
 const indexMagic = 0x50495344 // "PISD"
 
+// IndexHeaderSize is the byte length of the fixed header MarshalBinary
+// places before the raw bucket bytes. Bucket (table, pos) of an index with
+// per-table width w lives at IndexHeaderSize + (table·w + pos)·BucketSize,
+// and stash slot s at IndexHeaderSize + (Tables·w + s)·BucketSize — the
+// invariant the segment store's on-demand bucket reads rely on.
+const IndexHeaderSize = 4 + 8*7
+
+// IndexShape is the public geometry of an encoded static index, decoded
+// from its header alone: enough to address any bucket without loading the
+// body.
+type IndexShape struct {
+	Params Params
+	Width  int
+	N      int
+}
+
+// BucketOffset returns the offset of bucket (table, pos) within a
+// MarshalBinary encoding of this shape.
+func (sh IndexShape) BucketOffset(table int, pos uint64) int64 {
+	return IndexHeaderSize + (int64(table)*int64(sh.Width)+int64(pos))*BucketSize
+}
+
+// StashOffset returns the offset of stash slot pos within a MarshalBinary
+// encoding of this shape.
+func (sh IndexShape) StashOffset(pos int) int64 {
+	return IndexHeaderSize + (int64(sh.Params.Tables)*int64(sh.Width)+int64(pos))*BucketSize
+}
+
+// EncodedSize returns the total MarshalBinary length of this shape.
+func (sh IndexShape) EncodedSize() int64 {
+	return IndexHeaderSize + (int64(sh.Params.Tables)*int64(sh.Width)+int64(sh.Params.StashSize))*BucketSize
+}
+
+// ParseIndexHeader decodes and validates the MarshalBinary header,
+// returning the index shape. data may be just the header or the whole
+// encoding.
+func ParseIndexHeader(data []byte) (IndexShape, error) {
+	if len(data) < IndexHeaderSize {
+		return IndexShape{}, fmt.Errorf("core: index encoding too short (%d bytes)", len(data))
+	}
+	if binary.BigEndian.Uint32(data) != indexMagic {
+		return IndexShape{}, fmt.Errorf("core: bad index magic")
+	}
+	sh := IndexShape{
+		Params: Params{
+			Tables:     int(binary.BigEndian.Uint64(data[4:])),
+			Capacity:   int(binary.BigEndian.Uint64(data[12:])),
+			ProbeRange: int(binary.BigEndian.Uint64(data[20:])),
+			MaxLoop:    int(binary.BigEndian.Uint64(data[28:])),
+			StashSize:  int(binary.BigEndian.Uint64(data[52:])),
+		},
+		Width: int(binary.BigEndian.Uint64(data[36:])),
+		N:     int(binary.BigEndian.Uint64(data[44:])),
+	}
+	if err := sh.Params.Validate(); err != nil {
+		return IndexShape{}, fmt.Errorf("core: decode index: %w", err)
+	}
+	if sh.Width < 1 || sh.Width > sh.Params.Capacity {
+		return IndexShape{}, fmt.Errorf("core: decode index: width %d out of range", sh.Width)
+	}
+	return sh, nil
+}
+
+// Shape returns the index's encoded geometry.
+func (x *Index) Shape() IndexShape {
+	return IndexShape{Params: x.params, Width: x.width, N: x.n}
+}
+
 // MarshalBinary encodes the static index.
 func (x *Index) MarshalBinary() ([]byte, error) {
-	header := make([]byte, 4+8*7)
+	header := make([]byte, IndexHeaderSize)
 	binary.BigEndian.PutUint32(header[0:], indexMagic)
 	binary.BigEndian.PutUint64(header[4:], uint64(x.params.Tables))
 	binary.BigEndian.PutUint64(header[12:], uint64(x.params.Capacity))
@@ -39,29 +107,12 @@ func (x *Index) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary decodes an index produced by MarshalBinary.
 func (x *Index) UnmarshalBinary(data []byte) error {
-	if len(data) < 4+8*7 {
-		return fmt.Errorf("core: index encoding too short (%d bytes)", len(data))
+	sh, err := ParseIndexHeader(data)
+	if err != nil {
+		return err
 	}
-	if binary.BigEndian.Uint32(data) != indexMagic {
-		return fmt.Errorf("core: bad index magic")
-	}
-	p := Params{
-		Tables:     int(binary.BigEndian.Uint64(data[4:])),
-		Capacity:   int(binary.BigEndian.Uint64(data[12:])),
-		ProbeRange: int(binary.BigEndian.Uint64(data[20:])),
-		MaxLoop:    int(binary.BigEndian.Uint64(data[28:])),
-	}
-	width := int(binary.BigEndian.Uint64(data[36:]))
-	n := int(binary.BigEndian.Uint64(data[44:]))
-	stashSize := int(binary.BigEndian.Uint64(data[52:]))
-	p.StashSize = stashSize
-	if err := p.Validate(); err != nil {
-		return fmt.Errorf("core: decode index: %w", err)
-	}
-	if width < 1 || width > p.Capacity {
-		return fmt.Errorf("core: decode index: width %d out of range", width)
-	}
-	body := data[4+8*7:]
+	p, width, n, stashSize := sh.Params, sh.Width, sh.N, sh.Params.StashSize
+	body := data[IndexHeaderSize:]
 	want := (p.Tables*width + stashSize) * BucketSize
 	if len(body) != want {
 		return fmt.Errorf("core: decode index: body %d bytes, want %d", len(body), want)

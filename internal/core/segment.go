@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pisd/internal/crypt"
+	"pisd/internal/cuckoo"
+)
+
+// Placement is the streaming-build variant of Build: the caller feeds
+// core.Item batches into one global cuckoo placement — identical, for the
+// same keys, items (in order) and params, to the placement Build computes —
+// and, once every item is placed, projects it onto encrypted segments one
+// identifier range at a time. A segment is a full-width Index whose buckets
+// mask exactly the placed identifiers in its range, with random padding
+// everywhere else, so the union over a partition of ranges recovers, for
+// every trapdoor, exactly what the monolithic index recovers (the sharded
+// build's equivalence argument, DESIGN.md §9, applied to ranges).
+//
+// The point of the split is memory: Build materializes items, placement and
+// the full encrypted index at once, while a Placement needs only the
+// placement state (identifier + metadata per item) plus one segment's
+// bucket arrays at a time. The million-profile build path in
+// internal/segstore is built on it.
+type Placement struct {
+	keys   *crypt.KeySet
+	placer *cuckoo.Index
+	p      Params
+	n      int
+}
+
+// NewPlacement starts an empty streaming placement.
+func NewPlacement(keys *crypt.KeySet, p Params) (*Placement, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkKeys(keys, p); err != nil {
+		return nil, err
+	}
+	placer, err := newPlacer(keys, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{keys: keys, placer: placer, p: p}, nil
+}
+
+// Params returns the placement's index parameters.
+func (pl *Placement) Params() Params { return pl.p }
+
+// Stats returns the placement's cuckoo statistics — kicks, probe hits and
+// stash occupancy — for build observability: a stash close to full means
+// the population is outgrowing the rehash-free streaming path.
+func (pl *Placement) Stats() cuckoo.Stats { return pl.placer.Stats() }
+
+// Len returns the number of items inserted so far.
+func (pl *Placement) Len() int { return pl.n }
+
+// Insert places a batch of items. Feeding Build's item slice through any
+// chunking of Insert calls (in order) reproduces Build's placement exactly.
+// ErrNeedRehash reports a kick budget exhaustion, as in Build; the caller
+// rehashes metadata and starts a fresh Placement.
+func (pl *Placement) Insert(items []Item) error {
+	for _, it := range items {
+		if it.ID == bottomID {
+			return fmt.Errorf("core: identifier %d is reserved", it.ID)
+		}
+		if err := pl.placer.Insert(it.ID, it.Meta); err != nil {
+			if errors.Is(err, cuckoo.ErrFull) {
+				return fmt.Errorf("%w: %v", ErrNeedRehash, err)
+			}
+			return fmt.Errorf("core: insert %d: %w", it.ID, err)
+		}
+		pl.n++
+	}
+	return nil
+}
+
+// EncryptRange projects the placement onto the identifier range [lo, hi):
+// a full-width encrypted index carrying masked buckets for exactly the
+// placed identifiers in the range and random padding elsewhere. Every
+// projected index shares the placement's width and parameters, so one
+// trapdoor addresses all of them; disjoint ranges produce indexes whose
+// occupied buckets never overlap (the global placement assigns each
+// identifier one slot).
+//
+// Insert must not be called after projection starts: later insertions kick
+// earlier items between buckets and would invalidate already-projected
+// segments.
+func (pl *Placement) EncryptRange(lo, hi uint64) (*Index, error) {
+	if lo >= hi {
+		return nil, fmt.Errorf("core: empty segment range [%d, %d)", lo, hi)
+	}
+	include := func(id uint64) bool { return id >= lo && id < hi }
+	count := 0
+	pl.placer.Walk(func(_, _ int, id uint64) {
+		if include(id) {
+			count++
+		}
+	})
+	pl.placer.WalkStash(func(_ int, id uint64) {
+		if include(id) {
+			count++
+		}
+	})
+	encStart := time.Now()
+	idx, err := encryptStatic(pl.keys, pl.placer, pl.p, count, include)
+	if err != nil {
+		return nil, err
+	}
+	idx.stats.EncryptNanos = time.Since(encStart).Nanoseconds()
+	return idx, nil
+}
+
+// EncryptAll projects the whole placement into one index — byte-identical
+// buckets, for the same keys, items and params, to what Build returns
+// (padding differs per call: it is freshly drawn randomness in both paths).
+func (pl *Placement) EncryptAll() (*Index, error) {
+	encStart := time.Now()
+	idx, err := encryptStatic(pl.keys, pl.placer, pl.p, pl.n, nil)
+	if err != nil {
+		return nil, err
+	}
+	idx.stats.EncryptNanos = time.Since(encStart).Nanoseconds()
+	return idx, nil
+}
+
+// RecoverID unmasks one static bucket with its trapdoor mask and reports
+// the recovered identifier, ok=false for padding. It is SecRec's per-bucket
+// step exposed for stores that keep buckets outside an Index (the segment
+// store reads bucket ranges from disk on demand).
+func RecoverID(masked, mask []byte) (uint64, bool) {
+	if len(masked) != BucketSize || len(mask) != BucketSize {
+		return 0, false
+	}
+	var buf [BucketSize]byte
+	crypt.XOR(buf[:], mask, masked)
+	return decodePayload(buf)
+}

@@ -61,6 +61,21 @@ func DefaultConfig(users int) Config {
 	}
 }
 
+// AutoTopics returns a population-appropriate latent topic count: 25 for
+// small populations (the historical CLI default), growing as √(n/10) so
+// that the expected number of users sharing an exact topic combination
+// stays bounded as n grows. A million-user population with 25 topics
+// would concentrate thousands of users on identical LSH metadata — their
+// candidate cuckoo slots coincide and no placement can separate them —
+// which no real population exhibits.
+func AutoTopics(users int) int {
+	t := 25
+	for t*t*10 < users {
+		t++
+	}
+	return t
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	switch {
@@ -93,8 +108,55 @@ type Dataset struct {
 	TopicCenters [][]float64
 }
 
-// Generate builds a population.
+// Generate builds a population, fully materialized. It is the Iterator
+// drained into memory: Generate(c).Profiles[i] is byte-identical to the
+// i-th profile any chunking of NextChunk yields for the same config.
 func Generate(c Config) (*Dataset, error) {
+	it, err := NewIterator(c)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Config:       c,
+		Profiles:     make([][]float64, 0, c.Users),
+		UserTopics:   make([][]int, 0, c.Users),
+		TopicCenters: it.TopicCenters(),
+	}
+	for {
+		chunk, ok := it.NextChunk(1 << 14)
+		if !ok {
+			break
+		}
+		ds.Profiles = append(ds.Profiles, chunk.Profiles...)
+		ds.UserTopics = append(ds.UserTopics, chunk.UserTopics...)
+	}
+	return ds, nil
+}
+
+// Chunk is one contiguous run of generated users: user Start is the first,
+// Profiles[i] belongs to user Start+i (0-based; identifiers in the system
+// are conventionally Start+i+1).
+type Chunk struct {
+	Start      int
+	Profiles   [][]float64
+	UserTopics [][]int
+}
+
+// Iterator generates the same population as Generate, one chunk at a time,
+// so a million-user build never holds more than a chunk of profiles in
+// memory. Generation is sequential and deterministic: for a given config,
+// the concatenation of chunks is independent of the chunk sizes requested
+// and identical to Generate's output.
+type Iterator struct {
+	cfg     Config
+	rng     *rand.Rand
+	centers [][]float64
+	next    int
+}
+
+// NewIterator validates the config and draws the topic model (the only
+// state shared by all users).
+func NewIterator(c Config) (*Iterator, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,16 +165,33 @@ func Generate(c Config) (*Dataset, error) {
 	for t := range centers {
 		centers[t] = sparseTopic(rng, c.Dim, c.ActiveWords)
 	}
-	ds := &Dataset{
-		Config:       c,
-		Profiles:     make([][]float64, c.Users),
-		UserTopics:   make([][]int, c.Users),
-		TopicCenters: centers,
+	return &Iterator{cfg: c, rng: rng, centers: centers}, nil
+}
+
+// TopicCenters returns the topic model (shared, not copied).
+func (it *Iterator) TopicCenters() [][]float64 { return it.centers }
+
+// Remaining returns how many users have not been generated yet.
+func (it *Iterator) Remaining() int { return it.cfg.Users - it.next }
+
+// NextChunk generates up to max users and advances. ok is false once the
+// population is exhausted. Each call returns freshly allocated slices; the
+// caller may retain or discard them freely.
+func (it *Iterator) NextChunk(max int) (Chunk, bool) {
+	if max < 1 || it.next >= it.cfg.Users {
+		return Chunk{}, false
 	}
-	for i := 0; i < c.Users; i++ {
-		ds.Profiles[i], ds.UserTopics[i] = mixUser(rng, c, centers)
+	n := min(max, it.cfg.Users-it.next)
+	chunk := Chunk{
+		Start:      it.next,
+		Profiles:   make([][]float64, n),
+		UserTopics: make([][]int, n),
 	}
-	return ds, nil
+	for i := 0; i < n; i++ {
+		chunk.Profiles[i], chunk.UserTopics[i] = mixUser(it.rng, it.cfg, it.centers)
+	}
+	it.next += n
+	return chunk, true
 }
 
 // sparseTopic draws a topic center: ActiveWords random vocabulary entries

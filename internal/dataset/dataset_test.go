@@ -177,3 +177,67 @@ func TestDefaultConfigValid(t *testing.T) {
 		t.Errorf("DefaultConfig invalid: %v", err)
 	}
 }
+
+// TestIteratorMatchesGenerate pins the streaming generator's contract: any
+// chunking of NextChunk yields exactly Generate's population, element for
+// element, so the segmented build path indexes the same users the
+// monolithic path does.
+func TestIteratorMatchesGenerate(t *testing.T) {
+	c := DefaultConfig(503) // prime-ish size: exercises a ragged final chunk
+	ds, err := Generate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkSize := range []int{1, 7, 100, 503, 10000} {
+		it, err := NewIterator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := 0
+		for {
+			chunk, ok := it.NextChunk(chunkSize)
+			if !ok {
+				break
+			}
+			if chunk.Start != seen {
+				t.Fatalf("chunkSize %d: chunk starts at %d, want %d", chunkSize, chunk.Start, seen)
+			}
+			for i, p := range chunk.Profiles {
+				u := chunk.Start + i
+				if len(p) != len(ds.Profiles[u]) {
+					t.Fatalf("chunkSize %d user %d: dim %d vs %d", chunkSize, u, len(p), len(ds.Profiles[u]))
+				}
+				for w := range p {
+					if p[w] != ds.Profiles[u][w] {
+						t.Fatalf("chunkSize %d user %d word %d: %v vs %v", chunkSize, u, w, p[w], ds.Profiles[u][w])
+					}
+				}
+				for k, topic := range chunk.UserTopics[i] {
+					if topic != ds.UserTopics[u][k] {
+						t.Fatalf("chunkSize %d user %d topic %d: %d vs %d", chunkSize, u, k, topic, ds.UserTopics[u][k])
+					}
+				}
+			}
+			seen += len(chunk.Profiles)
+		}
+		if seen != c.Users {
+			t.Fatalf("chunkSize %d: iterator yielded %d users, want %d", chunkSize, seen, c.Users)
+		}
+		if it.Remaining() != 0 {
+			t.Fatalf("chunkSize %d: %d users remaining after exhaustion", chunkSize, it.Remaining())
+		}
+	}
+}
+
+func TestIteratorRejectsBadInput(t *testing.T) {
+	if _, err := NewIterator(Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	it, err := NewIterator(DefaultConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.NextChunk(0); ok {
+		t.Error("zero-size chunk accepted")
+	}
+}

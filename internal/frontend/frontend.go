@@ -53,6 +53,32 @@ func DefaultConfig(dim int) Config {
 	}
 }
 
+// ConfigForPopulation returns DefaultConfig tuned to an expected
+// population size: the per-table LSH atom count grows logarithmically
+// with n. Each atom multiplies the effective hash codomain, and with a
+// codomain fixed while n grows, whole swaths of the population share
+// per-table hash values, their cuckoo candidate windows coincide, and the
+// placement saturates long before the nominal τ = 0.8 load (measured: at
+// n = 100k with 4 atoms a quarter of all items overflow; 5 atoms place
+// the same population with zero overflow). This is the standard E2LSH
+// k ≈ log n scaling, applied at the paper's operating point.
+func ConfigForPopulation(dim, users int) Config {
+	cfg := DefaultConfig(dim)
+	cfg.LSH.Atoms = autoAtoms(users)
+	return cfg
+}
+
+// autoAtoms is 4 up to 20k users, plus one atom per factor of 5 beyond
+// (4 at 20k, 5 at 100k, 6 at 500k, 7 at 1M), matching the measured
+// placement-saturation thresholds with one factor of headroom.
+func autoAtoms(users int) int {
+	a := 4
+	for lim := 20000; users > lim; lim *= 5 {
+		a++
+	}
+	return a
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if err := c.LSH.Validate(); err != nil {

@@ -1,0 +1,101 @@
+package segstore
+
+import (
+	"fmt"
+	"os"
+
+	"pisd/internal/core"
+	"pisd/internal/crypt"
+)
+
+// Builder streams a population into a segmented store directory. Each Add
+// batch becomes one generation-0 segment covering exactly that batch's
+// identifier range; the batches share one global placement, which is what
+// makes the segmented store's answers byte-identical to a monolithic
+// build. Identifiers must arrive in strictly increasing order (the chunked
+// dataset generator's natural order) so that batch boundaries are
+// contiguous, disjoint ranges — and therefore a pure function of the
+// public population size and batch size, leaking nothing about content
+// (DESIGN.md §14).
+//
+// Memory stays bounded by the placement state (identifier and metadata per
+// item — no profiles, no bucket arrays) plus, during Finish, a single
+// segment's encrypted buckets.
+type Builder struct {
+	pl     *core.Placement
+	dir    string
+	lastID uint64
+	spans  [][2]uint64 // per batch: [firstID, lastID+1)
+	done   bool
+}
+
+// NewBuilder starts a segmented build into dir (created if needed).
+func NewBuilder(keys *crypt.KeySet, p core.Params, dir string) (*Builder, error) {
+	pl, err := core.NewPlacement(keys, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Builder{pl: pl, dir: dir}, nil
+}
+
+// Placement exposes the global placement, which implements Rewriter: the
+// same state that built the segments re-projects merged ranges during
+// compaction.
+func (b *Builder) Placement() *core.Placement { return b.pl }
+
+// Add places one batch, to become one segment. Identifiers must be
+// strictly increasing across all Add calls. An ErrNeedRehash from the
+// placement propagates as in core.Build: the caller rehashes metadata and
+// starts over with a fresh Builder.
+func (b *Builder) Add(items []core.Item) error {
+	if b.done {
+		return fmt.Errorf("segstore: builder already finished")
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	last := b.lastID
+	for _, it := range items {
+		if it.ID <= last {
+			return fmt.Errorf("segstore: identifier %d out of order (previous %d): batches must be strictly increasing", it.ID, last)
+		}
+		last = it.ID
+	}
+	if err := b.pl.Insert(items); err != nil {
+		return err
+	}
+	b.spans = append(b.spans, [2]uint64{items[0].ID, last + 1})
+	b.lastID = last
+	return nil
+}
+
+// Finish encrypts and writes one generation-0 segment per batch,
+// sequentially — the peak resident encrypted state is one segment — and
+// returns the written paths. The builder cannot Add afterwards: later
+// insertions would kick placed items between buckets and invalidate
+// already-written segments.
+func (b *Builder) Finish() ([]string, error) {
+	if b.done {
+		return nil, fmt.Errorf("segstore: builder already finished")
+	}
+	if len(b.spans) == 0 {
+		return nil, fmt.Errorf("segstore: nothing to build")
+	}
+	b.done = true
+	paths := make([]string, 0, len(b.spans))
+	for _, span := range b.spans {
+		idx, err := b.pl.EncryptRange(span[0], span[1])
+		if err != nil {
+			return nil, err
+		}
+		path, err := WriteSegmentFile(b.dir, 0, span[0], span[1], idx)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

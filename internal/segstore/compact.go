@@ -1,0 +1,156 @@
+package segstore
+
+import (
+	"fmt"
+	"sync"
+
+	"pisd/internal/core"
+)
+
+// Rewriter re-encrypts an identifier range of the global placement into a
+// fresh full-width segment index. Compaction needs it because the cloud
+// cannot merge segments blindly: to the key-less store every bucket —
+// payload or padding — is indistinguishable random bytes (Theorem 1), so
+// only the key-holding front end can decide which bucket of a merged range
+// carries a payload and re-mask it. core.Placement implements Rewriter.
+type Rewriter interface {
+	EncryptRange(lo, hi uint64) (*core.Index, error)
+}
+
+// CompactorConfig bounds a compaction run.
+type CompactorConfig struct {
+	// Fanout is how many adjacent segments merge into one (default 4).
+	Fanout int
+	// Concurrency caps simultaneous merges (default 1).
+	Concurrency int
+	// Target stops the run once at most this many segments are live
+	// (default 1).
+	Target int
+}
+
+func (c CompactorConfig) withDefaults() CompactorConfig {
+	if c.Fanout < 2 {
+		c.Fanout = 4
+	}
+	if c.Concurrency < 1 {
+		c.Concurrency = 1
+	}
+	if c.Target < 1 {
+		c.Target = 1
+	}
+	return c
+}
+
+// Compactor merges small segments into larger generations. Each merge
+// re-projects the combined range through the Rewriter, writes the merged
+// segment atomically, and swaps it into the live set while queries keep
+// running against reference-counted snapshots. The schedule depends only
+// on the live segment count and the configuration — public quantities —
+// so compaction timing leaks nothing about content (DESIGN.md §14).
+type Compactor struct {
+	st  *Store
+	rw  Rewriter
+	cfg CompactorConfig
+}
+
+// NewCompactor prepares a compactor over st using rw for re-encryption.
+func NewCompactor(st *Store, rw Rewriter, cfg CompactorConfig) *Compactor {
+	return &Compactor{st: st, rw: rw, cfg: cfg.withDefaults()}
+}
+
+// Pass runs one round: the live segments, in range order, are grouped into
+// runs of up to Fanout adjacent segments; every run of at least two merges
+// into a next-generation segment, Concurrency merges at a time. Returns
+// the number of merges performed.
+func (c *Compactor) Pass() (int, error) {
+	c.st.mu.RLock()
+	live := make([]*Segment, len(c.st.segs))
+	copy(live, c.st.segs)
+	c.st.mu.RUnlock()
+	if len(live) <= c.cfg.Target {
+		return 0, nil
+	}
+
+	var runs [][]*Segment
+	for lo := 0; lo < len(live); lo += c.cfg.Fanout {
+		run := live[lo:min(lo+c.cfg.Fanout, len(live))]
+		if len(run) >= 2 {
+			runs = append(runs, run)
+		}
+	}
+	if len(runs) == 0 {
+		return 0, nil
+	}
+
+	var (
+		wg    sync.WaitGroup
+		sem   = make(chan struct{}, c.cfg.Concurrency)
+		errMu sync.Mutex
+		first error
+		done  int
+	)
+	for _, run := range runs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(run []*Segment) {
+			defer func() { <-sem; wg.Done() }()
+			if err := c.merge(run); err != nil {
+				errMu.Lock()
+				if first == nil {
+					first = err
+				}
+				errMu.Unlock()
+				return
+			}
+			errMu.Lock()
+			done++
+			errMu.Unlock()
+		}(run)
+	}
+	wg.Wait()
+	return done, first
+}
+
+// merge compacts one run of adjacent segments into a single segment one
+// generation above the run's newest member.
+func (c *Compactor) merge(run []*Segment) error {
+	lo, hi := run[0].lo, run[len(run)-1].hi
+	gen := run[0].gen
+	for _, sg := range run[1:] {
+		if sg.gen > gen {
+			gen = sg.gen
+		}
+	}
+	idx, err := c.rw.EncryptRange(lo, hi)
+	if err != nil {
+		return fmt.Errorf("segstore: compact [%d, %d): %w", lo, hi, err)
+	}
+	path, err := WriteSegmentFile(c.st.dir, gen+1, lo, hi, idx)
+	if err != nil {
+		return err
+	}
+	merged, err := OpenSegment(path)
+	if err != nil {
+		return err
+	}
+	if err := c.st.swap(merged, run); err != nil {
+		merged.retire(true)
+		return err
+	}
+	c.st.met.compactions.Inc()
+	return nil
+}
+
+// Run performs passes until at most Target segments remain or a pass makes
+// no progress.
+func (c *Compactor) Run() error {
+	for {
+		n, err := c.Pass()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+	}
+}

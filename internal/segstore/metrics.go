@@ -1,0 +1,44 @@
+package segstore
+
+import "pisd/internal/obs"
+
+// storeMetrics is the segment store's metric surface (names under
+// "segstore."). All handles are nil-safe; a store without a registry
+// records nothing.
+type storeMetrics struct {
+	segments    *obs.Gauge     // live segment count
+	bytes       *obs.Gauge     // total on-disk bytes of live segments
+	compactions *obs.Counter   // completed compaction merges
+	queries     *obs.Counter   // SecRec sub-queries answered
+	bucketReads *obs.Counter   // on-demand bucket range reads issued
+	loadNs      *obs.Histogram // per-bucket-read load latency (amortized per query)
+}
+
+func newStoreMetrics(r *obs.Registry, prefix string) storeMetrics {
+	if r == nil {
+		return storeMetrics{}
+	}
+	return storeMetrics{
+		segments:    r.Gauge(prefix + "segments"),
+		bytes:       r.Gauge(prefix + "bytes"),
+		compactions: r.Counter(prefix + "compactions"),
+		queries:     r.Counter(prefix + "queries"),
+		bucketReads: r.Counter(prefix + "bucket_reads"),
+		loadNs:      r.Histogram(prefix + "load"),
+	}
+}
+
+// SetRegistry registers the store's metrics in r under the "segstore."
+// prefix (nil r disables them) and publishes the current segment gauges.
+func (s *Store) SetRegistry(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = newStoreMetrics(r, "segstore.")
+	s.updateGaugesLocked()
+}
+
+// updateGaugesLocked refreshes the live-set gauges; caller holds s.mu.
+func (s *Store) updateGaugesLocked() {
+	s.met.segments.Set(int64(len(s.segs)))
+	s.met.bytes.Set(s.bytes)
+}

@@ -40,6 +40,7 @@ import (
 	"pisd/internal/imaging"
 	"pisd/internal/lsh"
 	"pisd/internal/obs"
+	"pisd/internal/segstore"
 	"pisd/internal/shard"
 	"pisd/internal/sharing"
 	"pisd/internal/surf"
@@ -114,6 +115,18 @@ type (
 	GroupNeighbor = groups.Neighbor
 	// GroupOptions tunes group discovery.
 	GroupOptions = groups.Options
+	// SegmentStore is the on-disk segmented index store that can back a
+	// Cloud in place of the in-RAM index.
+	SegmentStore = segstore.Store
+	// SegmentInfo describes one live segment of a SegmentStore.
+	SegmentInfo = segstore.SegmentInfo
+	// SegmentCompactor merges small segments into larger generations.
+	SegmentCompactor = segstore.Compactor
+	// SegmentCompactorConfig tunes compaction fan-out and concurrency.
+	SegmentCompactorConfig = segstore.CompactorConfig
+	// SegmentBuilder streams upload batches into an on-disk segmented
+	// index at the front end (bounded-memory builds).
+	SegmentBuilder = frontend.SegmentBuilder
 	// MetricsRegistry is a named collection of observability metrics.
 	MetricsRegistry = obs.Registry
 	// MetricsSnapshot is a point-in-time metrics capture with Diff/Flatten.
@@ -144,6 +157,11 @@ var (
 	// DefaultFrontendConfig is the paper's default operating point
 	// (l=10 tables, d=4 probes, τ=0.8) for the given profile dimension.
 	DefaultFrontendConfig = frontend.DefaultConfig
+	// FrontendConfigForPopulation is DefaultFrontendConfig with the LSH
+	// atom count scaled to the expected population (k ≈ log n), keeping
+	// the cuckoo placement below saturation at large n. Build and attach
+	// must derive their config from the same population size.
+	FrontendConfigForPopulation = frontend.ConfigForPopulation
 	// DefaultGroupOptions is the standard group-discovery configuration.
 	DefaultGroupOptions = groups.DefaultOptions
 	// NewShardPool assembles a fan-out pool over shard nodes.
@@ -157,6 +175,15 @@ var (
 	DefaultShardPoolConfig = shard.DefaultConfig
 	// DefaultShardOwner is the id-mod-S shard ownership function.
 	DefaultShardOwner = core.DefaultOwner
+	// OpenSegmentStore opens a segment directory written by a
+	// SegmentBuilder (or pisd-segbuild) for serving.
+	OpenSegmentStore = segstore.Open
+	// NewSegmentCompactor assembles a compactor over a segment store and
+	// a key-holder-side rewriter.
+	NewSegmentCompactor = segstore.NewCompactor
+	// ErrCorruptState reports a damaged persisted file — a segment or any
+	// cloud state file — on load.
+	ErrCorruptState = segstore.ErrCorruptState
 	// Metrics is the process-wide observability registry every tier
 	// records into by default.
 	Metrics = obs.Default

@@ -11,6 +11,17 @@
 #   frontend transport.frames_out          > 0 (multiplexed frames sent)
 #   frontend shard.0.secrec_p99_ns         > 0 (per-shard latency derived)
 #
+# A second phase smokes the segmented deployment: pisd-segbuild streams a
+# small population to disk (its metrics snapshot must show the compaction
+# ran), a fresh server serves the segments, and after an attached
+# discovery its /metrics must expose the segment store's surface:
+#
+#   segbuild segstore.compactions          > 0 (merge pass ran)
+#   server   segstore.segments             > 0 (live segments gauge)
+#   server   segstore.bytes                > 0 (on-disk index size)
+#   server   segstore.load_p50_ns          > 0 (bucket-load latency served)
+#   server   segstore.load_p99_ns          > 0
+#
 # The frontend lingers after the discoveries when -obs is set, which is
 # what makes scraping it here possible.
 set -euo pipefail
@@ -20,18 +31,27 @@ SERVER_OBS=127.0.0.1:9310
 FRONTEND_OBS=127.0.0.1:9311
 CLOUD=127.0.0.1:7310
 
+SEG_SERVER_OBS=127.0.0.1:9312
+SEG_CLOUD=127.0.0.1:7312
+
 BIN="$(mktemp -d)"
 server_pid=""
 frontend_pid=""
+seg_server_pid=""
 cleanup() {
     [ -n "$frontend_pid" ] && kill "$frontend_pid" 2>/dev/null || true
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    [ -n "$seg_server_pid" ] && kill "$seg_server_pid" 2>/dev/null || true
+    # Let the servers finish their shutdown state save before the
+    # directory under them disappears.
+    wait 2>/dev/null || true
     rm -rf "$BIN"
 }
 trap cleanup EXIT
 
 go build -o "$BIN/pisd-server" ./cmd/pisd-server
 go build -o "$BIN/pisd-frontend" ./cmd/pisd-frontend
+go build -o "$BIN/pisd-segbuild" ./cmd/pisd-segbuild
 
 "$BIN/pisd-server" -addr "$CLOUD" -shards 2 -obs "$SERVER_OBS" &
 server_pid=$!
@@ -87,6 +107,41 @@ if ! curl -sf "http://$SERVER_OBS/debug/pprof/" >/dev/null; then
 else
     echo "ok    /debug/pprof/ served"
 fi
+
+# ---- segmented deployment phase -------------------------------------
+# Stream a small population to disk, serve the segments, attach, and
+# check the segstore metric surface end to end.
+"$BIN/pisd-segbuild" -users 800 -dim 100 -batch 200 -out "$BIN/segments" \
+    -state "$BIN/segstate" -keys "$BIN/sf.keys" -queries 4 \
+    -metrics "$BIN/segbuild-metrics.json" >/dev/null
+
+# file_metric FILE KEY prints the key's value from a metrics snapshot.
+file_metric() {
+    tr -d ' ' <"$1" | tr ',{}' '\n\n\n' \
+        | awk -F: -v k="\"$2\"" '$1 == k { print $2; found = 1 } END { exit !found }'
+}
+check segstore.compactions \
+    "$(file_metric "$BIN/segbuild-metrics.json" segstore.compactions || true)" -gt 0
+
+"$BIN/pisd-server" -addr "$SEG_CLOUD" -segments "$BIN/segments" \
+    -state "$BIN/segstate" -obs "$SEG_SERVER_OBS" &
+seg_server_pid=$!
+for i in $(seq 1 50); do
+    curl -sf "http://$SEG_SERVER_OBS/metrics" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+"$BIN/pisd-frontend" -attach -cloud "$SEG_CLOUD" -users 800 -dim 100 \
+    -keys "$BIN/sf.keys" -discover 1,2 >/dev/null
+
+check segstore.segments \
+    "$(metric "$SEG_SERVER_OBS" segstore.segments || true)" -gt 0
+check segstore.bytes \
+    "$(metric "$SEG_SERVER_OBS" segstore.bytes || true)" -gt 0
+check segstore.load_p50_ns \
+    "$(metric "$SEG_SERVER_OBS" segstore.load_p50_ns || true)" -gt 0
+check segstore.load_p99_ns \
+    "$(metric "$SEG_SERVER_OBS" segstore.load_p99_ns || true)" -gt 0
 
 if [ "$fail" -ne 0 ]; then
     echo "observability smoke failed" >&2
