@@ -42,6 +42,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -69,8 +70,21 @@ func run() error {
 		attach    = flag.Bool("attach", false, "attach to a pisd-segbuild index instead of building (requires the build's -keys file and -users)")
 		seed      = flag.Int64("seed", 1, "population seed")
 		obsAddr   = flag.String("obs", "", "observability HTTP address for /metrics and /debug/pprof; keeps the process alive until interrupted (empty: disabled)")
+
+		conns       = flag.Int("conns-per-shard", 4, "pooled connections per shard server")
+		maxBatch    = flag.Int("max-batch", 16, "coalesced queries per SecRecBatch flush")
+		window      = flag.Duration("coalesce-window", 200*time.Microsecond, "max wait for a coalesced flush")
+		maxInflight = flag.Int("max-inflight", 256, "admitted concurrent discoveries (0: unbounded)")
+		cacheSize   = flag.Int("cache", 4096, "search-pattern result cache entries (0: disabled)")
 	)
 	flag.Parse()
+
+	servingCfg := pisd.ServingConfig{
+		MaxBatch:     *maxBatch,
+		Window:       *window,
+		MaxInflight:  *maxInflight,
+		CacheEntries: *cacheSize,
+	}
 
 	if *obsAddr != "" {
 		bound, err := pisd.ServeMetrics(pisd.Metrics, *obsAddr)
@@ -147,7 +161,7 @@ func run() error {
 		if *attach {
 			return errors.New("-attach supports a single cloud server")
 		}
-		if err := runSharded(sf, ds, uploads, addrs, *k, *discover); err != nil {
+		if err := runSharded(sf, ds, uploads, addrs, *k, *discover, *conns, servingCfg); err != nil {
 			return err
 		}
 		return lingerIfObs(*obsAddr)
@@ -186,31 +200,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if len(targets) > 1 {
-		// Several targets: amortize the round trip over one batched exchange.
-		profiles, excludes := targetProfiles(ds, targets)
-		start := time.Now()
-		batches, err := sf.DiscoverBatch(client, profiles, *k, excludes)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("\nbatched discovery for %d users took %s:\n",
-			len(targets), time.Since(start).Round(time.Microsecond))
-		for i, id := range targets {
-			fmt.Printf("\nuser %d (topics %v):\n", id, ds.UserTopics[id-1])
-			printMatches(ds, batches[i])
-		}
-	} else {
-		for _, id := range targets {
-			start := time.Now()
-			matches, err := sf.Discover(client, ds.Profiles[id-1], *k, id)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("\ndiscovery for user %d (topics %v) took %s:\n",
-				id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond))
-			printMatches(ds, matches)
-		}
+	serving, err := sf.NewServing(pisd.SingleFanout{S: client}, servingCfg)
+	if err != nil {
+		return err
+	}
+	if err := discoverServing(serving, ds, targets, *k); err != nil {
+		return err
 	}
 	sent, recv := client.Traffic()
 	fmt.Printf("\ntotal traffic: %.1f KB sent, %.1f KB received\n",
@@ -234,11 +229,12 @@ func lingerIfObs(obsAddr string) error {
 
 // runSharded is the multi-shard deployment path: one projected index per
 // cloud server, discoveries fanned out to all shards in parallel.
-func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, addrs []string, k int, discover string) error {
+func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, addrs []string, k int, discover string, conns int, servingCfg pisd.ServingConfig) error {
 	nodes := make([]pisd.ShardNode, len(addrs))
 	remotes := make([]*pisd.RemoteShard, len(addrs))
 	for i, addr := range addrs {
 		r := pisd.NewRemoteShard(addr)
+		r.SetConns(conns)
 		defer r.Close()
 		remotes[i] = r
 		nodes[i] = r
@@ -272,39 +268,12 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 	if err != nil {
 		return err
 	}
-	if len(targets) > 1 {
-		// Several targets: one batched SecRec call per shard for all of them.
-		profiles, excludes := targetProfiles(ds, targets)
-		start := time.Now()
-		batches, partial, err := sf.DiscoverShardedBatch(context.Background(), pool, profiles, k, excludes)
-		if err != nil {
-			return err
-		}
-		note := ""
-		if partial {
-			note = " [PARTIAL: one or more shards unreachable]"
-		}
-		fmt.Printf("\nbatched fan-out discovery for %d users took %s%s:\n",
-			len(targets), time.Since(start).Round(time.Microsecond), note)
-		for i, id := range targets {
-			fmt.Printf("\nuser %d (topics %v):\n", id, ds.UserTopics[id-1])
-			printMatches(ds, batches[i])
-		}
-	} else {
-		for _, id := range targets {
-			start := time.Now()
-			matches, partial, err := sf.DiscoverSharded(context.Background(), pool, ds.Profiles[id-1], k, id)
-			if err != nil {
-				return err
-			}
-			note := ""
-			if partial {
-				note = " [PARTIAL: one or more shards unreachable]"
-			}
-			fmt.Printf("\nfan-out discovery for user %d (topics %v) took %s%s:\n",
-				id, ds.UserTopics[id-1], time.Since(start).Round(time.Microsecond), note)
-			printMatches(ds, matches)
-		}
+	serving, err := sf.NewServing(pool, servingCfg)
+	if err != nil {
+		return err
+	}
+	if err := discoverServing(serving, ds, targets, k); err != nil {
+		return err
 	}
 	var sent, recv int64
 	for _, r := range remotes {
@@ -317,15 +286,62 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 	return nil
 }
 
-// targetProfiles collects the profile and self-exclusion id per target.
-func targetProfiles(ds *dataset.Dataset, targets []uint64) ([][]float64, []uint64) {
-	profiles := make([][]float64, len(targets))
-	excludes := make([]uint64, len(targets))
-	for i, id := range targets {
-		profiles[i] = ds.Profiles[id-1]
-		excludes[i] = id
+// discoverServing runs the targets through the multi-core serving path:
+// distinct targets are issued concurrently (the coalescer folds them into
+// shared SecRecBatch flushes), and repeated targets are issued in a
+// second wave so they demonstrably hit the search-pattern result cache.
+// Results are printed in target order.
+func discoverServing(serving *pisd.Serving, ds *dataset.Dataset, targets []uint64, k int) error {
+	type outcome struct {
+		matches []pisd.Match
+		partial bool
+		took    time.Duration
+		err     error
 	}
-	return profiles, excludes
+	outs := make([]outcome, len(targets))
+	start := time.Now()
+	seen := make(map[uint64]bool, len(targets))
+	var firstWave, repeatWave []int
+	for i, id := range targets {
+		if seen[id] {
+			repeatWave = append(repeatWave, i)
+			continue
+		}
+		seen[id] = true
+		firstWave = append(firstWave, i)
+	}
+	runWave := func(wave []int) {
+		var wg sync.WaitGroup
+		for _, i := range wave {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				id := targets[i]
+				qs := time.Now()
+				m, partial, err := serving.Discover(context.Background(), ds.Profiles[id-1], k, id)
+				outs[i] = outcome{matches: m, partial: partial, took: time.Since(qs), err: err}
+			}(i)
+		}
+		wg.Wait()
+	}
+	runWave(firstWave)
+	runWave(repeatWave)
+	fmt.Printf("\nserving-path discovery for %d users took %s:\n",
+		len(targets), time.Since(start).Round(time.Microsecond))
+	for i, id := range targets {
+		o := outs[i]
+		if o.err != nil {
+			return fmt.Errorf("discover user %d: %w", id, o.err)
+		}
+		note := ""
+		if o.partial {
+			note = " [PARTIAL: one or more shards unreachable]"
+		}
+		fmt.Printf("\nuser %d (topics %v) in %s%s:\n",
+			id, ds.UserTopics[id-1], o.took.Round(time.Microsecond), note)
+		printMatches(ds, o.matches)
+	}
+	return nil
 }
 
 func printMatches(ds *dataset.Dataset, matches []pisd.Match) {

@@ -1,0 +1,54 @@
+package frontend
+
+import "errors"
+
+// ErrOverloaded is the typed rejection of the serving path's admission
+// gate: the frontend already has its configured maximum of discoveries in
+// flight and sheds this one instead of queueing it. Callers should treat
+// it as retryable after backoff; nothing about the query left the
+// frontend, so a rejected discovery leaks nothing to the cloud.
+var ErrOverloaded = errors.New("frontend: overloaded, discovery rejected")
+
+// AdmissionGate is a bounded inflight-query semaphore. Overload degrades
+// to fast ErrOverloaded rejection instead of unbounded queueing — the
+// latency of admitted queries stays flat while excess demand is shed at
+// the door. A nil gate (or one built with max <= 0) admits everything and
+// only keeps the inflight gauge.
+type AdmissionGate struct {
+	sem chan struct{}
+}
+
+// NewAdmissionGate returns a gate admitting at most max concurrent
+// queries; max <= 0 means unbounded.
+func NewAdmissionGate(max int) *AdmissionGate {
+	if max <= 0 {
+		return &AdmissionGate{}
+	}
+	return &AdmissionGate{sem: make(chan struct{}, max)}
+}
+
+// Acquire admits one query or rejects it with ErrOverloaded without
+// blocking. Every successful Acquire must be paired with Release.
+func (g *AdmissionGate) Acquire() error {
+	if g == nil || g.sem == nil {
+		fmet.admitInflight.Add(1)
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		fmet.admitInflight.Add(1)
+		return nil
+	default:
+		fmet.admitRejected.Inc()
+		return ErrOverloaded
+	}
+}
+
+// Release returns one admitted query's slot.
+func (g *AdmissionGate) Release() {
+	fmet.admitInflight.Add(-1)
+	if g == nil || g.sem == nil {
+		return
+	}
+	<-g.sem
+}

@@ -1,0 +1,206 @@
+package frontend
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"pisd/internal/core"
+)
+
+// CacheKey identifies one result-cache entry: a digest of the exact bytes
+// the cloud observes for the query (the trapdoor, or the dynamic scheme's
+// bucket references). Two queries share a key iff the cloud could not
+// tell them apart either — the similarity-search-pattern leakage of
+// Definition 4 — which is what makes caching on this key leakage-free
+// (DESIGN.md §15).
+type CacheKey [sha256.Size]byte
+
+// trapdoorKey digests a static-scheme trapdoor. Positions and masks are
+// fixed-width for fixed params, so the concatenation is injective.
+func trapdoorKey(t *core.Trapdoor) CacheKey {
+	h := sha256.New()
+	var buf [8]byte
+	for _, entries := range t.Tables {
+		for _, e := range entries {
+			binary.LittleEndian.PutUint64(buf[:], e.Pos)
+			h.Write(buf[:])
+			h.Write(e.Mask)
+		}
+	}
+	for _, m := range t.Stash {
+		h.Write(m)
+	}
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// refsKey digests the dynamic scheme's bucket-reference list — the read
+// set the cloud observes for a dynamic search.
+func refsKey(refs []core.BucketRef) CacheKey {
+	h := sha256.New()
+	var buf [16]byte
+	for _, r := range refs {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(r.Table))
+		binary.LittleEndian.PutUint64(buf[8:], r.Pos)
+		h.Write(buf[:])
+	}
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// cacheEntry is one cached cloud answer: the candidate identifiers the
+// cloud returned and their profiles decrypted ONCE at fill time
+// (pre-rank, so one entry serves every k and excludeID), plus the bucket
+// references the answer was read from, for exact invalidation under
+// dynamic churn. Plaintext profiles live only in trusted-frontend
+// memory — the same trust domain as the keys — so caching them adds no
+// leakage while sparing every hit the per-candidate MAC + AES work.
+type cacheEntry struct {
+	key  CacheKey
+	refs []core.BucketRef
+	ids  []uint64
+	vecs [][]float64
+}
+
+// ResultCache is a bounded LRU of cloud answers keyed by search pattern.
+// It is safe for concurrent use. Entries carry the bucket references they
+// were derived from; InvalidateRefs drops every entry whose read set
+// intersects a written batch, which the dynamic protocols make exact:
+// every mutation round (including each kick of an insert chain) re-seals
+// its full fetched batch through StoreBuckets, so hooking that call
+// covers every bucket a mutation can touch. A nil *ResultCache is the
+// disabled cache: Get always misses and Put is a no-op.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[CacheKey]*list.Element // values are *cacheEntry
+	lru     *list.List                 // front = most recently used
+	byRef   map[core.BucketRef]map[*cacheEntry]struct{}
+}
+
+// NewResultCache returns a cache bounded to max entries; max <= 0 returns
+// the disabled (nil) cache.
+func NewResultCache(max int) *ResultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &ResultCache{
+		cap:     max,
+		entries: make(map[CacheKey]*list.Element),
+		lru:     list.New(),
+		byRef:   make(map[core.BucketRef]map[*cacheEntry]struct{}),
+	}
+}
+
+// Get returns the cached candidate set for key: identifiers and
+// decrypted profile vectors. The returned slices are shared with the
+// cache and must not be mutated (the rank path only reads them).
+func (c *ResultCache) Get(key CacheKey) (ids []uint64, vecs [][]float64, ok bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.ids, e.vecs, true
+}
+
+// Put stores one decrypted cloud answer under key, recording refs as its
+// read set (nil refs means the entry never self-invalidates — correct
+// for the static index, which is immutable). Evicts least-recently-used
+// entries beyond the bound.
+func (c *ResultCache) Put(key CacheKey, refs []core.BucketRef, ids []uint64, vecs [][]float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Refreshed answer for a key already present: replace in place.
+		c.remove(el.Value.(*cacheEntry))
+	}
+	e := &cacheEntry{key: key, refs: refs, ids: ids, vecs: vecs}
+	c.entries[key] = c.lru.PushFront(e)
+	for _, r := range refs {
+		set := c.byRef[r]
+		if set == nil {
+			set = make(map[*cacheEntry]struct{})
+			c.byRef[r] = set
+		}
+		set[e] = struct{}{}
+	}
+	for c.lru.Len() > c.cap {
+		c.remove(c.lru.Back().Value.(*cacheEntry))
+	}
+}
+
+// InvalidateRefs drops every entry whose read set intersects refs and
+// returns how many were dropped.
+func (c *ResultCache) InvalidateRefs(refs []core.BucketRef) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for _, r := range refs {
+		for e := range c.byRef[r] {
+			c.remove(e)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		fmet.cacheInvalids.Add(int64(dropped))
+	}
+	return dropped
+}
+
+// remove unlinks e from the LRU, the key map and the reverse ref index.
+// Callers hold c.mu.
+func (c *ResultCache) remove(e *cacheEntry) {
+	el, ok := c.entries[e.key]
+	if !ok || el.Value.(*cacheEntry) != e {
+		return
+	}
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	for _, r := range e.refs {
+		if set := c.byRef[r]; set != nil {
+			delete(set, e)
+			if len(set) == 0 {
+				delete(c.byRef, r)
+			}
+		}
+	}
+}
+
+// Len returns the live entry count.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Flush empties the cache.
+func (c *ResultCache) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[CacheKey]*list.Element)
+	c.byRef = make(map[core.BucketRef]map[*cacheEntry]struct{})
+	c.lru.Init()
+}

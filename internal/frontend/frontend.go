@@ -429,6 +429,62 @@ func (f *Frontend) rankSpanned(target []float64, ids []uint64, encProfiles [][]b
 	return out, nil
 }
 
+// decryptProfiles decrypts a full candidate set into plaintext profile
+// vectors (parallel across candidates). The serving path decrypts once
+// on a cache miss and caches the plaintext: the frontend is trusted and
+// holds KS, so plaintext in frontend memory adds no leakage, and cache
+// hits skip the per-candidate MAC + AES work entirely.
+func (f *Frontend) decryptProfiles(ids []uint64, encProfiles [][]byte) ([][]float64, error) {
+	if len(ids) != len(encProfiles) {
+		return nil, fmt.Errorf("frontend: %d ids but %d profiles", len(ids), len(encProfiles))
+	}
+	vecs := make([][]float64, len(ids))
+	err := parallelFor(len(ids), func(i int) error {
+		s, err := crypt.DecProfile(f.keys.KS, encProfiles[i])
+		if err != nil {
+			return fmt.Errorf("frontend: decrypt match %d: %w", ids[i], err)
+		}
+		vecs[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vecs, nil
+}
+
+// rankPlain is rankSpanned over already-decrypted candidate vectors:
+// identical distance evaluation and in-order top-k feeding, so the
+// output is byte-identical to ranking the matching ciphertexts.
+func (f *Frontend) rankPlain(target []float64, ids []uint64, vecs [][]float64, k int, excludeID uint64, sp *obs.Span) ([]Match, error) {
+	if len(ids) != len(vecs) {
+		return nil, fmt.Errorf("frontend: %d ids but %d profiles", len(ids), len(vecs))
+	}
+	dists := make([]float64, len(ids))
+	skip := make([]bool, len(ids))
+	for i := range ids {
+		if excludeID != 0 && ids[i] == excludeID {
+			skip[i] = true
+			continue
+		}
+		dists[i] = vec.Distance(target, vecs[i])
+	}
+	sp.Mark("decrypt", fmet.decryptNs)
+	tk := vec.NewTopK(k)
+	for i := range ids {
+		if !skip[i] {
+			tk.Offer(ids[i], dists[i])
+		}
+	}
+	scored := tk.Sorted()
+	out := make([]Match, len(scored))
+	for i, s := range scored {
+		out[i] = Match{ID: s.ID, Distance: s.Score}
+	}
+	sp.Mark("rank", fmet.rankNs)
+	return out, nil
+}
+
 // DiscoverFoF is Discover followed by friend-of-friend boosting: among the
 // distance-ranked candidates, friends-of-friends of the target user are
 // promoted (Sec. III-C).

@@ -22,6 +22,16 @@ var fmet struct {
 	discoveries *obs.Counter // single discoveries completed
 	batches     *obs.Counter // batched discoveries completed
 	partials    *obs.Counter // sharded discoveries degraded to partial results
+
+	// Serving-path surface: result cache, batch coalescer, admission gate.
+	cacheHits       *obs.Counter   // discoveries answered from the result cache
+	cacheMisses     *obs.Counter   // discoveries that had to reach the cloud
+	cacheInvalids   *obs.Counter   // cache entries evicted by dynamic updates
+	coalesceBatch   *obs.Histogram // coalesced flush size (queries per flush)
+	coalesceFlushes *obs.Counter   // coalesced flushes dispatched
+	coalesceQueue   *obs.Gauge     // discoveries waiting for the next flush
+	admitRejected   *obs.Counter   // discoveries rejected with ErrOverloaded
+	admitInflight   *obs.Gauge     // admitted discoveries currently in flight
 }
 
 func init() { SetRegistry(obs.Default) }
@@ -34,6 +44,9 @@ func SetRegistry(r *obs.Registry) {
 		fmet.discoverNs, fmet.batchNs = nil, nil
 		fmet.trapdoorNs, fmet.fanoutNs, fmet.decryptNs, fmet.rankNs, fmet.dynNs = nil, nil, nil, nil, nil
 		fmet.discoveries, fmet.batches, fmet.partials = nil, nil, nil
+		fmet.cacheHits, fmet.cacheMisses, fmet.cacheInvalids = nil, nil, nil
+		fmet.coalesceBatch, fmet.coalesceFlushes, fmet.coalesceQueue = nil, nil, nil
+		fmet.admitRejected, fmet.admitInflight = nil, nil
 		return
 	}
 	fmet.discoverNs = r.Histogram("frontend.discover")
@@ -46,4 +59,12 @@ func SetRegistry(r *obs.Registry) {
 	fmet.discoveries = r.Counter("frontend.discoveries")
 	fmet.batches = r.Counter("frontend.batch_discoveries")
 	fmet.partials = r.Counter("frontend.partial_results")
+	fmet.cacheHits = r.Counter("frontend.cache_hits")
+	fmet.cacheMisses = r.Counter("frontend.cache_misses")
+	fmet.cacheInvalids = r.Counter("frontend.cache_invalidations")
+	fmet.coalesceBatch = r.Histogram("frontend.coalesce_batch")
+	fmet.coalesceFlushes = r.Counter("frontend.coalesce_flushes")
+	fmet.coalesceQueue = r.Gauge("frontend.coalesce_queue")
+	fmet.admitRejected = r.Counter("frontend.admission_rejected")
+	fmet.admitInflight = r.Gauge("frontend.admission_inflight")
 }

@@ -4,43 +4,106 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pisd/internal/core"
 	"pisd/internal/transport"
 )
 
-// Remote is a Node backed by a transport server over TCP. It dials lazily
-// and drops a client whose connection actually died so the next attempt —
-// typically the pool's bounded retry — starts on a fresh connection. A
-// call that merely timed out or was cancelled keeps the client: the
-// multiplexed transport skips the late response by its request ID, so the
-// connection (and every other call pipelined on it) stays healthy.
+// Remote is a Node backed by a pool of framed transport connections to one
+// shard server. Each connection is an independently multiplexed gob
+// stream, so concurrent SecRec legs no longer serialize behind a single
+// encoder: dispatch picks the least-loaded live connection, dialing lazily
+// up to the configured pool size (SetConns, default 1).
+//
+// Fault handling is per connection, not per shard. A call that fails with
+// a fatal connection-level error drops only its own slot — the remaining
+// pooled connections stay live, so the fan-out pool's bounded retry lands
+// on a healthy stream (or a fresh redial) and the shard never degrades to
+// a partial result over a single dead socket. A call that merely timed
+// out or was cancelled keeps its connection: the multiplexed transport
+// skips the late response by its request ID, so the stream (and every
+// other call pipelined on it) stays healthy.
 type Remote struct {
 	addr string
 	dial transport.Dialer
 
 	mu      sync.Mutex
-	c       *transport.Client
+	slots   []*remoteConn // fixed-size; nil slots dial lazily
 	timeout time.Duration
+}
+
+// remoteConn is one pooled connection with its in-flight call count. The
+// count is atomic because calls decrement it after releasing the pool
+// lock; reads under the lock are a heuristic load signal, not a barrier.
+type remoteConn struct {
+	c        *transport.Client
+	inflight atomic.Int64
 }
 
 var _ Node = (*Remote)(nil)
 
-// NewRemote returns a shard node for the transport server at addr. No
-// connection is made until the first call.
-func NewRemote(addr string) *Remote { return &Remote{addr: addr} }
+// NewRemote returns a shard node for the transport server at addr with a
+// single-connection pool. No connection is made until the first call.
+func NewRemote(addr string) *Remote {
+	return &Remote{addr: addr, slots: make([]*remoteConn, 1)}
+}
 
 // NewRemoteDialer is NewRemote with an injectable connection factory:
-// every dial — the lazy first one and each post-fault redial — goes
+// every dial — the lazy first ones and each post-fault redial — goes
 // through dial. Fault-injection harnesses (faultnet.Network.Dialer) hook
 // in here; nil behaves like NewRemote.
 func NewRemoteDialer(addr string, dial transport.Dialer) *Remote {
-	return &Remote{addr: addr, dial: dial}
+	r := NewRemote(addr)
+	r.dial = dial
+	return r
 }
 
 // Addr returns the shard server's address.
 func (r *Remote) Addr() string { return r.addr }
+
+// SetConns sizes the connection pool (minimum 1). Growing adds empty
+// slots that dial on demand; shrinking closes the surplus trailing
+// connections, including ones with calls still in flight — size the pool
+// before heavy traffic.
+func (r *Remote) SetConns(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := n; i < len(r.slots); i++ {
+		if r.slots[i] != nil {
+			r.slots[i].c.Close()
+		}
+	}
+	if n <= len(r.slots) {
+		r.slots = r.slots[:n]
+		return
+	}
+	r.slots = append(r.slots, make([]*remoteConn, n-len(r.slots))...)
+}
+
+// Conns returns the configured pool size.
+func (r *Remote) Conns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots)
+}
+
+// LiveConns returns how many pooled connections are currently dialed.
+func (r *Remote) LiveConns() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := 0
+	for _, s := range r.slots {
+		if s != nil {
+			live++
+		}
+	}
+	return live
+}
 
 // SetTimeout bounds every call on this node, including calls without a
 // context (profile and bucket operations) and calls on fresh connections
@@ -51,67 +114,102 @@ func (r *Remote) SetTimeout(d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.timeout = d
-	if r.c != nil {
-		r.c.SetTimeout(d)
+	for _, s := range r.slots {
+		if s != nil {
+			s.c.SetTimeout(d)
+		}
 	}
 }
 
-// Close tears down the current connection, if any.
+// Close tears down every pooled connection.
 func (r *Remote) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.c == nil {
-		return nil
+	var firstErr error
+	for i, s := range r.slots {
+		if s == nil {
+			continue
+		}
+		if err := s.c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		r.slots[i] = nil
 	}
-	err := r.c.Close()
-	r.c = nil
-	return err
+	return firstErr
 }
 
-// client returns the live connection, dialing if necessary.
-func (r *Remote) client() (*transport.Client, error) {
+// acquire picks the connection for one call and charges it: an idle live
+// connection if there is one, otherwise a lazy dial into an empty slot,
+// otherwise the least-loaded live connection. A failed dial falls back to
+// a live connection rather than failing the call.
+func (r *Remote) acquire() (*remoteConn, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.c == nil {
-		c, err := transport.DialWith(r.addr, r.dial)
-		if err != nil {
-			return nil, err
+	var best *remoteConn
+	empty := -1
+	for i, s := range r.slots {
+		if s == nil {
+			if empty < 0 {
+				empty = i
+			}
+			continue
 		}
-		if r.timeout > 0 {
-			c.SetTimeout(r.timeout)
+		if best == nil || s.inflight.Load() < best.inflight.Load() {
+			best = s
 		}
-		r.c = c
 	}
-	return r.c, nil
+	if best != nil && (empty < 0 || best.inflight.Load() == 0) {
+		best.inflight.Add(1)
+		return best, nil
+	}
+	c, err := transport.DialWith(r.addr, r.dial)
+	if err != nil {
+		if best != nil {
+			best.inflight.Add(1)
+			return best, nil
+		}
+		return nil, err
+	}
+	if r.timeout > 0 {
+		c.SetTimeout(r.timeout)
+	}
+	s := &remoteConn{c: c}
+	s.inflight.Add(1)
+	r.slots[empty] = s
+	return s, nil
 }
 
-// drop discards c if it is still the current connection.
-func (r *Remote) drop(c *transport.Client) {
+// drop discards s's connection if it still occupies its slot, leaving the
+// slot empty for a lazy redial. Other pooled connections are untouched.
+func (r *Remote) drop(s *remoteConn) {
 	r.mu.Lock()
-	if r.c == c {
-		r.c = nil
+	for i, cur := range r.slots {
+		if cur == s {
+			r.slots[i] = nil
+			break
+		}
 	}
 	r.mu.Unlock()
-	c.Close()
+	s.c.Close()
 }
 
-// do runs one call, discarding the connection after a fatal
-// connection-level failure so the next call redials. Deadline expiries and
-// cancellations are connection-level for retry classification but leave
-// the pipelined connection usable, so the client is kept.
+// do runs one call on a pooled connection, discarding that connection
+// after a fatal connection-level failure so a retry lands on a healthy
+// stream. Deadline expiries and cancellations are connection-level for
+// retry classification but leave the pipelined connection usable, so the
+// connection is kept.
 func (r *Remote) do(fn func(c *transport.Client) error) error {
-	c, err := r.client()
+	s, err := r.acquire()
 	if err != nil {
 		return err
 	}
-	if err := fn(c); err != nil {
-		if transport.IsConnError(err) &&
-			!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
-			r.drop(c)
-		}
-		return err
+	err = fn(s.c)
+	s.inflight.Add(-1)
+	if err != nil && transport.IsConnError(err) &&
+		!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		r.drop(s)
 	}
-	return nil
+	return err
 }
 
 // Ping implements Node.
@@ -190,13 +288,18 @@ func (r *Remote) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) e
 	return r.do(func(c *transport.Client) error { return c.StoreBuckets(refs, buckets) })
 }
 
-// Traffic returns the cumulative serialized traffic of the current
-// connection (zero after a redial).
+// Traffic returns the cumulative serialized traffic summed over the live
+// pooled connections (a dropped connection's traffic is forgotten).
 func (r *Remote) Traffic() (sent, received int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.c == nil {
-		return 0, 0
+	for _, s := range r.slots {
+		if s == nil {
+			continue
+		}
+		tx, rx := s.c.Traffic()
+		sent += tx
+		received += rx
 	}
-	return r.c.Traffic()
+	return sent, received
 }

@@ -24,6 +24,7 @@ var tmet struct {
 	srvConns   *obs.Gauge   // server: live connections
 	srvFrames  *obs.Counter // server: request frames decoded
 	srvBytesIn *obs.Counter // server: framed wire bytes read
+	srvWorkers *obs.Gauge   // server: effective per-connection worker bound
 }
 
 func init() { SetRegistry(obs.Default) }
@@ -37,7 +38,7 @@ func SetRegistry(r *obs.Registry) {
 		tmet.bytesOut, tmet.bytesIn = nil, nil
 		tmet.inflight, tmet.timeouts, tmet.lateDrops, tmet.connFails = nil, nil, nil, nil
 		tmet.dials, tmet.dialErrors = nil, nil
-		tmet.srvConns, tmet.srvFrames, tmet.srvBytesIn = nil, nil, nil
+		tmet.srvConns, tmet.srvFrames, tmet.srvBytesIn, tmet.srvWorkers = nil, nil, nil, nil
 		return
 	}
 	tmet.framesOut = r.Counter("transport.frames_out")
@@ -53,4 +54,5 @@ func SetRegistry(r *obs.Registry) {
 	tmet.srvConns = r.Gauge("transport.server.conns")
 	tmet.srvFrames = r.Counter("transport.server.frames_in")
 	tmet.srvBytesIn = r.Counter("transport.server.bytes_in")
+	tmet.srvWorkers = r.Gauge("transport.server.workers_per_conn")
 }

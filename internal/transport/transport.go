@@ -248,15 +248,18 @@ func NewServer(cs *cloud.Server) *Server {
 	if workers < 4 {
 		workers = 4
 	}
+	tmet.srvWorkers.Set(int64(workers))
 	return &Server{cs: cs, workers: workers, conns: make(map[net.Conn]struct{})}
 }
 
 // SetWorkersPerConn bounds how many of one connection's pipelined requests
 // execute concurrently (excess requests queue by backpressure: the
-// connection's frames stop being read). Call before Listen.
+// connection's frames stop being read). Call before Listen. The effective
+// value is surfaced as the transport.server.workers_per_conn gauge.
 func (s *Server) SetWorkersPerConn(n int) {
 	if n > 0 {
 		s.workers = n
+		tmet.srvWorkers.Set(int64(n))
 	}
 }
 

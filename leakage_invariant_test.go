@@ -6,6 +6,7 @@ import (
 
 	"pisd"
 	"pisd/internal/dataset"
+	"pisd/internal/frontend"
 	"pisd/internal/obs"
 )
 
@@ -206,5 +207,103 @@ func TestLeakageInvariantDynamic(t *testing.T) {
 		if fetched[0] != fetched[1] {
 			t.Errorf("target %d: fetch count not deterministic: %d then %d", id, fetched[0], fetched[1])
 		}
+	}
+}
+
+// TestLeakageInvariantServingCache pins DESIGN.md §15's claim for the
+// cached serving path: a result-cache hit is a strict subtraction from
+// the observable transcript. The first discovery of a search pattern
+// pays exactly the fixed per-shard bucket budget; repeating the pattern
+// is answered entirely inside the trusted frontend — zero additional
+// cloud.queries and zero additional cloud.buckets_unmasked on every
+// shard — so the cloud's view under caching is a subset of the view
+// without it.
+func TestLeakageInvariantServingCache(t *testing.T) {
+	sf, ds, uploads := leakageFixture(t, "leakage-serving-cache")
+	const nShards = 2
+	shards, err := sf.BuildShardedIndex(uploads, nShards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := make([]*obs.Registry, nShards)
+	nodes := make([]pisd.ShardNode, nShards)
+	for s, sh := range shards {
+		cs := pisd.NewCloud()
+		regs[s] = obs.NewRegistry()
+		cs.SetRegistry(regs[s])
+		cs.SetIndex(sh.Index)
+		cs.PutProfiles(sh.EncProfiles)
+		nodes[s] = pisd.NewLocalShard(cs)
+	}
+	pool, err := pisd.NewShardPool(pisd.DefaultShardPoolConfig(), nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Isolate the frontend's own metrics so cache_hits is attributable.
+	freg := obs.NewRegistry()
+	frontend.SetRegistry(freg)
+	defer frontend.SetRegistry(obs.Default)
+
+	serving, err := sf.NewServing(pool, pisd.ServingConfig{MaxBatch: 4, CacheEntries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const target = uint64(42)
+	discover := func() {
+		t.Helper()
+		_, partial, err := serving.Discover(context.Background(), ds.Profiles[target-1], 5, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if partial {
+			t.Fatal("local fan-out reported partial results")
+		}
+	}
+
+	// Cold query: the full fixed budget on every shard, exactly once.
+	before := make([]map[string]int64, nShards)
+	for s := range regs {
+		before[s] = counters(regs[s])
+	}
+	discover()
+	for s := range regs {
+		after := counters(regs[s])
+		budget := int64(shards[s].Index.Params().BucketsPerQuery())
+		if unmasked := after["cloud.buckets_unmasked"] - before[s]["cloud.buckets_unmasked"]; unmasked != budget {
+			t.Errorf("cold query shard %d: unmasked %d buckets, want %d", s, unmasked, budget)
+		}
+		if q := after["cloud.queries"] - before[s]["cloud.queries"]; q != 1 {
+			t.Errorf("cold query shard %d: cloud.queries advanced by %d, want 1", s, q)
+		}
+	}
+
+	// Repeats of the same search pattern: the cloud sees NOTHING.
+	for s := range regs {
+		before[s] = counters(regs[s])
+	}
+	const repeats = 3
+	for i := 0; i < repeats; i++ {
+		discover()
+	}
+	for s := range regs {
+		after := counters(regs[s])
+		if unmasked := after["cloud.buckets_unmasked"] - before[s]["cloud.buckets_unmasked"]; unmasked != 0 {
+			t.Errorf("cache hits unmasked %d buckets on shard %d, want 0", unmasked, s)
+		}
+		if q := after["cloud.queries"] - before[s]["cloud.queries"]; q != 0 {
+			t.Errorf("cache hits advanced cloud.queries by %d on shard %d, want 0", q, s)
+		}
+		if v := after["cloud.leakage_invariant_violations"]; v != 0 {
+			t.Errorf("shard %d: leakage_invariant_violations = %d, want 0", s, v)
+		}
+	}
+	fc := counters(freg)
+	if got := fc["frontend.cache_hits"]; got != repeats {
+		t.Errorf("frontend.cache_hits = %d, want %d", got, repeats)
+	}
+	if got := fc["frontend.cache_misses"]; got != 1 {
+		t.Errorf("frontend.cache_misses = %d, want 1", got)
 	}
 }

@@ -3,18 +3,21 @@
 #
 # Runs the paper-figure benchmarks (Fig. 3/4/5), the crypt substrate
 # microbenchmarks with -benchmem, and the sustained-throughput benchmarks
-# (serial / pipelined / batched discovery with qps and p50/p99 latency),
-# and writes BENCH_PR5.json at the repo root: the pre-PR5 baseline
-# (recorded once, constant below) next to the freshly measured numbers,
-# so the no-regression claim for the observability layer stays
-# reproducible.
+# (serial / pipelined / batched discovery, plus the PR7 serving path:
+# lockstep clients through the coalescer + connection pool, with and
+# without the result cache — all with qps and p50/p99 latency), and
+# writes BENCH_PR7.json at the repo root: the pre-PR5 baseline (recorded
+# once, constant below) next to the freshly measured numbers. PR7's
+# acceptance bar reads straight out of the file:
+# BenchmarkThroughput_DiscoverLockstepCached qps >= 4x the baseline
+# BenchmarkThroughput_DiscoverySerial qps (438.8).
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3s scripts/bench.sh    # longer runs for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT

@@ -8,8 +8,17 @@
 #
 #   server   cloud.buckets_unmasked        > 0 (SecRec answered queries)
 #   server   cloud.leakage_invariant_violations == 0
+#   server   transport.server.workers_per_conn == 6 (-workers honored)
 #   frontend transport.frames_out          > 0 (multiplexed frames sent)
 #   frontend shard.0.secrec_p99_ns         > 0 (per-shard latency derived)
+#   frontend frontend.cache_misses         > 0 (first discoveries missed)
+#   frontend frontend.cache_hits           > 0 (repeated target 1 hit)
+#   frontend frontend.coalesce_batch_p50_ns > 0 (flushes recorded sizes)
+#   frontend frontend.admission_rejected   == 0 (no shedding at this load)
+#
+# The discovery list repeats target 1 so the serving path's result cache
+# provably takes a hit, and the server runs with an explicit -workers
+# bound so the gauge reflects CLI configuration rather than a default.
 #
 # A second phase smokes the segmented deployment: pisd-segbuild streams a
 # small population to disk (its metrics snapshot must show the compaction
@@ -53,7 +62,7 @@ go build -o "$BIN/pisd-server" ./cmd/pisd-server
 go build -o "$BIN/pisd-frontend" ./cmd/pisd-frontend
 go build -o "$BIN/pisd-segbuild" ./cmd/pisd-segbuild
 
-"$BIN/pisd-server" -addr "$CLOUD" -shards 2 -obs "$SERVER_OBS" &
+"$BIN/pisd-server" -addr "$CLOUD" -shards 2 -workers 6 -obs "$SERVER_OBS" &
 server_pid=$!
 
 # Wait for the server's obs endpoint before starting the frontend.
@@ -63,7 +72,7 @@ for i in $(seq 1 50); do
 done
 
 "$BIN/pisd-frontend" -cloud "$CLOUD,127.0.0.1:7311" -users 400 -dim 100 \
-    -discover 1,2 -obs "$FRONTEND_OBS" &
+    -discover 1,2,1 -obs "$FRONTEND_OBS" &
 frontend_pid=$!
 
 # metric ENDPOINT KEY prints the key's value, failing if absent.
@@ -95,10 +104,20 @@ check() { # check NAME VALUE TEST...
 check cloud.buckets_unmasked "$unmasked" -gt 0
 check cloud.leakage_invariant_violations \
     "$(metric "$SERVER_OBS" cloud.leakage_invariant_violations || true)" -eq 0
+check transport.server.workers_per_conn \
+    "$(metric "$SERVER_OBS" transport.server.workers_per_conn || true)" -eq 6
 check transport.frames_out \
     "$(metric "$FRONTEND_OBS" transport.frames_out || true)" -gt 0
 check shard.0.secrec_p99_ns \
     "$(metric "$FRONTEND_OBS" shard.0.secrec_p99_ns || true)" -gt 0
+check frontend.cache_misses \
+    "$(metric "$FRONTEND_OBS" frontend.cache_misses || true)" -gt 0
+check frontend.cache_hits \
+    "$(metric "$FRONTEND_OBS" frontend.cache_hits || true)" -gt 0
+check frontend.coalesce_batch_p50_ns \
+    "$(metric "$FRONTEND_OBS" frontend.coalesce_batch_p50_ns || true)" -gt 0
+check frontend.admission_rejected \
+    "$(metric "$FRONTEND_OBS" frontend.admission_rejected || true)" -eq 0
 
 # pprof must answer too: the index page is enough to prove it is wired up.
 if ! curl -sf "http://$SERVER_OBS/debug/pprof/" >/dev/null; then

@@ -14,7 +14,10 @@
 package pisd
 
 import (
+	"context"
+	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -23,6 +26,7 @@ import (
 	"pisd/internal/cloud"
 	"pisd/internal/dataset"
 	"pisd/internal/frontend"
+	"pisd/internal/shard"
 	"pisd/internal/transport"
 )
 
@@ -174,6 +178,76 @@ func BenchmarkThroughput_Discovery(b *testing.B) {
 		}
 	})
 	rec.report(b, time.Since(start))
+}
+
+// servingBench runs many concurrent LOCKSTEP clients (one outstanding
+// discovery each, no client-side batching) against the full serving
+// stack: admission gate → optional result cache → coalescer folding the
+// concurrent singles into SecRecBatch flushes → pooled connections to
+// the shard. This is the multi-core serving path the lockstep baseline
+// (BenchmarkThroughput_DiscoverySerial) is compared against.
+func servingBench(b *testing.B, cacheEntries int) {
+	f := getThroughputFixture(b)
+	remote := shard.NewRemote(f.addr)
+	// PISD_BENCH_CONNS sizes the connection pool (default 4) so the
+	// EXPERIMENTS.md cores × conns-per-shard matrix can sweep it.
+	conns := 4
+	if v := os.Getenv("PISD_BENCH_CONNS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			b.Fatalf("PISD_BENCH_CONNS=%q: want a positive integer", v)
+		}
+		conns = n
+	}
+	remote.SetConns(conns)
+	defer remote.Close()
+	pool, err := shard.NewPool(shard.DefaultConfig(), remote)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serving, err := f.sf.NewServing(pool, frontend.ServingConfig{
+		MaxBatch:     16,
+		Window:       200 * time.Microsecond,
+		MaxInflight:  0, // open gate: the bench must never shed its own load
+		CacheEntries: cacheEntries,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &latRecorder{}
+	var qctr atomic.Uint64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := f.queries[(qctr.Add(1)-1)%uint64(len(f.queries))]
+			qStart := time.Now()
+			if _, _, err := serving.Discover(context.Background(), q, 10, 0); err != nil {
+				b.Error(err)
+				return
+			}
+			rec.observe(time.Since(qStart))
+		}
+	})
+	rec.report(b, time.Since(start))
+}
+
+// BenchmarkThroughput_DiscoverLockstepCoalesced measures the coalescer +
+// connection pool alone: the cache is disabled, so every discovery still
+// pays a cloud round trip, but concurrent lockstep callers share
+// SecRecBatch flushes over the pooled connections.
+func BenchmarkThroughput_DiscoverLockstepCoalesced(b *testing.B) {
+	servingBench(b, 0)
+}
+
+// BenchmarkThroughput_DiscoverLockstepCached adds the leakage-free
+// result cache: the 64-query working set is cached after the first pass,
+// so steady state serves repeated search patterns without touching the
+// cloud at all — the paper's admitted search-pattern leakage turned into
+// throughput.
+func BenchmarkThroughput_DiscoverLockstepCached(b *testing.B) {
+	servingBench(b, 4096)
 }
 
 // BenchmarkThroughput_DiscoverBatch amortizes the round trip over batches
