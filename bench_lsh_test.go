@@ -1,0 +1,28 @@
+// Benchmark metric helpers: every figure/throughput benchmark stamps the
+// LSH operating point it ran under onto its metric line, so the BENCH
+// json trajectory files record which (l, atoms, W, d) produced each
+// number and tuned-vs-default runs stay distinguishable after the fact.
+package pisd
+
+import (
+	"testing"
+
+	"pisd/internal/frontend"
+)
+
+// reportLSHParams attaches an explicit LSH operating point to the
+// benchmark's metric line. Benchmarks that drive the index with synthetic
+// random metadata (no live hash family) report atoms/width as 0.
+func reportLSHParams(b *testing.B, tables, atoms int, width float64, probeRange int) {
+	b.Helper()
+	b.ReportMetric(float64(tables), "lsh_l")
+	b.ReportMetric(float64(atoms), "lsh_atoms")
+	b.ReportMetric(width, "lsh_width")
+	b.ReportMetric(float64(probeRange), "lsh_d")
+}
+
+// reportLSHConfig stamps a front-end configuration's operating point.
+func reportLSHConfig(b *testing.B, cfg frontend.Config) {
+	b.Helper()
+	reportLSHParams(b, cfg.LSH.Tables, cfg.LSH.Atoms, cfg.LSH.Width, cfg.ProbeRange)
+}

@@ -145,9 +145,13 @@ func RankCandidates(profiles [][]float64, query []float64, candidates []int, k i
 // K is len(groundTruth); a retrieved list shorter than K contributes 0 for
 // each missing rank (the scheme failed to produce K candidates). An exact
 // tie (both distances zero) scores 1.
+//
+// A nil or empty groundTruth is vacuously perfect and scores 1: there was
+// nothing to retrieve, so nothing was missed. Sweeps over partitioned
+// populations hit this whenever k exceeds a partition's size.
 func AccuracyRatio(groundTruth, retrieved []vec.Scored) float64 {
 	if len(groundTruth) == 0 {
-		return 0
+		return 1
 	}
 	var sum float64
 	for i := range groundTruth {
@@ -168,4 +172,26 @@ func AccuracyRatio(groundTruth, retrieved []vec.Scored) float64 {
 		}
 	}
 	return sum / float64(len(groundTruth))
+}
+
+// RecallAtK returns |ids(groundTruth) ∩ ids(retrieved)| / |groundTruth|,
+// the fraction of true nearest neighbours the retrieval surfaced at any
+// rank. Unlike AccuracyRatio it ignores distances entirely, so it measures
+// candidate coverage rather than ranking quality; the autotuner optimizes
+// it directly. An empty groundTruth is vacuously perfect (recall 1).
+func RecallAtK(groundTruth, retrieved []vec.Scored) float64 {
+	if len(groundTruth) == 0 {
+		return 1
+	}
+	got := make(map[uint64]struct{}, len(retrieved))
+	for _, s := range retrieved {
+		got[s.ID] = struct{}{}
+	}
+	hit := 0
+	for _, s := range groundTruth {
+		if _, ok := got[s.ID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(groundTruth))
 }

@@ -148,13 +148,48 @@ func TestAccuracyRatio(t *testing.T) {
 	if got := AccuracyRatio(gt, short); math.Abs(got-0.5) > 1e-12 {
 		t.Errorf("missing rank accuracy = %v, want 0.5", got)
 	}
-	if got := AccuracyRatio(nil, perfect); got != 0 {
-		t.Errorf("empty ground truth = %v, want 0", got)
-	}
 	// Zero distances (exact duplicates) must not divide by zero.
 	zs := []vec.Scored{{ID: 1, Score: 0}}
 	if got := AccuracyRatio(zs, zs); got != 1 {
 		t.Errorf("zero-distance accuracy = %v, want 1", got)
+	}
+}
+
+// TestAccuracyRatioEmptyGroundTruth pins the guard for empty/zero-length
+// ground truth: vacuously perfect (1), never NaN or a division by zero.
+// The autotuner hits this whenever k exceeds a population partition.
+func TestAccuracyRatioEmptyGroundTruth(t *testing.T) {
+	retrieved := []vec.Scored{{ID: 1, Score: 1}}
+	for _, gt := range [][]vec.Scored{nil, {}} {
+		got := AccuracyRatio(gt, retrieved)
+		if got != 1 {
+			t.Errorf("AccuracyRatio(%v, retrieved) = %v, want 1", gt, got)
+		}
+		if math.IsNaN(got) {
+			t.Errorf("AccuracyRatio(%v, retrieved) is NaN", gt)
+		}
+	}
+	// Both empty: still vacuously perfect.
+	if got := AccuracyRatio(nil, nil); got != 1 {
+		t.Errorf("AccuracyRatio(nil, nil) = %v, want 1", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	gt := []vec.Scored{{ID: 1, Score: 1}, {ID: 2, Score: 2}, {ID: 3, Score: 3}}
+	all := []vec.Scored{{ID: 3, Score: 3}, {ID: 1, Score: 1}, {ID: 2, Score: 2}}
+	if got := RecallAtK(gt, all); got != 1 {
+		t.Errorf("full recall = %v, want 1", got)
+	}
+	one := []vec.Scored{{ID: 2, Score: 2}, {ID: 9, Score: 9}}
+	if got := RecallAtK(gt, one); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("one-of-three recall = %v, want 1/3", got)
+	}
+	if got := RecallAtK(gt, nil); got != 0 {
+		t.Errorf("empty retrieval recall = %v, want 0", got)
+	}
+	if got := RecallAtK(nil, one); got != 1 {
+		t.Errorf("empty ground truth recall = %v, want 1 (vacuous)", got)
 	}
 }
 

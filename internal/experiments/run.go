@@ -25,6 +25,8 @@ const (
 	ExpScalingName = "scaling"
 	// ExpShardingName compares 1/2/4-shard build and fan-out SecRec cost.
 	ExpShardingName = "sharding"
+	// ExpAutotuneName is declared in autotune.go: the recall/cost
+	// autotuner's measured Pareto frontier.
 )
 
 // AllExperiments lists every experiment in paper order.
@@ -32,7 +34,7 @@ func AllExperiments() []string {
 	return []string{
 		ExpFig3, ExpClient, ExpFig4a, ExpFig4b, ExpFig4c,
 		ExpFig5a, ExpFig5b, ExpFig5c, ExpAblation, ExpMetrics, ExpLeakage,
-		ExpCloudRankName, ExpScalingName, ExpShardingName,
+		ExpCloudRankName, ExpScalingName, ExpShardingName, ExpAutotuneName,
 	}
 }
 
@@ -115,6 +117,12 @@ func Run(name string, s Scale, w io.Writer) error {
 		tables = append(tables, t)
 	case ExpShardingName:
 		t, err := ExpSharding(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tables = append(tables, t)
+	case ExpAutotuneName:
+		t, err := ExpAutotune(s)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -53,19 +53,73 @@ func DefaultConfig(dim int) Config {
 	}
 }
 
-// ConfigForPopulation returns DefaultConfig tuned to an expected
-// population size: the per-table LSH atom count grows logarithmically
-// with n. Each atom multiplies the effective hash codomain, and with a
-// codomain fixed while n grows, whole swaths of the population share
-// per-table hash values, their cuckoo candidate windows coincide, and the
-// placement saturates long before the nominal τ = 0.8 load (measured: at
-// n = 100k with 4 atoms a quarter of all items overflow; 5 atoms place
-// the same population with zero overflow). This is the standard E2LSH
-// k ≈ log n scaling, applied at the paper's operating point.
-func ConfigForPopulation(dim, users int) Config {
+// UntunedConfigForPopulation returns DefaultConfig scaled to an expected
+// population size on the atom axis only: the per-table LSH atom count
+// grows logarithmically with n. Each atom multiplies the effective hash
+// codomain, and with a codomain fixed while n grows, whole swaths of the
+// population share per-table hash values, their cuckoo candidate windows
+// coincide, and the placement saturates long before the nominal τ = 0.8
+// load (measured: at n = 100k with 4 atoms a quarter of all items
+// overflow; 5 atoms place the same population with zero overflow). This
+// is the standard E2LSH k ≈ log n scaling, applied at the paper's
+// operating point. It is the pre-autotune scaling rule, kept as the
+// reference the autotuner (internal/autotune) sweeps against; production
+// entry points use ConfigForPopulation, which applies the measured tuned
+// operating points on top of it.
+func UntunedConfigForPopulation(dim, users int) Config {
 	cfg := DefaultConfig(dim)
 	cfg.LSH.Atoms = autoAtoms(users)
 	return cfg
+}
+
+// ConfigForPopulation returns the operating point production derives from
+// the public population size n alone (build and attach must agree, so it
+// is a pure function of n): UntunedConfigForPopulation with the
+// autotuner's measured tuned parameters applied for population tiers the
+// frontier has been measured at. See tunedPoints.
+func ConfigForPopulation(dim, users int) Config {
+	cfg := UntunedConfigForPopulation(dim, users)
+	for _, tp := range tunedPoints {
+		if users <= tp.maxUsers {
+			cfg.LSH.Tables = tp.tables
+			cfg.LSH.Atoms = tp.atoms
+			cfg.LSH.Width = tp.width
+			cfg.ProbeRange = tp.probeRange
+			break
+		}
+	}
+	return cfg
+}
+
+// tunedOperating is one autotuner-measured operating point: the cheapest
+// config whose secure-path recall@10 stays within 1% of the untuned
+// reference for populations up to maxUsers.
+type tunedOperating struct {
+	maxUsers   int
+	tables     int
+	atoms      int
+	width      float64
+	probeRange int
+}
+
+// tunedPoints is the measured recall-vs-cost frontier selection, produced
+// by `pisd-autotune` (EXPERIMENTS.md "Recall-vs-cost autotuning",
+// BENCH_PR8.json). Populations beyond the last measured tier fall back to
+// the untuned rule: extrapolating a tuned l below the paper's default to
+// unmeasured regimes risks silent recall loss, while the untuned point is
+// validated up to 1M by the scale smoke. Parameters here are functions of
+// the public n only — see the leakage argument in DESIGN.md §16.
+// Each tier's parameters were measured at the tier ceiling; for smaller
+// populations the same config only gets sparser per bucket, so applying a
+// tier downward never risks the placement that was verified at its
+// ceiling.
+var tunedPoints = []tunedOperating{
+	// n=10k winner: budget 30 vs the untuned 50 (−40%), measured secure
+	// recall@10 0.0563 vs 0.0281 and 2.3× the reference qps.
+	{maxUsers: 10_000, tables: 6, atoms: 5, width: 1.0, probeRange: 4},
+	// n=100k winner: budget 35 vs the untuned 50 (−30%), measured secure
+	// recall@10 0.0234 vs 0.0125 and 7.4× the reference qps.
+	{maxUsers: 100_000, tables: 7, atoms: 6, width: 1.0, probeRange: 4},
 }
 
 // autoAtoms is 4 up to 20k users, plus one atom per factor of 5 beyond

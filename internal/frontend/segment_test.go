@@ -194,25 +194,63 @@ func TestSegmentParamsValidation(t *testing.T) {
 	}
 }
 
-// TestConfigForPopulation pins the population-scaled atom counts. The
-// thresholds come from measured placement saturation: 4 atoms overflow a
-// quarter of a 100k population into the stash, 5 atoms place it cleanly,
-// and each further factor of 5 in n needs one more atom.
-func TestConfigForPopulation(t *testing.T) {
+// TestUntunedConfigForPopulation pins the population-scaled atom counts of
+// the autotuner's reference rule. The thresholds come from measured
+// placement saturation: 4 atoms overflow a quarter of a 100k population
+// into the stash, 5 atoms place it cleanly, and each further factor of 5
+// in n needs one more atom.
+func TestUntunedConfigForPopulation(t *testing.T) {
 	for _, tc := range []struct{ users, atoms int }{
 		{1, 4}, {5000, 4}, {20000, 4},
 		{20001, 5}, {100000, 5},
 		{100001, 6}, {500000, 6},
 		{500001, 7}, {1000000, 7},
 	} {
-		cfg := ConfigForPopulation(200, tc.users)
+		cfg := UntunedConfigForPopulation(200, tc.users)
 		if cfg.LSH.Atoms != tc.atoms {
 			t.Errorf("users=%d: atoms=%d, want %d", tc.users, cfg.LSH.Atoms, tc.atoms)
 		}
 		base := DefaultConfig(200)
 		base.LSH.Atoms = cfg.LSH.Atoms
 		if cfg != base {
-			t.Errorf("users=%d: ConfigForPopulation changed more than atoms", tc.users)
+			t.Errorf("users=%d: UntunedConfigForPopulation changed more than atoms", tc.users)
+		}
+	}
+}
+
+// TestConfigForPopulation pins the production operating points: the
+// autotuner's measured winners on their population tiers, the untuned
+// reference rule beyond the last measured tier, and nothing but
+// (tables, atoms, width, probe range) ever deviating from the untuned
+// config. Regenerate with pisd-autotune (see EXPERIMENTS.md) before
+// changing these values.
+func TestConfigForPopulation(t *testing.T) {
+	for _, tc := range []struct {
+		users, tables, atoms int
+		width                float64
+		probeRange           int
+	}{
+		{1, 6, 5, 1.0, 4},
+		{10000, 6, 5, 1.0, 4},
+		{10001, 7, 6, 1.0, 4},
+		{20000, 7, 6, 1.0, 4},
+		{100000, 7, 6, 1.0, 4},
+		// Beyond the measured tiers the untuned rule applies unchanged.
+		{100001, 10, 6, 0.7, 4},
+		{1000000, 10, 7, 0.7, 4},
+	} {
+		cfg := ConfigForPopulation(200, tc.users)
+		if cfg.LSH.Tables != tc.tables || cfg.LSH.Atoms != tc.atoms ||
+			cfg.LSH.Width != tc.width || cfg.ProbeRange != tc.probeRange {
+			t.Errorf("users=%d: got l=%d k=%d W=%g d=%d, want l=%d k=%d W=%g d=%d",
+				tc.users, cfg.LSH.Tables, cfg.LSH.Atoms, cfg.LSH.Width, cfg.ProbeRange,
+				tc.tables, tc.atoms, tc.width, tc.probeRange)
+		}
+		base := UntunedConfigForPopulation(200, tc.users)
+		base.LSH.Tables, base.LSH.Atoms = tc.tables, tc.atoms
+		base.LSH.Width, base.ProbeRange = tc.width, tc.probeRange
+		if cfg != base {
+			t.Errorf("users=%d: ConfigForPopulation deviates beyond the tuned axes", tc.users)
 		}
 	}
 }

@@ -1,0 +1,148 @@
+package lsh
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteProbe is one entry of the brute-force enumeration of every ±1
+// single-atom perturbation: the reference ProbeSequence is checked against.
+type bruteProbe struct {
+	table, atom int
+	shift       int64
+	cost        float64
+	meta        Metadata
+}
+
+// enumerateProbes builds all 2·l·k perturbed variants of v directly from
+// the family's projections, independently of ProbeSequence's construction.
+func enumerateProbes(f *Family, v []float64) []bruteProbe {
+	p := f.Params()
+	base := f.Hash(v)
+	var all []bruteProbe
+	for j := 0; j < p.Tables; j++ {
+		for t := 0; t < p.Atoms; t++ {
+			x := (dot(f.a[j][t], v) + f.b[j][t]) / p.Width
+			frac := x - math.Floor(x)
+			for _, s := range []struct {
+				shift int64
+				cost  float64
+			}{{-1, frac}, {+1, 1 - frac}} {
+				meta := append(Metadata(nil), base...)
+				meta[j] = f.hashTableShifted(v, j, t, s.shift)
+				all = append(all, bruteProbe{table: j, atom: t, shift: s.shift, cost: s.cost, meta: meta})
+			}
+		}
+	}
+	return all
+}
+
+// TestProbeSequenceProperties checks ProbeSequence against a brute-force
+// enumeration of all ±1 single-atom shifts over seeded random inputs:
+// variants are unique, bounded by maxVariants, cost-ordered, and their
+// cost multiset matches the cheapest prefix of the enumeration. The
+// autotuner and DiscoverMultiProbe both lean on this ordering.
+func TestProbeSequenceProperties(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			Dim:    8 + rng.Intn(24),
+			Tables: 1 + rng.Intn(6),
+			Atoms:  1 + rng.Intn(4),
+			Width:  0.4 + rng.Float64(),
+			Seed:   seed,
+		}
+		f := testFamily(t, p)
+		v := randomVec(rng, p.Dim)
+		total := 2 * p.Tables * p.Atoms
+		for _, maxVariants := range []int{1, 3, total, total + 7} {
+			variants := f.ProbeSequence(v, maxVariants)
+			checkProbeProperties(t, f, v, variants, maxVariants, seed)
+		}
+		if got := f.ProbeSequence(v, 0); got != nil {
+			t.Errorf("seed %d: ProbeSequence(v, 0) = %d variants, want nil", seed, len(got))
+		}
+	}
+}
+
+func checkProbeProperties(t *testing.T, f *Family, v []float64, variants []ProbeVariant, maxVariants int, seed int64) {
+	t.Helper()
+	repro := func() string {
+		return "repro: go test ./internal/lsh -run TestProbeSequenceProperties (deterministic, seed loop)"
+	}
+	p := f.Params()
+	base := f.Hash(v)
+	all := enumerateProbes(f, v)
+	want := len(all)
+	if want > maxVariants {
+		want = maxVariants
+	}
+	if len(variants) != want {
+		t.Fatalf("seed %d max %d: got %d variants, want %d; %s", seed, maxVariants, len(variants), want, repro())
+	}
+
+	seen := make(map[[3]int64]struct{}, len(variants))
+	byKey := make(map[[3]int64]bruteProbe, len(all))
+	for _, bp := range all {
+		byKey[[3]int64{int64(bp.table), int64(bp.atom), bp.shift}] = bp
+	}
+	for i, pv := range variants {
+		// Perturbation identity in range and unique.
+		if pv.Table < 0 || pv.Table >= p.Tables || pv.Atom < 0 || pv.Atom >= p.Atoms || (pv.Shift != 1 && pv.Shift != -1) {
+			t.Fatalf("seed %d: variant %d has invalid identity %+v; %s", seed, i, pv, repro())
+		}
+		key := [3]int64{int64(pv.Table), int64(pv.Atom), pv.Shift}
+		if _, dup := seen[key]; dup {
+			t.Fatalf("seed %d: duplicate perturbation (table=%d atom=%d shift=%d); %s", seed, pv.Table, pv.Atom, pv.Shift, repro())
+		}
+		seen[key] = struct{}{}
+		// Cost ordering and bounds.
+		if pv.Cost < 0 || pv.Cost > 1 {
+			t.Fatalf("seed %d: variant %d cost %v out of [0,1]; %s", seed, i, pv.Cost, repro())
+		}
+		if i > 0 && variants[i-1].Cost > pv.Cost {
+			t.Fatalf("seed %d: costs out of order at %d: %v > %v; %s", seed, i, variants[i-1].Cost, pv.Cost, repro())
+		}
+		// Agreement with the brute-force enumeration: same cost, same
+		// metadata, and the metadata differs from the base in exactly
+		// the perturbed table.
+		bp, ok := byKey[key]
+		if !ok {
+			t.Fatalf("seed %d: variant %d not in brute-force enumeration; %s", seed, i, repro())
+		}
+		if math.Abs(pv.Cost-bp.cost) > 1e-12 {
+			t.Fatalf("seed %d: variant %d cost %v, brute force says %v; %s", seed, i, pv.Cost, bp.cost, repro())
+		}
+		if !pv.Meta.Equal(bp.meta) {
+			t.Fatalf("seed %d: variant %d metadata disagrees with brute force; %s", seed, i, repro())
+		}
+		diff := 0
+		for j := range base {
+			if pv.Meta[j] != base[j] {
+				diff++
+				if j != pv.Table {
+					t.Fatalf("seed %d: variant %d changed table %d, declared %d; %s", seed, i, j, pv.Table, repro())
+				}
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("seed %d: variant %d differs from base in %d tables; %s", seed, i, diff, repro())
+		}
+	}
+
+	// The returned prefix must be the cheapest one: its cost multiset
+	// equals the first len(variants) costs of the sorted enumeration
+	// (ties make the exact identities ambiguous, costs are not).
+	bruteCosts := make([]float64, len(all))
+	for i, bp := range all {
+		bruteCosts[i] = bp.cost
+	}
+	sort.Float64s(bruteCosts)
+	for i, pv := range variants {
+		if math.Abs(pv.Cost-bruteCosts[i]) > 1e-12 {
+			t.Fatalf("seed %d: prefix cost %d is %v, brute-force order says %v; %s", seed, i, pv.Cost, bruteCosts[i], repro())
+		}
+	}
+}

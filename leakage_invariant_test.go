@@ -113,6 +113,79 @@ func TestLeakageInvariantStatic(t *testing.T) {
 	}
 }
 
+// TestLeakageInvariantTuned pins the invariant under the autotuner's
+// population-tiered operating point: swapping the default (l, atoms, W, d)
+// for the tuned parameters changes the SIZE of the fixed bucket budget —
+// l·(d+1)+stash evaluated at the tuned l and d — but not its constancy.
+// Every discovery still unmasks exactly that budget regardless of the
+// target, which is the leakage argument (DESIGN.md §16) for shipping tuned
+// parameters at all.
+func TestLeakageInvariantTuned(t *testing.T) {
+	const (
+		nUsers = 150
+		dim    = 100
+	)
+	ds, err := dataset.Generate(dataset.Config{
+		Users: nUsers, Dim: dim, Topics: 10, TopicsPerUser: 2,
+		ActiveWords: 15, Noise: 0.02, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pisd.FrontendConfigForPopulation(dim, nUsers)
+	cfg.KeySeed = "leakage-tuned"
+	if def := pisd.DefaultFrontendConfig(dim); cfg.LSH == def.LSH && cfg.ProbeRange == def.ProbeRange {
+		t.Fatal("tuned config equals the default — the tuned tier is not being exercised")
+	}
+	sf, err := pisd.NewFrontend(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]pisd.Upload, nUsers)
+	for i, p := range ds.Profiles {
+		uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+	}
+	idx, encProfiles, err := sf.BuildIndex(uploads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := pisd.NewCloud()
+	reg := obs.NewRegistry()
+	cs.SetRegistry(reg)
+	cs.SetIndex(idx)
+	cs.PutProfiles(encProfiles)
+
+	p, err := sf.IndexParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tables != cfg.LSH.Tables || p.ProbeRange != cfg.ProbeRange {
+		t.Fatalf("index params l=%d d=%d do not reflect the tuned config l=%d d=%d",
+			p.Tables, p.ProbeRange, cfg.LSH.Tables, cfg.ProbeRange)
+	}
+	budget := int64(p.BucketsPerQuery())
+	if budget <= 0 {
+		t.Fatalf("bucket budget = %d", budget)
+	}
+
+	for _, id := range []uint64{1, 40, 77, 150} {
+		before := counters(reg)
+		matches, err := sf.Discover(cs, ds.Profiles[id-1], 5, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := counters(reg)
+		unmasked := after["cloud.buckets_unmasked"] - before["cloud.buckets_unmasked"]
+		if unmasked != budget {
+			t.Errorf("target %d (%d matches): unmasked %d buckets, want the fixed tuned budget %d",
+				id, len(matches), unmasked, budget)
+		}
+	}
+	if v := counters(reg)["cloud.leakage_invariant_violations"]; v != 0 {
+		t.Errorf("cloud.leakage_invariant_violations = %d, want 0", v)
+	}
+}
+
 // TestLeakageInvariantSharded pins the fan-out case: every shard answers
 // every query against its own projected index, so per fan-out each shard
 // unmasks exactly its own index's bucket budget — no shard's access

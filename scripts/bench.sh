@@ -3,21 +3,24 @@
 #
 # Runs the paper-figure benchmarks (Fig. 3/4/5), the crypt substrate
 # microbenchmarks with -benchmem, and the sustained-throughput benchmarks
-# (serial / pipelined / batched discovery, plus the PR7 serving path:
-# lockstep clients through the coalescer + connection pool, with and
-# without the result cache — all with qps and p50/p99 latency), and
-# writes BENCH_PR7.json at the repo root: the pre-PR5 baseline (recorded
-# once, constant below) next to the freshly measured numbers. PR7's
-# acceptance bar reads straight out of the file:
-# BenchmarkThroughput_DiscoverLockstepCached qps >= 4x the baseline
-# BenchmarkThroughput_DiscoverySerial qps (438.8).
+# (serial / pipelined / batched discovery, the PR7 serving path, and the
+# PR8 tuned operating point — all with qps and p50/p99 latency), and
+# writes BENCH_PR8.json at the repo root: the PR7 baseline (recorded
+# once, constant below) next to the freshly measured numbers. Every
+# benchmark that drives the secure index also stamps its active LSH
+# operating point (lsh_l, lsh_atoms, lsh_width, lsh_d) onto its metric
+# line, so the json records which configuration produced each number.
+# PR8's acceptance bar reads straight out of the file:
+# BenchmarkThroughput_DiscoverLockstepTuned qps vs the baseline
+# BenchmarkThroughput_DiscoverLockstepCoalesced qps (343.1), alongside
+# the ≥25% l·(d+1) budget cut recorded in autotune_frontier*.json.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=3s scripts/bench.sh    # longer runs for stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -27,30 +30,35 @@ go test -run '^$' -bench 'BenchmarkThroughput' -benchtime "$BENCHTIME" . | tee -
 go test -run '^$' -bench 'BenchmarkPos$|BenchmarkPos8$|BenchmarkMaskInto$|BenchmarkDRBGFill$|BenchmarkEncProfile1000$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/crypt/ | tee -a "$TMP"
 
-# Pre-PR5 baseline: BENCH_PR3.json's "after" numbers, measured at commit
-# 7784bd5 on the reference machine (Intel Xeon @ 2.10GHz, 1 CPU,
-# go1.24.0 linux/amd64, BENCHTIME=3s) — the operating point before the
-# observability layer was threaded through the discovery path. PR5's
-# acceptance bar: Throughput/Fig4a/Fig5c within 3% of these.
+# PR7 baseline: BENCH_PR7.json's "after" numbers, measured on the
+# reference machine (Intel Xeon @ 2.10GHz, 1 CPU, go1.24 linux/amd64,
+# BENCHTIME=3s) — the operating point before the autotuner's tuned
+# parameters landed. PR8's acceptance bar: DiscoverLockstepTuned qps
+# above DiscoverLockstepCoalesced's 343.1.
 BASELINE='{
-    "BenchmarkFig3_Discovery": {"ns_per_op": 187228, "bytes_per_op": 11800, "allocs_per_op": 40},
-    "BenchmarkFig4a_IndexBuild": {"ns_per_op": 37461950, "bytes_per_op": 5562604, "allocs_per_op": 336},
-    "BenchmarkFig4b_TrapdoorSecRec": {"ns_per_op": 200699, "bytes_per_op": 32968, "allocs_per_op": 26},
-    "BenchmarkFig4c_Search": {"ns_per_op": 616064, "bytes_per_op": 341128, "allocs_per_op": 1870},
-    "BenchmarkFig4c_DeleteInsert": {"ns_per_op": 1996475, "bytes_per_op": 1190635, "allocs_per_op": 7149},
-    "BenchmarkFig5a_BuildPhases": {"ns_per_op": 32927586, "bytes_per_op": 5562605, "allocs_per_op": 336},
-    "BenchmarkFig5b_AccuracyQuery": {"ns_per_op": 4462010, "bytes_per_op": 37688, "allocs_per_op": 113},
-    "BenchmarkFig5c_L100Trapdoor": {"ns_per_op": 256145, "bytes_per_op": 41136, "allocs_per_op": 202},
-    "BenchmarkThroughput_DiscoverySerial": {"ns_per_op": 2278962, "qps": 438.8, "p50_us": 2023, "p99_us": 4770},
-    "BenchmarkThroughput_Discovery": {"ns_per_op": 2490633, "qps": 401.5, "p50_us": 17598, "p99_us": 37571},
-    "BenchmarkThroughput_DiscoverBatch": {"ns_per_op": 2716519, "qps": 368.1, "p50_us": 2718, "p99_us": 2955},
-    "BenchmarkPos": {"ns_per_op": 225.6, "bytes_per_op": 0, "allocs_per_op": 0},
-    "BenchmarkEncProfile1000": {"ns_per_op": 12040, "bytes_per_op": 16896, "allocs_per_op": 3}
+    "BenchmarkFig3_Discovery": {"ns_per_op": 199088, "bytes_per_op": 11800, "allocs_per_op": 40},
+    "BenchmarkFig4a_IndexBuild": {"ns_per_op": 37513512, "bytes_per_op": 5562603, "allocs_per_op": 336},
+    "BenchmarkFig4b_TrapdoorSecRec": {"ns_per_op": 217094, "bytes_per_op": 32968, "allocs_per_op": 26},
+    "BenchmarkFig4c_Search": {"ns_per_op": 617183, "bytes_per_op": 341135, "allocs_per_op": 1870},
+    "BenchmarkFig4c_DeleteInsert": {"ns_per_op": 2209182, "bytes_per_op": 1190537, "allocs_per_op": 7148},
+    "BenchmarkFig5a_BuildPhases": {"ns_per_op": 34943035, "bytes_per_op": 5562603, "allocs_per_op": 336},
+    "BenchmarkFig5b_AccuracyQuery": {"ns_per_op": 5013151, "bytes_per_op": 37688, "allocs_per_op": 113},
+    "BenchmarkFig5c_L100Trapdoor": {"ns_per_op": 294303, "bytes_per_op": 41136, "allocs_per_op": 202},
+    "BenchmarkThroughput_DiscoverySerial": {"ns_per_op": 2308180, "qps": 433.3, "p50_us": 2072, "p99_us": 4941},
+    "BenchmarkThroughput_Discovery": {"ns_per_op": 2594740, "qps": 385.4, "p50_us": 18391, "p99_us": 39613},
+    "BenchmarkThroughput_DiscoverLockstepCoalesced": {"ns_per_op": 2914953, "qps": 343.1, "p50_us": 22236, "p99_us": 52759},
+    "BenchmarkThroughput_DiscoverLockstepCached": {"ns_per_op": 197996, "qps": 5054, "p50_us": 174.0, "p99_us": 29557},
+    "BenchmarkThroughput_DiscoverBatch": {"ns_per_op": 2543519, "qps": 393.2, "p50_us": 2527, "p99_us": 2749},
+    "BenchmarkPos": {"ns_per_op": 236.0, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BenchmarkPos8": {"ns_per_op": 202.2, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BenchmarkMaskInto": {"ns_per_op": 210.8, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BenchmarkDRBGFill": {"ns_per_op": 16.97, "bytes_per_op": 0, "allocs_per_op": 0},
+    "BenchmarkEncProfile1000": {"ns_per_op": 11396, "bytes_per_op": 16896, "allocs_per_op": 3}
   }'
 
 {
     echo '{'
-    echo '  "schema": "pisd-bench-v1",'
+    echo '  "schema": "pisd-bench-v2",'
     echo '  "benchtime": "'"$BENCHTIME"'",'
     echo '  "cpu": "'"$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)"'",'
     echo '  "before": '"$BASELINE"','
@@ -59,6 +67,7 @@ BASELINE='{
         /^Benchmark/ {
             name = $1; sub(/-[0-9]+$/, "", name)
             ns = ""; bop = ""; aop = ""; qps = ""; p50 = ""; p99 = ""
+            ll = ""; lk = ""; lw = ""; ld = ""
             for (i = 2; i <= NF; i++) {
                 if ($i == "ns/op")     ns  = $(i-1)
                 if ($i == "B/op")      bop = $(i-1)
@@ -66,6 +75,10 @@ BASELINE='{
                 if ($i == "qps")       qps = $(i-1)
                 if ($i == "p50_us")    p50 = $(i-1)
                 if ($i == "p99_us")    p99 = $(i-1)
+                if ($i == "lsh_l")     ll  = $(i-1)
+                if ($i == "lsh_atoms") lk  = $(i-1)
+                if ($i == "lsh_width") lw  = $(i-1)
+                if ($i == "lsh_d")     ld  = $(i-1)
             }
             if (ns == "") next
             if (n++) printf ",\n"
@@ -75,6 +88,10 @@ BASELINE='{
             if (qps != "") printf ", \"qps\": %s", qps
             if (p50 != "") printf ", \"p50_us\": %s", p50
             if (p99 != "") printf ", \"p99_us\": %s", p99
+            if (ll != "") printf ", \"lsh_l\": %s", ll
+            if (lk != "") printf ", \"lsh_atoms\": %s", lk
+            if (lw != "") printf ", \"lsh_width\": %s", lw
+            if (ld != "") printf ", \"lsh_d\": %s", ld
             printf "}"
         }
         END { printf "\n" }

@@ -31,69 +31,93 @@ import (
 )
 
 type throughputFixture struct {
+	cfg     frontend.Config
 	sf      *frontend.Frontend
 	addr    string
 	queries [][]float64
 }
 
+const tputN, tputDim = 5000, 1000
+
 var (
 	tputOnce sync.Once
 	tput     *throughputFixture
 	tputErr  error
+
+	tunedTputOnce sync.Once
+	tunedTput     *throughputFixture
+	tunedTputErr  error
 )
 
-// getThroughputFixture builds the Fig. 3 workload once — 5000 users with
+// buildThroughputFixture builds the Fig. 3 workload — 5000 users with
 // 1000-dim topic-structured profiles, secure index and encrypted profiles
-// installed on a cloud server behind a TCP transport — and returns the
-// front end plus the server address. The server lives for the whole bench
-// binary run.
+// installed on a cloud server behind a TCP transport — under the given
+// front-end configuration. The server lives for the whole bench binary run.
+func buildThroughputFixture(cfg frontend.Config) (*throughputFixture, error) {
+	sf, err := frontend.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := dataset.DefaultConfig(tputN)
+	dcfg.Dim = tputDim
+	ds, err := dataset.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	uploads := make([]frontend.Upload, tputN)
+	for i, p := range ds.Profiles {
+		uploads[i] = frontend.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
+	}
+	idx, encProfiles, err := sf.BuildIndex(uploads)
+	if err != nil {
+		return nil, err
+	}
+	cs := cloud.New()
+	cs.SetIndex(idx)
+	cs.PutProfiles(encProfiles)
+	srv := transport.NewServer(cs)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	queries, _ := ds.Queries(64, 5)
+	return &throughputFixture{cfg: cfg, sf: sf, addr: addr, queries: queries}, nil
+}
+
+// getThroughputFixture returns the shared PR7-defaults fixture.
 func getThroughputFixture(b *testing.B) *throughputFixture {
 	b.Helper()
 	tputOnce.Do(func() {
-		const n, dim = 5000, 1000
-		cfg := frontend.DefaultConfig(dim)
+		cfg := frontend.DefaultConfig(tputDim)
 		// d=10 as in BenchmarkFig3_Discovery: the synthetic topic clusters
 		// need more probing headroom than the paper's rendered images.
 		cfg.ProbeRange = 10
 		cfg.MaxLoop = 2000
 		cfg.KeySeed = "throughput-bench"
-		sf, err := frontend.New(cfg)
-		if err != nil {
-			tputErr = err
-			return
-		}
-		dcfg := dataset.DefaultConfig(n)
-		dcfg.Dim = dim
-		ds, err := dataset.Generate(dcfg)
-		if err != nil {
-			tputErr = err
-			return
-		}
-		uploads := make([]frontend.Upload, n)
-		for i, p := range ds.Profiles {
-			uploads[i] = frontend.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
-		}
-		idx, encProfiles, err := sf.BuildIndex(uploads)
-		if err != nil {
-			tputErr = err
-			return
-		}
-		cs := cloud.New()
-		cs.SetIndex(idx)
-		cs.PutProfiles(encProfiles)
-		srv := transport.NewServer(cs)
-		addr, err := srv.Listen("127.0.0.1:0")
-		if err != nil {
-			tputErr = err
-			return
-		}
-		queries, _ := ds.Queries(64, 5)
-		tput = &throughputFixture{sf: sf, addr: addr, queries: queries}
+		tput, tputErr = buildThroughputFixture(cfg)
 	})
 	if tputErr != nil {
 		b.Fatalf("throughput fixture: %v", tputErr)
 	}
 	return tput
+}
+
+// getTunedThroughputFixture returns the fixture built under the
+// autotuner's population-tiered operating point (ConfigForPopulation) —
+// the same workload as the defaults fixture, so a qps delta between the
+// two isolates the tuned (l, atoms, W, d) choice.
+func getTunedThroughputFixture(b *testing.B) *throughputFixture {
+	b.Helper()
+	tunedTputOnce.Do(func() {
+		cfg := frontend.ConfigForPopulation(tputDim, tputN)
+		cfg.MaxLoop = 2000
+		cfg.KeySeed = "throughput-bench-tuned"
+		tunedTput, tunedTputErr = buildThroughputFixture(cfg)
+	})
+	if tunedTputErr != nil {
+		b.Fatalf("tuned throughput fixture: %v", tunedTputErr)
+	}
+	return tunedTput
 }
 
 // latRecorder accumulates per-query latencies concurrently and reports
@@ -148,6 +172,7 @@ func BenchmarkThroughput_DiscoverySerial(b *testing.B) {
 		rec.observe(time.Since(qStart))
 	}
 	rec.report(b, time.Since(start))
+	reportLSHConfig(b, f.cfg)
 }
 
 // BenchmarkThroughput_Discovery is the pipelined operating point: many
@@ -178,6 +203,7 @@ func BenchmarkThroughput_Discovery(b *testing.B) {
 		}
 	})
 	rec.report(b, time.Since(start))
+	reportLSHConfig(b, f.cfg)
 }
 
 // servingBench runs many concurrent LOCKSTEP clients (one outstanding
@@ -186,8 +212,7 @@ func BenchmarkThroughput_Discovery(b *testing.B) {
 // concurrent singles into SecRecBatch flushes → pooled connections to
 // the shard. This is the multi-core serving path the lockstep baseline
 // (BenchmarkThroughput_DiscoverySerial) is compared against.
-func servingBench(b *testing.B, cacheEntries int) {
-	f := getThroughputFixture(b)
+func servingBench(b *testing.B, f *throughputFixture, cacheEntries int) {
 	remote := shard.NewRemote(f.addr)
 	// PISD_BENCH_CONNS sizes the connection pool (default 4) so the
 	// EXPERIMENTS.md cores × conns-per-shard matrix can sweep it.
@@ -231,6 +256,7 @@ func servingBench(b *testing.B, cacheEntries int) {
 		}
 	})
 	rec.report(b, time.Since(start))
+	reportLSHConfig(b, f.cfg)
 }
 
 // BenchmarkThroughput_DiscoverLockstepCoalesced measures the coalescer +
@@ -238,7 +264,7 @@ func servingBench(b *testing.B, cacheEntries int) {
 // pays a cloud round trip, but concurrent lockstep callers share
 // SecRecBatch flushes over the pooled connections.
 func BenchmarkThroughput_DiscoverLockstepCoalesced(b *testing.B) {
-	servingBench(b, 0)
+	servingBench(b, getThroughputFixture(b), 0)
 }
 
 // BenchmarkThroughput_DiscoverLockstepCached adds the leakage-free
@@ -247,7 +273,16 @@ func BenchmarkThroughput_DiscoverLockstepCoalesced(b *testing.B) {
 // cloud at all — the paper's admitted search-pattern leakage turned into
 // throughput.
 func BenchmarkThroughput_DiscoverLockstepCached(b *testing.B) {
-	servingBench(b, 4096)
+	servingBench(b, getThroughputFixture(b), 4096)
+}
+
+// BenchmarkThroughput_DiscoverLockstepTuned is the coalesced (cache-off)
+// path under the autotuner's operating point instead of the PR7 defaults:
+// same workload, same serving stack, tuned (l, atoms, W, d). The qps
+// delta against DiscoverLockstepCoalesced is the serving-side payoff of
+// the l·(d+1) budget cut.
+func BenchmarkThroughput_DiscoverLockstepTuned(b *testing.B) {
+	servingBench(b, getTunedThroughputFixture(b), 0)
 }
 
 // BenchmarkThroughput_DiscoverBatch amortizes the round trip over batches
@@ -285,4 +320,5 @@ func BenchmarkThroughput_DiscoverBatch(b *testing.B) {
 		}
 	}
 	rec.report(b, time.Since(start))
+	reportLSHConfig(b, f.cfg)
 }
