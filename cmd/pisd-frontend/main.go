@@ -76,6 +76,10 @@ func run() error {
 		window      = flag.Duration("coalesce-window", 200*time.Microsecond, "max wait for a coalesced flush")
 		maxInflight = flag.Int("max-inflight", 256, "admitted concurrent discoveries (0: unbounded)")
 		cacheSize   = flag.Int("cache", 4096, "search-pattern result cache entries (0: disabled)")
+
+		replicas = flag.Int("replicas", 1, "replicas per shard: the -cloud list is grouped into consecutive runs of R addresses, reads fail over inside each group")
+		probeIvl = flag.Duration("probe-interval", time.Second, "health-probe cadence for replica demotion/re-admission (with -replicas > 1)")
+		waves    = flag.Int("waves", 1, "repetitions of the discovery wave (sustained load for failover demos)")
 	)
 	flag.Parse()
 
@@ -157,11 +161,17 @@ func run() error {
 	if len(addrs) == 0 {
 		return errors.New("no cloud address given")
 	}
+	if *replicas < 1 {
+		return fmt.Errorf("replicas must be >= 1, got %d", *replicas)
+	}
+	if len(addrs)%*replicas != 0 {
+		return fmt.Errorf("%d cloud addresses do not divide into groups of %d replicas", len(addrs), *replicas)
+	}
 	if len(addrs) > 1 {
 		if *attach {
 			return errors.New("-attach supports a single cloud server")
 		}
-		if err := runSharded(sf, ds, uploads, addrs, *k, *discover, *conns, servingCfg); err != nil {
+		if err := runSharded(sf, ds, uploads, addrs, *k, *discover, *conns, *replicas, *probeIvl, *waves, servingCfg); err != nil {
 			return err
 		}
 		return lingerIfObs(*obsAddr)
@@ -228,16 +238,43 @@ func lingerIfObs(obsAddr string) error {
 }
 
 // runSharded is the multi-shard deployment path: one projected index per
-// cloud server, discoveries fanned out to all shards in parallel.
-func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, addrs []string, k int, discover string, conns int, servingCfg pisd.ServingConfig) error {
-	nodes := make([]pisd.ShardNode, len(addrs))
+// partition, discoveries fanned out to all partitions in parallel. With
+// replicas > 1 the address list is grouped into consecutive runs of R
+// addresses; each run becomes one failover replica group behind the pool,
+// with a background health prober driving demotion and re-admission.
+func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, addrs []string, k int, discover string, conns, replicas int, probeIvl time.Duration, waves int, servingCfg pisd.ServingConfig) error {
+	partitions := len(addrs) / replicas
 	remotes := make([]*pisd.RemoteShard, len(addrs))
 	for i, addr := range addrs {
 		r := pisd.NewRemoteShard(addr)
 		r.SetConns(conns)
 		defer r.Close()
 		remotes[i] = r
-		nodes[i] = r
+	}
+	nodes := make([]pisd.ShardNode, partitions)
+	if replicas == 1 {
+		for i, r := range remotes {
+			nodes[i] = r
+		}
+	} else {
+		groups := make([]*pisd.ReplicaGroup, partitions)
+		for g := 0; g < partitions; g++ {
+			members := make([]pisd.ReplicaNode, replicas)
+			for r := 0; r < replicas; r++ {
+				members[r] = remotes[g*replicas+r]
+			}
+			grp, err := pisd.NewReplicaGroup(g, pisd.ReplicaGroupConfig{}, members...)
+			if err != nil {
+				return err
+			}
+			groups[g] = grp
+			nodes[g] = grp
+		}
+		prober := pisd.NewHealthProber(pisd.HealthProberConfig{Interval: probeIvl}, groups...)
+		prober.Start()
+		defer prober.Stop()
+		fmt.Printf("replicated fleet: %d partitions x %d replicas, probing every %s\n",
+			partitions, replicas, probeIvl)
 	}
 	pool, err := pisd.NewShardPool(pisd.DefaultShardPoolConfig(), nodes...)
 	if err != nil {
@@ -245,7 +282,7 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 	}
 
 	buildStart := time.Now()
-	shards, err := sf.BuildShardedIndex(uploads, len(addrs), nil)
+	shards, err := sf.BuildShardedIndex(uploads, partitions, nil)
 	if err != nil {
 		return err
 	}
@@ -261,7 +298,7 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 			return err
 		}
 		fmt.Printf("shard %d: outsourced index and %d encrypted profiles to %s\n",
-			s, len(sh.EncProfiles), addrs[s])
+			s, len(sh.EncProfiles), strings.Join(addrs[s*replicas:(s+1)*replicas], ","))
 	}
 
 	targets, err := parseTargets(discover, len(ds.Profiles))
@@ -272,8 +309,13 @@ func runSharded(sf *pisd.Frontend, ds *dataset.Dataset, uploads []pisd.Upload, a
 	if err != nil {
 		return err
 	}
-	if err := discoverServing(serving, ds, targets, k); err != nil {
-		return err
+	for w := 0; w < waves; w++ {
+		if waves > 1 {
+			fmt.Printf("\n--- wave %d/%d ---\n", w+1, waves)
+		}
+		if err := discoverServing(serving, ds, targets, k); err != nil {
+			return err
+		}
 	}
 	var sent, recv int64
 	for _, r := range remotes {

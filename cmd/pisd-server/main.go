@@ -20,6 +20,12 @@
 // listens on port+i; state, when enabled, lives in per-shard
 // subdirectories shard-0 ... shard-N-1.
 //
+// With -replicas R (R > 1) every shard is hosted R times: shard s
+// replica r is an independent cloud server (own index, own profile
+// store) listening on port+s*R+r, the topology a replicated front end
+// (pisd-frontend -replicas R) groups into failover replica groups. State
+// nests per replica (shard-0-replica-0, ...).
+//
 // With -obs ADDR, an observability HTTP endpoint serves a JSON metrics
 // snapshot at /metrics (per-tier counters and latency histograms) and the
 // standard runtime profiles under /debug/pprof/. The endpoint exposes
@@ -54,6 +60,7 @@ func run() error {
 	stateDir := flag.String("state", "", "state directory for persistence (empty: in-memory only)")
 	segments := flag.String("segments", "", "segment directory built by pisd-segbuild to serve as the static index (single shard only)")
 	shards := flag.Int("shards", 1, "number of cloud shards hosted by this process")
+	replicas := flag.Int("replicas", 1, "replicas per shard hosted by this process (shard s replica r listens on port+s*R+r)")
 	workers := flag.Int("workers", 0, "concurrent pipelined requests served per connection (0: server default)")
 	obsAddr := flag.String("obs", "", "observability HTTP address for /metrics and /debug/pprof (empty: disabled)")
 	flag.Parse()
@@ -61,8 +68,11 @@ func run() error {
 	if *shards < 1 {
 		return fmt.Errorf("shards must be >= 1, got %d", *shards)
 	}
-	if *segments != "" && *shards > 1 {
-		return fmt.Errorf("-segments serves one store and needs -shards 1")
+	if *replicas < 1 {
+		return fmt.Errorf("replicas must be >= 1, got %d", *replicas)
+	}
+	if *segments != "" && (*shards > 1 || *replicas > 1) {
+		return fmt.Errorf("-segments serves one store and needs -shards 1 -replicas 1")
 	}
 	if *obsAddr != "" {
 		bound, err := pisd.ServeMetrics(pisd.Metrics, *obsAddr)
@@ -79,20 +89,22 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("parse port: %w", err)
 	}
-	if port == 0 && *shards > 1 {
-		return fmt.Errorf("a fixed base port is required with -shards > 1")
+	if port == 0 && (*shards > 1 || *replicas > 1) {
+		return fmt.Errorf("a fixed base port is required with -shards or -replicas > 1")
 	}
 
-	clouds := make([]*pisd.Cloud, *shards)
-	servers := make([]*pisd.CloudServer, *shards)
+	n := *shards * *replicas
+	clouds := make([]*pisd.Cloud, n)
+	servers := make([]*pisd.CloudServer, n)
 	for i := range clouds {
+		s, r := i / *replicas, i%*replicas
 		cs := pisd.NewCloud()
 		if *stateDir != "" {
-			dir := shardStateDir(*stateDir, *shards, i)
+			dir := shardStateDir(*stateDir, *shards, *replicas, s, r)
 			if err := cs.LoadFrom(dir); err != nil {
-				return fmt.Errorf("shard %d: load state: %w", i, err)
+				return fmt.Errorf("shard %d replica %d: load state: %w", s, r, err)
 			}
-			fmt.Printf("shard %d: loaded state from %s (%d profiles)\n", i, dir, cs.NumProfiles())
+			fmt.Printf("shard %d replica %d: loaded state from %s (%d profiles)\n", s, r, dir, cs.NumProfiles())
 		}
 		if *segments != "" {
 			st, err := pisd.OpenSegmentStore(*segments)
@@ -109,17 +121,21 @@ func run() error {
 		if *workers > 0 {
 			server.SetWorkersPerConn(*workers)
 		}
-		shardAddr := net.JoinHostPort(host, strconv.Itoa(port))
+		nodeAddr := net.JoinHostPort(host, strconv.Itoa(port))
 		if port != 0 {
-			shardAddr = net.JoinHostPort(host, strconv.Itoa(port+i))
+			nodeAddr = net.JoinHostPort(host, strconv.Itoa(port+i))
 		}
-		bound, err := server.Listen(shardAddr)
+		bound, err := server.Listen(nodeAddr)
 		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("shard %d replica %d: %w", s, r, err)
 		}
-		if *shards > 1 {
-			fmt.Printf("pisd cloud shard %d/%d listening on %s (ciphertext only, no keys)\n", i, *shards, bound)
-		} else {
+		switch {
+		case *replicas > 1:
+			fmt.Printf("pisd cloud shard %d/%d replica %d/%d listening on %s (ciphertext only, no keys)\n",
+				s, *shards, r, *replicas, bound)
+		case *shards > 1:
+			fmt.Printf("pisd cloud shard %d/%d listening on %s (ciphertext only, no keys)\n", s, *shards, bound)
+		default:
 			fmt.Printf("pisd cloud server listening on %s (ciphertext only, no keys)\n", bound)
 		}
 		clouds[i] = cs
@@ -134,26 +150,30 @@ func run() error {
 	defer cancel()
 	for i, server := range servers {
 		if err := server.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("node %d: %w", i, err)
 		}
 	}
 	if *stateDir != "" {
 		for i, cs := range clouds {
-			dir := shardStateDir(*stateDir, *shards, i)
+			s, r := i / *replicas, i%*replicas
+			dir := shardStateDir(*stateDir, *shards, *replicas, s, r)
 			if err := cs.SaveTo(dir); err != nil {
-				return fmt.Errorf("shard %d: save state: %w", i, err)
+				return fmt.Errorf("shard %d replica %d: save state: %w", s, r, err)
 			}
-			fmt.Printf("shard %d: saved state to %s\n", i, dir)
+			fmt.Printf("shard %d replica %d: saved state to %s\n", s, r, dir)
 		}
 	}
 	return nil
 }
 
-// shardStateDir keeps the single-shard layout unchanged and nests
-// per-shard subdirectories otherwise.
-func shardStateDir(base string, shards, i int) string {
-	if shards == 1 {
+// shardStateDir keeps the single-node layout unchanged and nests
+// per-shard (and, when replicated, per-replica) subdirectories otherwise.
+func shardStateDir(base string, shards, replicas, s, r int) string {
+	if shards == 1 && replicas == 1 {
 		return base
 	}
-	return filepath.Join(base, fmt.Sprintf("shard-%d", i))
+	if replicas == 1 {
+		return filepath.Join(base, fmt.Sprintf("shard-%d", s))
+	}
+	return filepath.Join(base, fmt.Sprintf("shard-%d-replica-%d", s, r))
 }

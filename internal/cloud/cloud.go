@@ -38,6 +38,9 @@ type Server struct {
 	// per request beyond the result slices.
 	secScratch sync.Pool
 	met        serverMetrics
+	// version is the last write version recorded by the trusted front
+	// end; see replica.go. Guarded by mu.
+	version uint64
 }
 
 // Compile-time check: the server exposes the dynamic scheme's bucket

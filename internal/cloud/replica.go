@@ -1,0 +1,73 @@
+package cloud
+
+import (
+	"sort"
+
+	"pisd/internal/core"
+)
+
+// This file is the cloud server's replication surface: a monotonic applied
+// write version plus the repair endpoints a replicated front end uses to
+// detect a stale replica (one that restarted and lost state, or missed
+// writes while unreachable) and to re-sync it from a healthy peer. The
+// version is an opaque counter assigned by the trusted front end; the
+// cloud only stores and reports it, learning nothing beyond "a write
+// happened" — which it observes anyway.
+
+// Version returns the last write version the front end recorded on this
+// server (0 for a fresh server). A replicated front end compares this
+// against its own per-replica version vector: a server reporting an older
+// version than the group's latest write is lagging and gets repaired
+// before it serves reads again.
+func (s *Server) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// ApplyVersion records a write version, keeping the maximum seen. The
+// front end calls it after each successful non-bucket write (profile
+// puts/deletes, index installs); bucket writes carry their version
+// atomically via StoreBucketsVersioned.
+func (s *Server) ApplyVersion(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.version {
+		s.version = v
+	}
+}
+
+// StoreBucketsVersioned is StoreBuckets plus an atomic version record:
+// the buckets and the version land under one lock, so a concurrent
+// Version probe never sees the version ahead of the data.
+func (s *Server) StoreBucketsVersioned(refs []core.BucketRef, buckets []core.DynBucket, v uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dyn == nil {
+		return ErrNoIndex
+	}
+	s.met.dynStored.Add(int64(len(refs)))
+	if err := s.dyn.StoreBuckets(refs, buckets); err != nil {
+		return err
+	}
+	if v > s.version {
+		s.version = v
+	}
+	return nil
+}
+
+// ProfileIDs returns the identifiers of every stored encrypted profile in
+// ascending order: the repair endpoint a repairer uses to mirror the
+// profile store of a healthy replica onto a lagging one. The cloud already
+// knows these identifiers (it serves FetchProfiles by them), so the
+// endpoint leaks nothing new.
+func (s *Server) ProfileIDs() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]uint64, 0, len(s.profiles))
+	for id := range s.profiles {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}

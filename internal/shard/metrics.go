@@ -2,6 +2,7 @@ package shard
 
 import (
 	"strconv"
+	"sync"
 	"time"
 
 	"pisd/internal/obs"
@@ -95,4 +96,126 @@ func (m *poolMetrics) fanout(start time.Time, partial bool) {
 // setup or for test isolation, not concurrently with fan-outs.
 func (p *Pool) SetRegistry(r *obs.Registry) {
 	p.met = newPoolMetrics(r, len(p.nodes))
+}
+
+// groupMetrics is the replica tier's metric surface. The fleet-wide
+// counters (replica.failovers, replica.repairs, replica.demotions,
+// replica.readmits) and the replica.lag gauge are registered by name, so
+// every group in a registry shares them — one number answers "is the
+// fleet failing over / repairing / lagging right now". Per-replica
+// attempts and timeouts carry the group and replica index in the name
+// ("replica.1.0.attempts"), so the counters always name the replica a
+// call actually hit — including calls whose connection fault a
+// successful failover swallowed. A nil *groupMetrics is the disabled
+// mode.
+type groupMetrics struct {
+	reg   *obs.Registry
+	group int
+
+	failovers *obs.Counter // read legs moved to a sibling after a fault
+	repairs   *obs.Counter // successful anti-entropy re-syncs
+	demotions *obs.Counter // replicas demoted by the health prober
+	readmits  *obs.Counter // demoted replicas re-admitted after recovery
+	lag       *obs.Gauge   // replicas currently lagging, fleet-wide
+
+	mu       sync.Mutex // guards growth when a replica joins online
+	attempts []*obs.Counter
+	timeouts []*obs.Counter
+}
+
+func newGroupMetrics(r *obs.Registry, group, replicas int) *groupMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &groupMetrics{
+		reg:       r,
+		group:     group,
+		failovers: r.Counter("replica.failovers"),
+		repairs:   r.Counter("replica.repairs"),
+		demotions: r.Counter("replica.demotions"),
+		readmits:  r.Counter("replica.readmits"),
+		lag:       r.Gauge("replica.lag"),
+	}
+	m.growLocked(replicas)
+	return m
+}
+
+// growLocked extends the per-replica counter arrays to n replicas.
+func (m *groupMetrics) growLocked(n int) {
+	for i := len(m.attempts); i < n; i++ {
+		prefix := "replica." + strconv.Itoa(m.group) + "." + strconv.Itoa(i) + "."
+		m.attempts = append(m.attempts, m.reg.Counter(prefix+"attempts"))
+		m.timeouts = append(m.timeouts, m.reg.Counter(prefix+"timeouts"))
+	}
+}
+
+func (m *groupMetrics) grow(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.growLocked(n)
+	m.mu.Unlock()
+}
+
+func (m *groupMetrics) attempt(i int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if i < len(m.attempts) {
+		m.attempts[i].Inc()
+	}
+	m.mu.Unlock()
+}
+
+func (m *groupMetrics) timeout(i int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if i < len(m.timeouts) {
+		m.timeouts[i].Inc()
+	}
+	m.mu.Unlock()
+}
+
+func (m *groupMetrics) failover() {
+	if m != nil {
+		m.failovers.Inc()
+	}
+}
+
+func (m *groupMetrics) repair() {
+	if m != nil {
+		m.repairs.Inc()
+	}
+}
+
+func (m *groupMetrics) demotion() {
+	if m != nil {
+		m.demotions.Inc()
+	}
+}
+
+func (m *groupMetrics) readmit() {
+	if m != nil {
+		m.readmits.Inc()
+	}
+}
+
+func (m *groupMetrics) lagDelta(d int) {
+	if m != nil && d != 0 {
+		m.lag.Add(int64(d))
+	}
+}
+
+// SetRegistry re-registers the group's metrics in r (nil disables them).
+// Groups start on obs.Default; call during setup or for test isolation,
+// not concurrently with traffic.
+func (g *ReplicaGroup) SetRegistry(r *obs.Registry) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.lastLag = 0
+	g.met = newGroupMetrics(r, g.id, len(g.reps))
 }

@@ -52,6 +52,25 @@ type Node interface {
 	core.BucketStore
 }
 
+// ReplicaNode is the surface a replica group needs from each of its
+// members: the full shard Node surface plus the replication version/repair
+// endpoints (see internal/cloud/replica.go). Local and Remote both
+// implement it.
+type ReplicaNode interface {
+	Node
+	// Version returns the replica's last recorded write version.
+	Version(ctx context.Context) (uint64, error)
+	// ApplyVersion records a write version on the replica (monotonic max).
+	ApplyVersion(v uint64) error
+	// StoreBucketsVersioned stores buckets and records the write version
+	// atomically, so a concurrent version probe never observes the version
+	// ahead of the bucket data.
+	StoreBucketsVersioned(refs []core.BucketRef, buckets []core.DynBucket, v uint64) error
+	// ProfileIDs lists the replica's stored encrypted-profile ids,
+	// ascending — the repair endpoint for mirroring profile stores.
+	ProfileIDs() ([]uint64, error)
+}
+
 // Local is a Node over an in-process cloud.Server: the single-binary
 // deployment where all shards live in one process but keep separate
 // indexes and profile stores.
@@ -122,3 +141,25 @@ func (l Local) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {
 func (l Local) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) error {
 	return l.CS.StoreBuckets(refs, buckets)
 }
+
+// Version implements ReplicaNode.
+func (l Local) Version(ctx context.Context) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.CS.Version(), nil
+}
+
+// ApplyVersion implements ReplicaNode.
+func (l Local) ApplyVersion(v uint64) error {
+	l.CS.ApplyVersion(v)
+	return nil
+}
+
+// StoreBucketsVersioned implements ReplicaNode.
+func (l Local) StoreBucketsVersioned(refs []core.BucketRef, buckets []core.DynBucket, v uint64) error {
+	return l.CS.StoreBucketsVersioned(refs, buckets, v)
+}
+
+// ProfileIDs implements ReplicaNode.
+func (l Local) ProfileIDs() ([]uint64, error) { return l.CS.ProfileIDs(), nil }

@@ -288,6 +288,38 @@ func (r *Remote) StoreBuckets(refs []core.BucketRef, buckets []core.DynBucket) e
 	return r.do(func(c *transport.Client) error { return c.StoreBuckets(refs, buckets) })
 }
 
+// Version implements ReplicaNode.
+func (r *Remote) Version(ctx context.Context) (uint64, error) {
+	var v uint64
+	err := r.do(func(c *transport.Client) error {
+		var err error
+		v, err = c.VersionContext(ctx)
+		return err
+	})
+	return v, err
+}
+
+// ApplyVersion implements ReplicaNode.
+func (r *Remote) ApplyVersion(v uint64) error {
+	return r.do(func(c *transport.Client) error { return c.ApplyVersion(v) })
+}
+
+// StoreBucketsVersioned implements ReplicaNode.
+func (r *Remote) StoreBucketsVersioned(refs []core.BucketRef, buckets []core.DynBucket, v uint64) error {
+	return r.do(func(c *transport.Client) error { return c.StoreBucketsVersioned(refs, buckets, v) })
+}
+
+// ProfileIDs implements ReplicaNode.
+func (r *Remote) ProfileIDs() ([]uint64, error) {
+	var ids []uint64
+	err := r.do(func(c *transport.Client) error {
+		var err error
+		ids, err = c.ProfileIDs()
+		return err
+	})
+	return ids, err
+}
+
 // Traffic returns the cumulative serialized traffic summed over the live
 // pooled connections (a dropped connection's traffic is forgotten).
 func (r *Remote) Traffic() (sent, received int64) {

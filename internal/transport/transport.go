@@ -111,6 +111,10 @@ type Request struct {
 	Profiles  map[uint64][]byte
 	Index     *core.Index
 	DynIndex  *core.DynIndex
+	// Version carries a replication write version: on SetVersion it is the
+	// version to record, on StoreBuckets a non-zero value selects the
+	// versioned store (buckets + version applied atomically).
+	Version uint64
 }
 
 // Response is the single wire response envelope body.
@@ -122,6 +126,9 @@ type Response struct {
 	Blobs         [][]byte
 	BatchIDs      [][]uint64
 	BatchProfiles [][][]byte
+	// Version answers a Version request: the server's last recorded
+	// replication write version.
+	Version uint64
 }
 
 // reqEnvelope frames one request with its connection-unique ID.
@@ -424,9 +431,21 @@ func (s *Server) dispatch(req *Request) *Response {
 		}
 		resp.Buckets = buckets
 	case MethodStoreBuckets:
+		if req.Version > 0 {
+			if err := s.cs.StoreBucketsVersioned(req.Refs, req.Buckets, req.Version); err != nil {
+				resp.Err = err.Error()
+			}
+			break
+		}
 		if err := s.cs.StoreBuckets(req.Refs, req.Buckets); err != nil {
 			resp.Err = err.Error()
 		}
+	case MethodVersion:
+		resp.Version = s.cs.Version()
+	case MethodSetVersion:
+		s.cs.ApplyVersion(req.Version)
+	case MethodProfileIDs:
+		resp.IDs = s.cs.ProfileIDs()
 	case MethodStoreImage:
 		s.cs.StoreImages(req.UserID, req.Blob)
 	case MethodFetchImages:

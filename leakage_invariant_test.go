@@ -2,12 +2,16 @@ package pisd_test
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"pisd"
+	"pisd/internal/core"
 	"pisd/internal/dataset"
 	"pisd/internal/frontend"
 	"pisd/internal/obs"
+	"pisd/internal/transport"
 )
 
 // The paper's access-pattern guarantee, checked end to end through the
@@ -378,5 +382,273 @@ func TestLeakageInvariantServingCache(t *testing.T) {
 	}
 	if got := fc["frontend.cache_misses"]; got != 1 {
 		t.Errorf("frontend.cache_misses = %d, want 1", got)
+	}
+}
+
+// downReplica wraps a replica node with a kill switch: while down, every
+// read fails at the wire with a connection error WITHOUT reaching the
+// underlying cloud, so the replica's own counters prove it saw nothing.
+type downReplica struct {
+	pisd.ReplicaNode
+	mu   sync.Mutex
+	down bool
+}
+
+func (d *downReplica) setDown(v bool) {
+	d.mu.Lock()
+	d.down = v
+	d.mu.Unlock()
+}
+
+func (d *downReplica) offline() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down {
+		return &transport.ConnError{Op: "call", Err: errors.New("replica down")}
+	}
+	return nil
+}
+
+func (d *downReplica) Ping(ctx context.Context) error {
+	if err := d.offline(); err != nil {
+		return err
+	}
+	return d.ReplicaNode.Ping(ctx)
+}
+
+func (d *downReplica) SecRec(ctx context.Context, tr *core.Trapdoor) ([]uint64, [][]byte, error) {
+	if err := d.offline(); err != nil {
+		return nil, nil, err
+	}
+	return d.ReplicaNode.SecRec(ctx, tr)
+}
+
+func (d *downReplica) SecRecBatch(ctx context.Context, ts []*core.Trapdoor) ([][]uint64, [][][]byte, error) {
+	if err := d.offline(); err != nil {
+		return nil, nil, err
+	}
+	return d.ReplicaNode.SecRecBatch(ctx, ts)
+}
+
+func (d *downReplica) FetchProfiles(ids []uint64) ([][]byte, error) {
+	if err := d.offline(); err != nil {
+		return nil, err
+	}
+	return d.ReplicaNode.FetchProfiles(ids)
+}
+
+// TestLeakageInvariantReplicated pins the access-pattern guarantee for the
+// replicated fleet (DESIGN.md §17): replication multiplies WHERE a query
+// can be served, never HOW MUCH any one store sees.
+//
+// Failover: with every replica healthy, exactly one replica per group
+// unmasks exactly the fixed l·(d+1)+stash budget per query and its
+// siblings unmask zero. When the serving replica dies, the sibling takes
+// over at exactly the same budget — the dead replica's cloud sees nothing
+// at all, and no query ever splits or doubles its budget across replicas.
+//
+// Repair: an anti-entropy repair of a dead-empty replica is, to each
+// store, the dynamic scheme's ordinary bucket traffic — the source serves
+// a full data-independent fetch sweep (tables × width buckets, exactly
+// what churn reads look like), the destination absorbs the same-sized
+// store sweep, and a repeated repair produces byte-identical traffic
+// counts, proving the pattern carries no information about which buckets
+// actually differed. Per-query fetch budgets are identical on source and
+// repaired replica afterwards.
+func TestLeakageInvariantReplicated(t *testing.T) {
+	sf, ds, uploads := leakageFixture(t, "leakage-replicated")
+	const (
+		nPartitions = 2
+		nReplicas   = 2
+	)
+	shards, err := sf.BuildShardedIndex(uploads, nPartitions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	regs := make([][]*obs.Registry, nPartitions)
+	reps := make([][]*downReplica, nPartitions)
+	nodes := make([]pisd.ShardNode, nPartitions)
+	greg := obs.NewRegistry()
+	groups := make([]*pisd.ReplicaGroup, nPartitions)
+	for s, sh := range shards {
+		regs[s] = make([]*obs.Registry, nReplicas)
+		reps[s] = make([]*downReplica, nReplicas)
+		members := make([]pisd.ReplicaNode, nReplicas)
+		for r := 0; r < nReplicas; r++ {
+			cs := pisd.NewCloud()
+			regs[s][r] = obs.NewRegistry()
+			cs.SetRegistry(regs[s][r])
+			cs.SetIndex(sh.Index)
+			cs.PutProfiles(sh.EncProfiles)
+			reps[s][r] = &downReplica{ReplicaNode: pisd.NewLocalShard(cs)}
+			members[r] = reps[s][r]
+		}
+		g, err := pisd.NewReplicaGroup(s, pisd.ReplicaGroupConfig{}, members...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.SetRegistry(greg)
+		groups[s] = g
+		nodes[s] = g
+	}
+	pool, err := pisd.NewShardPool(pisd.DefaultShardPoolConfig(), nodes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	budget := func(s int) int64 { return int64(shards[s].Index.Params().BucketsPerQuery()) }
+	snapshot := func() [][]map[string]int64 {
+		out := make([][]map[string]int64, nPartitions)
+		for s := range regs {
+			out[s] = make([]map[string]int64, nReplicas)
+			for r := range regs[s] {
+				out[s][r] = counters(regs[s][r])
+			}
+		}
+		return out
+	}
+	unmaskedDelta := func(before [][]map[string]int64, s, r int) int64 {
+		return counters(regs[s][r])["cloud.buckets_unmasked"] - before[s][r]["cloud.buckets_unmasked"]
+	}
+	discover := func(id uint64) {
+		t.Helper()
+		_, partial, err := sf.DiscoverSharded(context.Background(), pool, ds.Profiles[id-1], 5, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if partial {
+			t.Fatal("replicated fan-out reported partial results with a live replica per group")
+		}
+	}
+
+	// Healthy fleet: replica 0 of each group serves exactly the budget,
+	// replica 1 sees nothing.
+	for _, id := range []uint64{7, 93} {
+		before := snapshot()
+		discover(id)
+		for s := 0; s < nPartitions; s++ {
+			if got := unmaskedDelta(before, s, 0); got != budget(s) {
+				t.Errorf("healthy, target %d: group %d serving replica unmasked %d, want budget %d", id, s, got, budget(s))
+			}
+			if got := unmaskedDelta(before, s, 1); got != 0 {
+				t.Errorf("healthy, target %d: group %d idle replica unmasked %d, want 0", id, s, got)
+			}
+		}
+	}
+
+	// Kill the serving replica everywhere: the sibling serves the SAME
+	// budget, the corpse's cloud sees nothing (the failure is at the wire).
+	for s := range reps {
+		reps[s][0].setDown(true)
+	}
+	failovers0 := counters(greg)["replica.failovers"]
+	before := snapshot()
+	discover(42)
+	if d := counters(greg)["replica.failovers"] - failovers0; d != nPartitions {
+		t.Errorf("replica.failovers advanced by %d, want %d (one per group)", d, nPartitions)
+	}
+	for s := 0; s < nPartitions; s++ {
+		if got := unmaskedDelta(before, s, 0); got != 0 {
+			t.Errorf("failover: group %d dead replica unmasked %d, want 0", s, got)
+		}
+		if got := unmaskedDelta(before, s, 1); got != budget(s) {
+			t.Errorf("failover: group %d takeover replica unmasked %d, want budget %d", s, got, budget(s))
+		}
+		if q := counters(regs[s][1])["cloud.queries"] - before[s][1]["cloud.queries"]; q != 1 {
+			t.Errorf("failover: group %d takeover replica answered %d queries, want 1", s, q)
+		}
+	}
+
+	// Recovery: the healed replica resumes serving at the same budget.
+	for s := range reps {
+		reps[s][0].setDown(false)
+	}
+	before = snapshot()
+	discover(108)
+	for s := 0; s < nPartitions; s++ {
+		total := unmaskedDelta(before, s, 0) + unmaskedDelta(before, s, 1)
+		if total != budget(s) {
+			t.Errorf("healed: group %d unmasked %d across replicas, want exactly one budget %d", s, total, budget(s))
+		}
+	}
+
+	for s := range regs {
+		for r := range regs[s] {
+			if v := counters(regs[s][r])["cloud.leakage_invariant_violations"]; v != 0 {
+				t.Errorf("group %d replica %d: leakage_invariant_violations = %d, want 0", s, r, v)
+			}
+		}
+	}
+
+	// ---- repair traffic: anti-entropy looks exactly like churn ----
+
+	dsf, dds, duploads := leakageFixture(t, "leakage-replicated-dyn")
+	_ = dds
+	dshards, err := dsf.BuildShardedDynamicIndex(duploads, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcCS, dstCS := pisd.NewCloud(), pisd.NewCloud()
+	srcReg, dstReg := obs.NewRegistry(), obs.NewRegistry()
+	srcCS.SetRegistry(srcReg)
+	dstCS.SetRegistry(dstReg)
+	srcCS.SetDynIndex(dshards[0].Index)
+	srcCS.PutProfiles(dshards[0].EncProfiles)
+	src, dst := pisd.NewLocalShard(srcCS), pisd.NewLocalShard(dstCS)
+
+	repair, err := pisd.NewReplicaRepair(dshards, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dsf.IndexParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := int64(p.Tables * dshards[0].Index.Width())
+
+	var fetched, stored [2]int64
+	for round := 0; round < 2; round++ {
+		sb, db := counters(srcReg), counters(dstReg)
+		if err := repair(0, src, dst); err != nil {
+			t.Fatalf("repair round %d: %v", round, err)
+		}
+		sa, da := counters(srcReg), counters(dstReg)
+		fetched[round] = sa["cloud.dyn_buckets_fetched"] - sb["cloud.dyn_buckets_fetched"]
+		stored[round] = da["cloud.dyn_buckets_stored"] - db["cloud.dyn_buckets_stored"]
+		if fetched[round] != sweep {
+			t.Errorf("repair round %d: source served %d bucket fetches, want the full data-independent sweep %d",
+				round, fetched[round], sweep)
+		}
+		if stored[round] != sweep {
+			t.Errorf("repair round %d: destination absorbed %d bucket stores, want %d", round, stored[round], sweep)
+		}
+		if d := sa["cloud.dyn_buckets_stored"] - sb["cloud.dyn_buckets_stored"]; d != 0 {
+			t.Errorf("repair round %d: source saw %d bucket stores, want 0", round, d)
+		}
+		if d := da["cloud.dyn_buckets_fetched"] - db["cloud.dyn_buckets_fetched"]; d != 0 {
+			t.Errorf("repair round %d: destination saw %d bucket fetches, want 0", round, d)
+		}
+	}
+	// Round two repaired an already-converged replica; identical traffic
+	// proves the pattern is independent of which buckets differed.
+	if fetched[0] != fetched[1] || stored[0] != stored[1] {
+		t.Errorf("repair traffic varies with replica state: fetched %v stored %v", fetched, stored)
+	}
+
+	// Per-query budget identical on source and repaired replica.
+	target := dds.Profiles[10]
+	sb := counters(srcReg)
+	if _, err := dsf.DynSearch(dshards[0].Client, srcCS, srcCS, target, 5, 11); err != nil {
+		t.Fatal(err)
+	}
+	srcFetch := counters(srcReg)["cloud.dyn_buckets_fetched"] - sb["cloud.dyn_buckets_fetched"]
+	db := counters(dstReg)
+	if _, err := dsf.DynSearch(dshards[0].Client, dstCS, dstCS, target, 5, 11); err != nil {
+		t.Fatal(err)
+	}
+	dstFetch := counters(dstReg)["cloud.dyn_buckets_fetched"] - db["cloud.dyn_buckets_fetched"]
+	if srcFetch != dstFetch || srcFetch <= 0 {
+		t.Errorf("post-repair search budgets differ: source fetched %d, repaired replica fetched %d", srcFetch, dstFetch)
 	}
 }

@@ -109,6 +109,32 @@ type (
 	ShardPool = shard.Pool
 	// ShardPoolConfig tunes fan-out timeouts, retries and owner routing.
 	ShardPoolConfig = shard.Config
+	// ReplicaNode is a shard node carrying the replication version/repair
+	// surface; LocalShard and RemoteShard both implement it.
+	ReplicaNode = shard.ReplicaNode
+	// ReplicaGroup replicates one shard partition across R nodes behind
+	// the plain ShardNode surface: reads fail over, writes fan out.
+	ReplicaGroup = shard.ReplicaGroup
+	// ReplicaGroupConfig tunes a replica group's dispatch behaviour.
+	ReplicaGroupConfig = shard.GroupConfig
+	// ReplicaStatus is a point-in-time view of one group member.
+	ReplicaStatus = shard.ReplicaStatus
+	// HealthProber demotes dead replicas and re-admits recovered ones.
+	HealthProber = shard.Prober
+	// HealthProberConfig tunes probe cadence and demotion thresholds.
+	HealthProberConfig = shard.ProberConfig
+	// ReplicaRepairer is the anti-entropy loop re-syncing lagging replicas.
+	ReplicaRepairer = shard.Repairer
+	// ReplicaRepairerConfig tunes the anti-entropy cadence.
+	ReplicaRepairerConfig = shard.RepairerConfig
+	// Rebalancer migrates partition state onto a newly joined replica in
+	// bounded online chunks.
+	Rebalancer = shard.Rebalancer
+	// RepairNode is the replica surface the front end's repair closures
+	// drive; ReplicaNode satisfies it.
+	RepairNode = frontend.RepairNode
+	// ReplicaMigration is the front-end closure set a Rebalancer drives.
+	ReplicaMigration = frontend.ReplicaMigration
 	// Group is one discovered social group.
 	Group = groups.Group
 	// GroupNeighbor is one per-user discovery result fed to grouping.
@@ -193,6 +219,18 @@ var (
 	DefaultShardPoolConfig = shard.DefaultConfig
 	// DefaultShardOwner is the id-mod-S shard ownership function.
 	DefaultShardOwner = core.DefaultOwner
+	// NewReplicaGroup assembles one partition's replica group.
+	NewReplicaGroup = shard.NewReplicaGroup
+	// NewHealthProber assembles the fleet's membership/health prober.
+	NewHealthProber = shard.NewProber
+	// NewReplicaRepairer assembles the fleet's anti-entropy repairer.
+	NewReplicaRepairer = shard.NewRepairer
+	// NewReplicaRepair builds the front-end repair closure the repairer
+	// drives (re-masking resync from a healthy sibling).
+	NewReplicaRepair = frontend.NewReplicaRepair
+	// NewReplicaMigration builds the front-end closures a Rebalancer
+	// drives to migrate state onto a newly joined replica.
+	NewReplicaMigration = frontend.NewReplicaMigration
 	// OpenSegmentStore opens a segment directory written by a
 	// SegmentBuilder (or pisd-segbuild) for serving.
 	OpenSegmentStore = segstore.Open

@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# replication_smoke.sh — end-to-end smoke of the replicated shard fleet.
+#
+# Brings up a real 2-partition × 2-replica deployment (four pisd-server
+# processes, one per replica, so a replica can be killed independently),
+# drives sustained discovery load through a replicated frontend
+# (-replicas 2, many waves, result cache off so every wave reaches the
+# cloud), and kill -9's replica 0 of BOTH groups mid-load. The gates are
+# the replication contract:
+#
+#   - the frontend finishes every wave without a single failed discovery
+#     (it prints the final "total traffic:" line and stays alive),
+#   - no discovery is degraded to PARTIAL — the surviving replica of each
+#     group absorbs the load completely,
+#   - the frontend's /metrics prove the failover path actually ran:
+#     replica.failovers > 0 and replica.demotions > 0,
+#   - the leakage-invariant suite — including the replicated
+#     failover/repair test — passes under the race detector.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRONTEND_OBS=127.0.0.1:9320
+BASE_PORT=7320
+HOST=127.0.0.1
+
+BIN="$(mktemp -d)"
+LOG="$BIN/frontend.log"
+declare -a server_pids=()
+frontend_pid=""
+cleanup() {
+    [ -n "$frontend_pid" ] && kill "$frontend_pid" 2>/dev/null || true
+    for pid in "${server_pids[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/pisd-server" ./cmd/pisd-server
+go build -o "$BIN/pisd-frontend" ./cmd/pisd-frontend
+
+# One process per replica: addrs[s*R+r] = BASE_PORT + s*R + r, matching
+# the frontend's consecutive-run replica grouping. Four processes means
+# `kill -9` takes out exactly one replica of one group.
+ADDRS=""
+for i in 0 1 2 3; do
+    port=$((BASE_PORT + i))
+    "$BIN/pisd-server" -addr "$HOST:$port" &
+    server_pids+=($!)
+    ADDRS="$ADDRS,$HOST:$port"
+done
+ADDRS="${ADDRS#,}"
+
+# Wait for every replica to accept connections.
+for i in 0 1 2 3; do
+    port=$((BASE_PORT + i))
+    up=0
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/$HOST/$port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            up=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$up" -ne 1 ]; then
+        echo "FAIL  replica on port $port never came up" >&2
+        exit 1
+    fi
+done
+
+# Sustained load: many waves, cache off (every wave must reach the cloud),
+# a fast probe so demotion happens inside the run.
+"$BIN/pisd-frontend" -cloud "$ADDRS" -replicas 2 -users 300 -dim 100 \
+    -discover 1,2,3,4,5,6 -waves 400 -cache 0 -probe-interval 200ms \
+    -obs "$FRONTEND_OBS" >"$LOG" 2>&1 &
+frontend_pid=$!
+
+# Wait until the load is demonstrably underway (index installed, waves
+# running), then murder replica 0 of each group mid-load.
+started=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$frontend_pid" 2>/dev/null; then
+        echo "FAIL  frontend died during warmup:" >&2
+        tail -20 "$LOG" >&2
+        exit 1
+    fi
+    if grep -q -- '--- wave 3/' "$LOG"; then
+        started=1
+        break
+    fi
+    sleep 0.05
+done
+if [ "$started" -ne 1 ]; then
+    echo "FAIL  load never reached wave 3" >&2
+    tail -20 "$LOG" >&2
+    exit 1
+fi
+
+echo "killing replica 0 of both groups mid-load (pids ${server_pids[0]}, ${server_pids[2]})"
+kill -9 "${server_pids[0]}" "${server_pids[2]}"
+
+# The frontend must now finish every remaining wave on the surviving
+# replicas: the final traffic summary only prints when no discovery
+# failed.
+finished=0
+for _ in $(seq 1 1200); do
+    if ! kill -0 "$frontend_pid" 2>/dev/null; then
+        echo "FAIL  frontend exited under replica loss:" >&2
+        tail -20 "$LOG" >&2
+        exit 1
+    fi
+    if grep -q 'total traffic:' "$LOG"; then
+        finished=1
+        break
+    fi
+    sleep 0.1
+done
+
+fail=0
+check() { # check NAME VALUE TEST...
+    local name=$1 value=$2
+    shift 2
+    if [ -z "$value" ] || ! [ "$value" "$@" ]; then
+        echo "FAIL  $name = '$value' (want $*)" >&2
+        fail=1
+    else
+        echo "ok    $name = $value"
+    fi
+}
+
+check waves_completed "$finished" -eq 1
+if grep -q 'PARTIAL' "$LOG"; then
+    echo "FAIL  a discovery degraded to PARTIAL despite a live replica per group" >&2
+    grep -m 3 'PARTIAL' "$LOG" >&2
+    fail=1
+else
+    echo "ok    no discovery degraded to PARTIAL"
+fi
+
+# metric ENDPOINT KEY prints the key's value, failing if absent.
+metric() {
+    curl -sf "http://$1/metrics" | tr -d ' ' | tr ',{}' '\n\n\n' \
+        | awk -F: -v k="\"$2\"" '$1 == k { print $2; found = 1 } END { exit !found }'
+}
+
+check replica.failovers \
+    "$(metric "$FRONTEND_OBS" replica.failovers || true)" -gt 0
+check replica.demotions \
+    "$(metric "$FRONTEND_OBS" replica.demotions || true)" -gt 0
+
+if [ "$fail" -ne 0 ]; then
+    echo "replication smoke failed" >&2
+    exit 1
+fi
+
+# Leakage gate: failover and repair must not change what any one cloud
+# store observes. Race detector on, like CI runs the suite.
+echo "running leakage-invariant suite (race) ..."
+go test -race -run 'TestLeakageInvariant' .
+
+echo "replication smoke passed"

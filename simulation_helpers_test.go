@@ -46,7 +46,14 @@ func simSeeds(t *testing.T) []int64 {
 // PISD_SIM_FAILURE_FILE (CI uploads it) and logs the repro command.
 func recordFailingSeed(t *testing.T, seed int64) {
 	t.Helper()
-	t.Logf("REPRODUCE: PISD_SIM_SEEDS=%d go test -race -run 'TestSimulationE2E' .", seed)
+	recordFailingSeedFor(t, seed, "TestSimulationE2E")
+}
+
+// recordFailingSeedFor is recordFailingSeed with the repro command naming
+// the suite that failed (the replication suite shares the artifact file).
+func recordFailingSeedFor(t *testing.T, seed int64, test string) {
+	t.Helper()
+	t.Logf("REPRODUCE: PISD_SIM_SEEDS=%d go test -race -run '%s' .", seed, test)
 	path := os.Getenv("PISD_SIM_FAILURE_FILE")
 	if path == "" {
 		return
