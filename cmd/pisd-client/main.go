@@ -6,9 +6,20 @@
 //
 //	pisd-client -topics flower,dog -images 5
 //	pisd-client -topics beach -cloud 127.0.0.1:7001 -upload
+//
+// The client also speaks the standing-query wire codec: -subscribe-out
+// FILE encodes a registration frame for the computed profile (handed to a
+// front end started with -subscribe-frames), and -notifications FILE
+// decodes a notification-frame stream the front end wrote with
+// -notify-out, rejecting truncated or corrupted frames with the codec's
+// typed errors.
+//
+//	pisd-client -topics beach -k 5 -subscribe-out sub.bin
+//	pisd-client -notifications notify.bin
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +47,16 @@ func run() error {
 		cloudAddr  = flag.String("cloud", "", "cloud server address (empty: offline)")
 		upload     = flag.Bool("upload", false, "upload an encrypted image to the cloud")
 		seed       = flag.Int64("seed", 1, "image seed")
+
+		subOut    = flag.String("subscribe-out", "", "encode a standing-query registration frame for the computed profile into this file")
+		subK      = flag.Int("k", 5, "standing-query top-k for -subscribe-out")
+		notifFile = flag.String("notifications", "", "decode a notification-frame stream (pisd-frontend -notify-out) and exit")
 	)
 	flag.Parse()
+
+	if *notifFile != "" {
+		return decodeNotifications(*notifFile)
+	}
 
 	topics, err := parseTopics(*topicsFlag)
 	if err != nil {
@@ -100,6 +119,12 @@ func run() error {
 	fmt.Printf("GenProf (%d images): %s   ComputeLSH (%d tables): %s\n",
 		len(imgs), profDur.Round(time.Millisecond), len(meta), metaDur.Round(time.Microsecond))
 
+	if *subOut != "" {
+		if err := writeRegistration(*subOut, *userID, *subK, profile); err != nil {
+			return err
+		}
+	}
+
 	if *cloudAddr == "" {
 		return nil
 	}
@@ -143,6 +168,69 @@ func parseTopics(s string) ([]pisd.Topic, error) {
 		return nil, fmt.Errorf("no topics given")
 	}
 	return out, nil
+}
+
+// writeRegistration encodes one standing-query registration frame for the
+// profile and self-verifies it by decoding the written bytes back.
+func writeRegistration(path string, subID uint64, k int, profile []float64) error {
+	frame, err := pisd.EncodeSubscriptionRegistration(pisd.SubscriptionRegistration{
+		SubID: subID, K: k, ExcludeID: subID, Profile: profile,
+	})
+	if err != nil {
+		return fmt.Errorf("encode registration: %w", err)
+	}
+	decoded, consumed, err := pisd.DecodeSubscriptionFrame(frame)
+	if err != nil || consumed != len(frame) || decoded.Registration == nil {
+		return fmt.Errorf("registration frame failed self-verification: %v", err)
+	}
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("encoded standing-query registration (user %d, top-%d, %d B) to %s\n",
+		subID, k, len(frame), path)
+	return nil
+}
+
+// decodeNotifications decodes a notification-frame stream, printing each
+// standing-result change; a damaged stream is reported with the codec's
+// typed error (truncation, checksum mismatch, bad payload, ...).
+func decodeNotifications(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for len(data) > 0 {
+		frame, consumed, err := pisd.DecodeSubscriptionFrame(data)
+		if err != nil {
+			switch {
+			case errors.Is(err, pisd.ErrSubscriptionTruncated):
+				return fmt.Errorf("frame %d: stream truncated mid-frame: %w", n, err)
+			case errors.Is(err, pisd.ErrSubscriptionChecksum):
+				return fmt.Errorf("frame %d: corrupted in transit: %w", n, err)
+			default:
+				return fmt.Errorf("frame %d: %w", n, err)
+			}
+		}
+		data = data[consumed:]
+		nt := frame.Notification
+		if nt == nil {
+			return fmt.Errorf("frame %d is not a notification", n)
+		}
+		n++
+		kind := "entered"
+		if nt.Promoted {
+			kind = "promoted"
+		}
+		evict := ""
+		if nt.EvictedID != 0 {
+			evict = fmt.Sprintf(" evicting user %d", nt.EvictedID)
+		}
+		fmt.Printf("notify[seq %d] sub %d: user %d %s at distance %.4f%s\n",
+			nt.Seq, nt.SubID, nt.ID, kind, nt.Distance, evict)
+	}
+	fmt.Printf("decoded %d notification frame(s) from %s\n", n, path)
+	return nil
 }
 
 // encodeImage serializes the grayscale image to bytes for upload.

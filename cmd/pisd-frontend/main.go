@@ -30,6 +30,20 @@
 // health, transport traffic — plus /debug/pprof/; the process then stays
 // alive after the discoveries until interrupted, so the endpoint can be
 // scraped.
+//
+// With -dynamic (implied by -subscribe or -churn), the front end builds
+// the updatable index instead and serves through the cached dynamic path:
+// -subscribe N registers N standing top-k queries, -churn M drives M
+// insert/delete operations against the live index, and every
+// standing-result change streams to stdout as it happens (subs.* metrics
+// ride the -obs endpoint). -notify-out FILE additionally appends each
+// notification as one wire frame of the subscription codec;
+// -subscribe-frames FILE registers client-encoded registration frames
+// (pisd-client -subscribe-out).
+//
+//	pisd-server -addr 127.0.0.1:7001 -shards 2 &
+//	pisd-frontend -cloud 127.0.0.1:7001,127.0.0.1:7002 \
+//	    -users 2000 -subscribe 100 -churn 60
 package main
 
 import (
@@ -80,8 +94,17 @@ func run() error {
 		replicas = flag.Int("replicas", 1, "replicas per shard: the -cloud list is grouped into consecutive runs of R addresses, reads fail over inside each group")
 		probeIvl = flag.Duration("probe-interval", time.Second, "health-probe cadence for replica demotion/re-admission (with -replicas > 1)")
 		waves    = flag.Int("waves", 1, "repetitions of the discovery wave (sustained load for failover demos)")
+
+		dynamic   = flag.Bool("dynamic", false, "build the updatable index and serve through the cached dynamic path")
+		subscribe = flag.Int("subscribe", 0, "standing top-k subscriptions to register for users 1..N (implies -dynamic)")
+		subFrames = flag.String("subscribe-frames", "", "register client-encoded registration frames from this file (pisd-client -subscribe-out; implies -dynamic)")
+		churn     = flag.Int("churn", 0, "churn-wave operations against the live dynamic index (implies -dynamic)")
+		notifyOut = flag.String("notify-out", "", "append each notification as one subscription-codec wire frame to this file (decode with pisd-client -notifications)")
 	)
 	flag.Parse()
+	if *subscribe > 0 || *churn > 0 || *subFrames != "" {
+		*dynamic = true
+	}
 
 	servingCfg := pisd.ServingConfig{
 		MaxBatch:     *maxBatch,
@@ -103,9 +126,15 @@ func run() error {
 	}
 	// This config literal is shared verbatim with pisd-segbuild: -attach
 	// regenerates the population deterministically, so the two tools must
-	// agree on it for the same flags.
+	// agree on it for the same flags. Dynamic mode appends a spare-profile
+	// pool beyond the population — the churn wave's fresh users — which
+	// leaves the first -users profiles identical.
+	extra := 0
+	if *dynamic {
+		extra = *churn
+	}
 	ds, err := dataset.Generate(dataset.Config{
-		Users: *users, Dim: *dim, Topics: *topics, TopicsPerUser: 2,
+		Users: *users + extra, Dim: *dim, Topics: *topics, TopicsPerUser: 2,
 		ActiveWords: *dim / 12, Noise: 0.02, PersonalWeight: 0.6, Seed: *seed,
 	})
 	if err != nil {
@@ -149,8 +178,10 @@ func run() error {
 		}
 	}
 	var uploads []pisd.Upload
-	if !*attach {
+	if !*attach && !*dynamic {
 		// Attach mode issues trapdoors only; no uploads are (re)hashed.
+		// Dynamic mode builds its own uploads over the population (the
+		// spare churn profiles stay out of the initial index).
 		uploads = make([]pisd.Upload, len(ds.Profiles))
 		for i, p := range ds.Profiles {
 			uploads[i] = pisd.Upload{ID: uint64(i + 1), Profile: p, Meta: sf.ComputeMeta(p)}
@@ -166,6 +197,24 @@ func run() error {
 	}
 	if len(addrs)%*replicas != 0 {
 		return fmt.Errorf("%d cloud addresses do not divide into groups of %d replicas", len(addrs), *replicas)
+	}
+	if *dynamic {
+		if *attach {
+			return errors.New("-attach does not support -dynamic")
+		}
+		opts := dynOptions{
+			subscribe:       *subscribe,
+			subscribeFrames: *subFrames,
+			churn:           *churn,
+			notifyOut:       *notifyOut,
+			conns:           *conns,
+			replicas:        *replicas,
+			serving:         servingCfg,
+		}
+		if err := runDynamic(sf, ds, addrs, *users, *k, *discover, opts); err != nil {
+			return err
+		}
+		return lingerIfObs(*obsAddr)
 	}
 	if len(addrs) > 1 {
 		if *attach {

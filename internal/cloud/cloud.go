@@ -259,6 +259,27 @@ func (s *Server) FetchProfiles(ids []uint64) ([][]byte, error) {
 	return out, nil
 }
 
+// FetchProfilesSparse is FetchProfiles for callers that tolerate gaps:
+// an unknown identifier yields an empty entry instead of failing the
+// whole batch. The subscription re-score fan-out uses it so one candidate
+// deleted between batches does not abort re-scoring every other
+// subscription. Present entries are never empty (ciphertexts carry at
+// least their MAC), so len(out[i]) == 0 means ids[i] is unknown here.
+func (s *Server) FetchProfilesSparse(ids []uint64) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]byte, len(ids))
+	served := 0
+	for i, id := range ids {
+		if ct, ok := s.profiles[id]; ok {
+			out[i] = ct
+			served++
+		}
+	}
+	s.met.profilesServed.Add(int64(served))
+	return out, nil
+}
+
 // FetchBuckets implements core.BucketStore over the installed dynamic
 // index.
 func (s *Server) FetchBuckets(refs []core.BucketRef) ([]core.DynBucket, error) {

@@ -9,6 +9,7 @@ import (
 	"pisd/internal/core"
 	"pisd/internal/lsh"
 	"pisd/internal/obs"
+	"pisd/internal/subs"
 )
 
 // ServingConfig tunes the multi-core serving path: batch coalescing,
@@ -156,6 +157,11 @@ type DynServing struct {
 	cache  *ResultCache
 	gate   *AdmissionGate
 
+	// subsm is the attached subscription manager (nil when the serving
+	// path runs without standing queries); its hooks run under churn,
+	// after the mutation they evaluate succeeded.
+	subsm *subs.Manager
+
 	// churn serializes mutations (write side) against search+cache-fill
 	// (read side): without it a slow search could fetch buckets, lose the
 	// race to an insert, then cache the pre-insert answer after the
@@ -232,19 +238,31 @@ func (s *DynServing) Search(targetProfile []float64, k int, excludeID uint64) ([
 }
 
 // Insert routes a dynamic insertion to the owning shard with the cache
-// invalidation hook installed on that shard's bucket store.
+// invalidation hook installed on that shard's bucket store. After the
+// insert succeeds, attached subscriptions are evaluated against the new
+// profile frontend-side — zero additional cloud operations (§18).
 func (s *DynServing) Insert(id uint64, profile []float64) error {
 	s.churn.Lock()
 	defer s.churn.Unlock()
-	return s.f.DynInsertSharded(s.shards, s.invalidatingNodes(), s.owner, id, profile)
+	if err := s.f.DynInsertSharded(s.shards, s.invalidatingNodes(), s.owner, id, profile); err != nil {
+		return err
+	}
+	s.notifyInsert(id, profile)
+	return nil
 }
 
 // Delete routes a secure deletion to the owning shard with the cache
-// invalidation hook installed on that shard's bucket store.
+// invalidation hook installed on that shard's bucket store. After the
+// delete succeeds, the profile is evicted from every attached standing
+// result, promoting runners-up.
 func (s *DynServing) Delete(id uint64, profile []float64) error {
 	s.churn.Lock()
 	defer s.churn.Unlock()
-	return s.f.DynDeleteSharded(s.shards, s.invalidatingNodes(), s.owner, id, profile)
+	if err := s.f.DynDeleteSharded(s.shards, s.invalidatingNodes(), s.owner, id, profile); err != nil {
+		return err
+	}
+	s.notifyDelete(id)
+	return nil
 }
 
 // invalidatingNodes wraps every node so StoreBuckets invalidates the

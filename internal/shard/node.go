@@ -52,6 +52,25 @@ type Node interface {
 	core.BucketStore
 }
 
+// SparseProfileFetcher is the optional gap-tolerant profile read the
+// subscription re-score fan-out prefers: an unknown identifier answers as
+// an empty entry instead of failing the whole batch. Local, Remote and
+// ReplicaGroup implement it; FetchProfilesSparse falls back to the strict
+// read on nodes that do not.
+type SparseProfileFetcher interface {
+	FetchProfilesSparse(ids []uint64) ([][]byte, error)
+}
+
+// FetchProfilesSparse runs the gap-tolerant batched profile read against
+// n, degrading to the strict FetchProfiles (whole-batch failure on any
+// unknown id) when n does not implement SparseProfileFetcher.
+func FetchProfilesSparse(n Node, ids []uint64) ([][]byte, error) {
+	if sf, ok := n.(SparseProfileFetcher); ok {
+		return sf.FetchProfilesSparse(ids)
+	}
+	return n.FetchProfiles(ids)
+}
+
 // ReplicaNode is the surface a replica group needs from each of its
 // members: the full shard Node surface plus the replication version/repair
 // endpoints (see internal/cloud/replica.go). Local and Remote both
@@ -107,6 +126,12 @@ func (l Local) SecRecBatch(ctx context.Context, ts []*core.Trapdoor) ([][]uint64
 
 // FetchProfiles implements Node.
 func (l Local) FetchProfiles(ids []uint64) ([][]byte, error) { return l.CS.FetchProfiles(ids) }
+
+// FetchProfilesSparse implements SparseProfileFetcher: unknown ids answer
+// as empty entries instead of failing the batch.
+func (l Local) FetchProfilesSparse(ids []uint64) ([][]byte, error) {
+	return l.CS.FetchProfilesSparse(ids)
+}
 
 // PutProfiles implements Node.
 func (l Local) PutProfiles(profiles map[uint64][]byte) error {

@@ -252,6 +252,17 @@ func (r *Remote) FetchProfiles(ids []uint64) ([][]byte, error) {
 	return profiles, err
 }
 
+// FetchProfilesSparse implements SparseProfileFetcher remotely.
+func (r *Remote) FetchProfilesSparse(ids []uint64) ([][]byte, error) {
+	var profiles [][]byte
+	err := r.do(func(c *transport.Client) error {
+		var err error
+		profiles, err = c.FetchProfilesSparse(ids)
+		return err
+	})
+	return profiles, err
+}
+
 // PutProfiles implements Node.
 func (r *Remote) PutProfiles(profiles map[uint64][]byte) error {
 	return r.do(func(c *transport.Client) error { return c.PutProfiles(profiles) })

@@ -368,6 +368,20 @@ func (g *ReplicaGroup) FetchProfiles(ids []uint64) ([][]byte, error) {
 	})
 }
 
+// FetchProfilesSparse implements SparseProfileFetcher on the healthiest
+// current replica, failing over like every group read. A member that does
+// not itself implement the sparse read serves the strict one — reads only
+// ever reach current replicas, so the two differ only on identifiers
+// deleted group-wide, exactly the gap the sparse contract tolerates.
+func (g *ReplicaGroup) FetchProfilesSparse(ids []uint64) ([][]byte, error) {
+	return readGroup(g, nil, func(_ context.Context, n ReplicaNode) ([][]byte, error) {
+		if sf, ok := n.(SparseProfileFetcher); ok {
+			return sf.FetchProfilesSparse(ids)
+		}
+		return n.FetchProfiles(ids)
+	})
+}
+
 // FetchBuckets implements core.BucketStore on the healthiest current
 // replica. The dynamic protocols' read half routes here; their write half
 // (StoreBuckets) fans to all replicas, so every touched bucket converges

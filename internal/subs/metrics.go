@@ -1,0 +1,34 @@
+package subs
+
+import (
+	"pisd/internal/obs"
+)
+
+// smet is the subscription tier's metric surface (names under "subs.").
+// The eval histogram times one hook evaluation — insert match, delete
+// eviction or re-score pass — so a snapshot yields subs.eval_p50_ns /
+// subs.eval_p99_ns, the notification-latency figures EXPERIMENTS.md
+// tracks. All handles are nil-safe; SetRegistry(nil) is the disabled
+// mode.
+var smet struct {
+	registered    *obs.Gauge     // live subscriptions
+	notifications *obs.Counter   // notifications emitted
+	evals         *obs.Counter   // subscription evaluations performed
+	evalNs        *obs.Histogram // one hook evaluation, end to end
+}
+
+func init() { SetRegistry(obs.Default) }
+
+// SetRegistry points the subscription metrics at r (nil disables them).
+// Intended for process setup and test isolation; not safe to call
+// concurrently with in-flight evaluations.
+func SetRegistry(r *obs.Registry) {
+	if r == nil {
+		smet.registered, smet.notifications, smet.evals, smet.evalNs = nil, nil, nil, nil
+		return
+	}
+	smet.registered = r.Gauge("subs.registered")
+	smet.notifications = r.Counter("subs.notifications")
+	smet.evals = r.Counter("subs.evals")
+	smet.evalNs = r.Histogram("subs.eval")
+}

@@ -1,0 +1,428 @@
+// Package subs implements streaming discovery subscriptions: standing
+// top-k queries evaluated incrementally on the dynamic update path.
+//
+// A subscription is a subscriber's target profile plus a bounded standing
+// result — the k nearest live profiles the subscriber has been told about.
+// The Manager holds every subscription frontend-side (the same trust
+// domain as the keys: targets and distances are plaintext here and only
+// here) and is driven by the serving path's mutation hooks:
+//
+//   - On insert, the newly added profile is matched against subscriptions
+//     by the address-collision predicate: the insert's own dedup'd bucket
+//     write set Refs(newMeta) intersects the subscription's standing read
+//     set Refs(subMeta) on the owning shard. Both sets are pure PRF
+//     functions of metadata the frontend already holds, so evaluation
+//     issues ZERO additional cloud operations — the cloud sees exactly
+//     the update it would see with no subscriptions registered
+//     (DESIGN.md §18).
+//   - On delete, the departed profile is evicted from every standing
+//     result that held it and the best remaining candidate is promoted,
+//     which is that candidate's first disclosure to the subscriber.
+//
+// Ordering inside a standing result is by (distance, id) — ascending
+// distance, ascending id on exact ties — which makes every transition,
+// including the evicted and promoted identifiers, deterministic and
+// therefore exactly mirrorable by a plaintext oracle.
+package subs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pisd/internal/vec"
+)
+
+// Ref identifies one dynamic-index bucket on one shard. Subscriptions and
+// inserts are matched per shard: each shard's index has its own geometry,
+// so a bucket reference is only meaningful alongside its shard.
+type Ref struct {
+	Shard int
+	Table int
+	Pos   uint64
+}
+
+// Entry is one member of a subscription's standing top-k result.
+type Entry struct {
+	ID       uint64
+	Distance float64
+}
+
+// Notification reports one disclosure: ID entered SubID's standing top-k.
+type Notification struct {
+	// SubID is the subscriber whose standing result changed.
+	SubID uint64
+	// ID is the profile that entered the standing top-k.
+	ID uint64
+	// Distance is the exact Euclidean distance between the subscriber's
+	// target and the entering profile.
+	Distance float64
+	// EvictedID is the profile the entry pushed out of the standing
+	// top-k (0 when the result had a free slot).
+	EvictedID uint64
+	// Promoted is true when the entry was caused by a deletion promoting
+	// a runner-up, rather than by the entering profile's own insert.
+	Promoted bool
+	// Seq is the manager's emission sequence number, strictly increasing
+	// across all subscriptions (stream ordering, not compared by the
+	// differential suites).
+	Seq uint64
+}
+
+// subscription is one standing query's frontend-side state: the full live
+// candidate set (every matched, not-yet-deleted profile with its exact
+// distance) and the current top-k view over it. Keeping all candidates —
+// not just the top k — is what makes delete-time promotion exact.
+type subscription struct {
+	id      uint64
+	k       int
+	exclude uint64
+	target  []float64
+	refs    []Ref
+	cands   map[uint64]float64
+	top     map[uint64]bool
+}
+
+// topSet selects the k smallest candidates by (distance, id).
+func (s *subscription) topSet() map[uint64]bool {
+	ids := make([]uint64, 0, len(s.cands))
+	for id := range s.cands {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := s.cands[ids[a]], s.cands[ids[b]]
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+	if len(ids) > s.k {
+		ids = ids[:s.k]
+	}
+	top := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		top[id] = true
+	}
+	return top
+}
+
+// entries returns the current standing result, ascending by (distance, id).
+func (s *subscription) entries() []Entry {
+	out := make([]Entry, 0, len(s.top))
+	for id := range s.top {
+		out = append(out, Entry{ID: id, Distance: s.cands[id]})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Distance != out[b].Distance {
+			return out[a].Distance < out[b].Distance
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Manager holds every registered subscription and evaluates them against
+// the mutation stream. Safe for concurrent use; the emit callback runs
+// synchronously under the manager lock, in Seq order.
+type Manager struct {
+	mu    sync.Mutex
+	subs  map[uint64]*subscription
+	byRef map[Ref]map[*subscription]struct{}
+	emit  func(Notification)
+	seq   uint64
+}
+
+// NewManager returns an empty manager delivering notifications through
+// emit (nil drops them).
+func NewManager(emit func(Notification)) *Manager {
+	return &Manager{
+		subs:  make(map[uint64]*subscription),
+		byRef: make(map[Ref]map[*subscription]struct{}),
+		emit:  emit,
+	}
+}
+
+// Register adds a standing query: target is the subscriber's plaintext
+// profile, refs its per-shard standing read set, and seed the candidate
+// distances of a fresh search (the registration answer the subscriber
+// already received — seeding emits no notifications). excludeID is
+// filtered from candidates, matching the discovery path's self-exclusion.
+func (m *Manager) Register(subID uint64, k int, target []float64, excludeID uint64, refs []Ref, seed map[uint64]float64) ([]Entry, error) {
+	if subID == 0 {
+		return nil, fmt.Errorf("subs: subscription id must be non-zero")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("subs: subscription %d: k must be positive, got %d", subID, k)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("subs: subscription %d: empty reference set", subID)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.subs[subID]; ok {
+		return nil, fmt.Errorf("subs: subscription %d already registered", subID)
+	}
+	s := &subscription{
+		id:      subID,
+		k:       k,
+		exclude: excludeID,
+		target:  append([]float64(nil), target...),
+		refs:    dedupRefs(refs),
+		cands:   make(map[uint64]float64, len(seed)),
+	}
+	for id, d := range seed {
+		if excludeID != 0 && id == excludeID {
+			continue
+		}
+		s.cands[id] = d
+	}
+	s.top = s.topSet()
+	m.subs[subID] = s
+	for _, r := range s.refs {
+		set := m.byRef[r]
+		if set == nil {
+			set = make(map[*subscription]struct{})
+			m.byRef[r] = set
+		}
+		set[s] = struct{}{}
+	}
+	smet.registered.Set(int64(len(m.subs)))
+	return s.entries(), nil
+}
+
+// Unsubscribe removes a standing query, reporting whether it existed.
+func (m *Manager) Unsubscribe(subID uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[subID]
+	if !ok {
+		return false
+	}
+	delete(m.subs, subID)
+	for _, r := range s.refs {
+		if set := m.byRef[r]; set != nil {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(m.byRef, r)
+			}
+		}
+	}
+	smet.registered.Set(int64(len(m.subs)))
+	return true
+}
+
+// Len returns the number of live subscriptions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.subs)
+}
+
+// TopK returns subID's current standing result, ascending by
+// (distance, id), and whether the subscription exists.
+func (m *Manager) TopK(subID uint64) ([]Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.subs[subID]
+	if !ok {
+		return nil, false
+	}
+	return s.entries(), true
+}
+
+// OnInsert evaluates one successful insert against every subscription
+// whose standing read set intersects the insert's bucket write set,
+// emitting a notification for each standing result the new profile
+// enters. refs must be the insert's own (owning-shard) reference set and
+// profile its plaintext; the evaluation is pure frontend computation.
+// Returns the number of notifications emitted.
+func (m *Manager) OnInsert(id uint64, profile []float64, refs []Ref) int {
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	matched := make(map[*subscription]struct{})
+	for _, r := range refs {
+		for s := range m.byRef[r] {
+			matched[s] = struct{}{}
+		}
+	}
+	emitted := 0
+	for _, s := range sortedSubs(matched) {
+		if id == s.id || (s.exclude != 0 && id == s.exclude) {
+			continue
+		}
+		if _, ok := s.cands[id]; ok {
+			continue
+		}
+		s.cands[id] = vec.Distance(s.target, profile)
+		emitted += m.retop(s, false)
+	}
+	smet.evals.Add(int64(len(matched)))
+	smet.evalNs.ObserveSince(start)
+	return emitted
+}
+
+// OnDelete evicts one successfully deleted profile from every standing
+// candidate set that held it, re-ranks, and emits a notification for each
+// runner-up the eviction promotes into a standing top-k (that candidate's
+// first disclosure). Returns the number of notifications emitted.
+func (m *Manager) OnDelete(id uint64) int {
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	emitted, evals := 0, 0
+	for _, s := range sortedAll(m.subs) {
+		if _, ok := s.cands[id]; !ok {
+			continue
+		}
+		evals++
+		delete(s.cands, id)
+		delete(s.top, id)
+		emitted += m.retop(s, true)
+	}
+	smet.evals.Add(int64(evals))
+	smet.evalNs.ObserveSince(start)
+	return emitted
+}
+
+// CandidateIDs returns the union of every subscription's live candidate
+// identifiers, ascending — the id set a re-score pass must fetch.
+func (m *Manager) CandidateIDs() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := make(map[uint64]struct{})
+	for _, s := range m.subs {
+		for id := range s.cands {
+			set[id] = struct{}{}
+		}
+	}
+	out := make([]uint64, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Rescore replaces every candidate's distance with one recomputed from
+// the authoritative profiles (keyed by candidate id; a candidate missing
+// from the map is dropped as deleted) and re-ranks every standing result,
+// emitting notifications for any entries the corrections cause. It is the
+// apply step of the batched re-score fan-out: the caller fetched profiles
+// from the replicated cloud tier in per-shard batches. Returns the number
+// of candidates whose distance or membership changed.
+func (m *Manager) Rescore(profiles map[uint64][]float64) int {
+	start := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := 0
+	for _, s := range sortedAll(m.subs) {
+		dirty := false
+		for id, old := range s.cands {
+			p, ok := profiles[id]
+			if !ok {
+				delete(s.cands, id)
+				delete(s.top, id)
+				changed++
+				dirty = true
+				continue
+			}
+			if d := vec.Distance(s.target, p); d != old {
+				s.cands[id] = d
+				changed++
+				dirty = true
+			}
+		}
+		if dirty {
+			m.retop(s, true)
+		}
+		smet.evals.Inc()
+	}
+	smet.evalNs.ObserveSince(start)
+	return changed
+}
+
+// retop recomputes s's standing top-k and emits a notification for every
+// new member, in (distance, id) order. Callers hold m.mu.
+func (m *Manager) retop(s *subscription, promoted bool) int {
+	next := s.topSet()
+	var entered []uint64
+	for id := range next {
+		if !s.top[id] {
+			entered = append(entered, id)
+		}
+	}
+	var evicted []uint64
+	for id := range s.top {
+		if !next[id] {
+			evicted = append(evicted, id)
+		}
+	}
+	s.top = next
+	if len(entered) == 0 {
+		return 0
+	}
+	sort.Slice(entered, func(a, b int) bool {
+		da, db := s.cands[entered[a]], s.cands[entered[b]]
+		if da != db {
+			return da < db
+		}
+		return entered[a] < entered[b]
+	})
+	sort.Slice(evicted, func(a, b int) bool { return evicted[a] < evicted[b] })
+	for i, id := range entered {
+		n := Notification{
+			SubID:    s.id,
+			ID:       id,
+			Distance: s.cands[id],
+			Promoted: promoted,
+		}
+		// Pair entries with evictions positionally; a promotion caused by
+		// a delete has no eviction of its own.
+		if i < len(evicted) {
+			n.EvictedID = evicted[i]
+		}
+		m.seq++
+		n.Seq = m.seq
+		smet.notifications.Inc()
+		if m.emit != nil {
+			m.emit(n)
+		}
+	}
+	return len(entered)
+}
+
+// dedupRefs drops duplicate references, preserving first-seen order.
+func dedupRefs(refs []Ref) []Ref {
+	seen := make(map[Ref]struct{}, len(refs))
+	out := make([]Ref, 0, len(refs))
+	for _, r := range refs {
+		if _, ok := seen[r]; ok {
+			continue
+		}
+		seen[r] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// sortedSubs orders a matched set by subscription id so emission order is
+// deterministic for a given mutation.
+func sortedSubs(set map[*subscription]struct{}) []*subscription {
+	out := make([]*subscription, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
+func sortedAll(subs map[uint64]*subscription) []*subscription {
+	out := make([]*subscription, 0, len(subs))
+	for _, s := range subs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}

@@ -1,0 +1,248 @@
+package subs
+
+import (
+	"math"
+	"testing"
+)
+
+func collect(dst *[]Notification) func(Notification) {
+	return func(n Notification) { *dst = append(*dst, n) }
+}
+
+// refsFor gives distinct single-bucket reference sets per "user" so tests
+// can steer which inserts match which subscriptions.
+func refsFor(ids ...uint64) []Ref {
+	out := make([]Ref, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Ref{Shard: 0, Table: int(id % 3), Pos: id})
+	}
+	return out
+}
+
+func target(v float64) []float64 { return []float64{v, 0} }
+
+func profileAt(v float64) []float64 { return []float64{v, 0} }
+
+func TestRegisterSeedsWithoutNotifying(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	top, err := m.Register(1, 2, target(0), 1, refsFor(10, 11),
+		map[uint64]float64{5: 4, 6: 1, 7: 9, 1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("registration emitted %d notifications", len(got))
+	}
+	if len(top) != 2 || top[0].ID != 6 || top[1].ID != 5 {
+		t.Fatalf("seed top-k = %v, want [6 5]", top)
+	}
+	// The subscriber's own id is excluded even when present in the seed.
+	for _, e := range top {
+		if e.ID == 1 {
+			t.Fatal("excluded id seeded into standing result")
+		}
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m := NewManager(nil)
+	if _, err := m.Register(0, 1, target(0), 0, refsFor(1), nil); err == nil {
+		t.Fatal("zero id accepted")
+	}
+	if _, err := m.Register(1, 0, target(0), 0, refsFor(1), nil); err == nil {
+		t.Fatal("zero k accepted")
+	}
+	if _, err := m.Register(1, 1, target(0), 0, nil, nil); err == nil {
+		t.Fatal("empty refs accepted")
+	}
+	if _, err := m.Register(1, 1, target(0), 0, refsFor(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Register(1, 1, target(0), 0, refsFor(1), nil); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestInsertMatchesByRefIntersection(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	if _, err := m.Register(1, 2, target(0), 1, refsFor(10, 11), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint write set: no match, no notification.
+	if n := m.OnInsert(50, profileAt(1), refsFor(99)); n != 0 {
+		t.Fatalf("disjoint insert emitted %d", n)
+	}
+	// Intersecting write set: enters the empty standing result.
+	if n := m.OnInsert(51, profileAt(3), refsFor(11, 99)); n != 1 {
+		t.Fatalf("matching insert emitted %d", n)
+	}
+	if len(got) != 1 || got[0].SubID != 1 || got[0].ID != 51 || got[0].EvictedID != 0 ||
+		got[0].Promoted || got[0].Distance != 3 {
+		t.Fatalf("notification = %+v", got[0])
+	}
+}
+
+func TestInsertEvictsWorstOnFullTopK(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	if _, err := m.Register(1, 2, target(0), 1,
+		refsFor(10), map[uint64]float64{5: 2, 6: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Worse than the current k-th: silent.
+	m.OnInsert(52, profileAt(5), refsFor(10))
+	if len(got) != 0 {
+		t.Fatalf("non-entering insert notified: %+v", got)
+	}
+	// Better: enters, evicting id 6 (distance 4).
+	m.OnInsert(53, profileAt(1), refsFor(10))
+	if len(got) != 1 || got[0].ID != 53 || got[0].EvictedID != 6 || got[0].Distance != 1 {
+		t.Fatalf("notification = %+v", got)
+	}
+	top, _ := m.TopK(1)
+	if len(top) != 2 || top[0].ID != 53 || top[1].ID != 5 {
+		t.Fatalf("standing result = %v", top)
+	}
+}
+
+func TestDeletePromotesRunnerUp(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	if _, err := m.Register(1, 2, target(0), 1,
+		refsFor(10), map[uint64]float64{5: 2, 6: 4}); err != nil {
+		t.Fatal(err)
+	}
+	m.OnInsert(54, profileAt(5), refsFor(10)) // runner-up at distance 5
+	if len(got) != 0 {
+		t.Fatal("runner-up notified on insert")
+	}
+	// Deleting a standing member promotes the runner-up: first disclosure.
+	if n := m.OnDelete(5); n != 1 {
+		t.Fatalf("delete emitted %d", n)
+	}
+	if len(got) != 1 || got[0].ID != 54 || !got[0].Promoted || got[0].EvictedID != 0 {
+		t.Fatalf("promotion notification = %+v", got)
+	}
+	// Deleting a non-candidate is a no-op.
+	if n := m.OnDelete(999); n != 0 {
+		t.Fatalf("unknown delete emitted %d", n)
+	}
+	// Deleting below the standing result is silent.
+	m.OnInsert(55, profileAt(9), refsFor(10))
+	got = got[:0]
+	if n := m.OnDelete(55); n != 0 {
+		t.Fatalf("runner-up delete emitted %d", n)
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	if _, err := m.Register(1, 1, target(0), 1,
+		refsFor(10), map[uint64]float64{7: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Same distance, lower id: wins the tie, evicting 7.
+	m.OnInsert(3, profileAt(4), refsFor(10))
+	if len(got) != 1 || got[0].ID != 3 || got[0].EvictedID != 7 {
+		t.Fatalf("tie notification = %+v", got)
+	}
+	// Same distance, higher id: loses the tie, silent.
+	got = got[:0]
+	m.OnInsert(9, profileAt(-4), refsFor(10))
+	if len(got) != 0 {
+		t.Fatalf("tie loser notified: %+v", got)
+	}
+}
+
+func TestUnsubscribeStopsNotifications(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	if _, err := m.Register(1, 1, target(0), 1, refsFor(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Unsubscribe(1) {
+		t.Fatal("unsubscribe reported missing")
+	}
+	if m.Unsubscribe(1) {
+		t.Fatal("double unsubscribe reported success")
+	}
+	if n := m.OnInsert(50, profileAt(1), refsFor(10)); n != 0 {
+		t.Fatalf("insert after unsubscribe emitted %d", n)
+	}
+	if _, ok := m.TopK(1); ok {
+		t.Fatal("TopK after unsubscribe")
+	}
+}
+
+func TestRescoreDropsMissingAndFixesDrift(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	if _, err := m.Register(1, 1, target(0), 1,
+		refsFor(10), map[uint64]float64{5: 4, 6: 16}); err != nil {
+		t.Fatal(err)
+	}
+	ids := m.CandidateIDs()
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 6 {
+		t.Fatalf("CandidateIDs = %v", ids)
+	}
+	// 5 vanished from the authoritative store; 6's profile moved closer.
+	changed := m.Rescore(map[uint64][]float64{6: profileAt(1)})
+	if changed != 2 {
+		t.Fatalf("Rescore changed %d", changed)
+	}
+	if len(got) != 1 || got[0].ID != 6 || !got[0].Promoted || got[0].Distance != 1 {
+		t.Fatalf("rescore notification = %+v", got)
+	}
+	// A faithful store is a fixed point.
+	got = got[:0]
+	if changed := m.Rescore(map[uint64][]float64{6: profileAt(1)}); changed != 0 {
+		t.Fatalf("idempotent rescore changed %d", changed)
+	}
+	if len(got) != 0 {
+		t.Fatalf("idempotent rescore notified: %+v", got)
+	}
+}
+
+func TestSequenceNumbersStrictlyIncrease(t *testing.T) {
+	var got []Notification
+	m := NewManager(collect(&got))
+	for _, sub := range []uint64{1, 2} {
+		if _, err := m.Register(sub, 3, target(0), sub, refsFor(10), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		m.OnInsert(100+i, profileAt(float64(i)), refsFor(10))
+	}
+	// Each subscription's standing result (k=3) fills from the first
+	// three inserts; the rest are farther and stay silent.
+	if len(got) != 6 {
+		t.Fatalf("%d notifications, want 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("sequence not increasing at %d: %d then %d", i, got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestDistanceIsExact(t *testing.T) {
+	m := NewManager(nil)
+	tgt := []float64{0.25, -1.5, 3}
+	p := []float64{1, 2, -0.5}
+	if _, err := m.Register(1, 1, tgt, 1, refsFor(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	m.OnInsert(50, p, refsFor(10))
+	top, _ := m.TopK(1)
+	want := math.Sqrt(0.75*0.75 + 3.5*3.5 + 3.5*3.5)
+	if len(top) != 1 || math.Abs(top[0].Distance-want) > 1e-12 {
+		t.Fatalf("distance = %v, want %v", top, want)
+	}
+}

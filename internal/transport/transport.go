@@ -87,15 +87,19 @@ const (
 	MethodSecRec        = "SecRec"
 	MethodSecRecBatch   = "SecRecBatch"
 	MethodFetchProfiles = "FetchProfiles"
-	MethodPutProfile    = "PutProfile"
-	MethodDeleteProfile = "DeleteProfile"
-	MethodFetchBuckets  = "FetchBuckets"
-	MethodStoreBuckets  = "StoreBuckets"
-	MethodStoreImage    = "StoreImage"
-	MethodFetchImages   = "FetchImages"
-	MethodPing          = "Ping"
-	MethodInstallIndex  = "InstallIndex"
-	MethodInstallDyn    = "InstallDynIndex"
+	// MethodFetchProfilesSparse is FetchProfiles with gap tolerance: an
+	// unknown identifier answers as an empty entry instead of failing the
+	// batch (the subscription re-score fan-out's read).
+	MethodFetchProfilesSparse = "FetchProfilesSparse"
+	MethodPutProfile          = "PutProfile"
+	MethodDeleteProfile       = "DeleteProfile"
+	MethodFetchBuckets        = "FetchBuckets"
+	MethodStoreBuckets        = "StoreBuckets"
+	MethodStoreImage          = "StoreImage"
+	MethodFetchImages         = "FetchImages"
+	MethodPing                = "Ping"
+	MethodInstallIndex        = "InstallIndex"
+	MethodInstallDyn          = "InstallDynIndex"
 )
 
 // Request is the single wire request envelope body.
@@ -412,6 +416,13 @@ func (s *Server) dispatch(req *Request) *Response {
 		resp.BatchProfiles = profiles
 	case MethodFetchProfiles:
 		profiles, err := s.cs.FetchProfiles(req.IDs)
+		if err != nil {
+			resp.Err = err.Error()
+			break
+		}
+		resp.Profiles = profiles
+	case MethodFetchProfilesSparse:
+		profiles, err := s.cs.FetchProfilesSparse(req.IDs)
 		if err != nil {
 			resp.Err = err.Error()
 			break
@@ -804,6 +815,24 @@ func (c *Client) FetchProfilesContext(ctx context.Context, ids []uint64) ([][]by
 		return nil, err
 	}
 	return resp.Profiles, nil
+}
+
+// FetchProfilesSparse is FetchProfiles with gap tolerance: unknown
+// identifiers answer as empty entries instead of failing the batch. Gob
+// flattens a nil entry to an empty one, so absence is signalled by
+// len(out[i]) == 0 at every tier (present ciphertexts are never empty).
+func (c *Client) FetchProfilesSparse(ids []uint64) ([][]byte, error) {
+	resp, err := c.callContext(context.Background(), &Request{Method: MethodFetchProfilesSparse, IDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	// A sparse response may drop trailing empty entries in transit;
+	// restore request alignment.
+	profiles := resp.Profiles
+	for len(profiles) < len(ids) {
+		profiles = append(profiles, nil)
+	}
+	return profiles, nil
 }
 
 // PutProfiles uploads encrypted profiles.

@@ -43,6 +43,7 @@ import (
 	"pisd/internal/segstore"
 	"pisd/internal/shard"
 	"pisd/internal/sharing"
+	"pisd/internal/subs"
 	"pisd/internal/surf"
 	"pisd/internal/transport"
 )
@@ -99,6 +100,9 @@ type (
 	Shard = frontend.Shard
 	// DynShard is one cloud shard's dynamic state.
 	DynShard = frontend.DynShard
+	// DynNode is one shard's cloud surface for the dynamic scheme;
+	// LocalShard, RemoteShard and ReplicaGroup all implement it.
+	DynNode = frontend.DynNode
 	// ShardNode is one shard's cloud surface (in-process or remote).
 	ShardNode = shard.Node
 	// LocalShard adapts an in-process Cloud as a shard node.
@@ -171,6 +175,25 @@ type (
 	// SingleFanout adapts a single cloud server or client to the serving
 	// path's fan-out surface.
 	SingleFanout = frontend.SingleFanout
+	// SubscriptionManager is the frontend-side standing-query index:
+	// registered top-k subscriptions evaluated on every dynamic update
+	// (attach with DynServing.AttachSubscriptions).
+	SubscriptionManager = subs.Manager
+	// SubscriptionEntry is one member of a standing top-k result.
+	SubscriptionEntry = subs.Entry
+	// SubscriptionNotification is one standing-result change event.
+	SubscriptionNotification = subs.Notification
+	// SubscriptionRegistration is the client → frontend standing-query
+	// request carried by the subscription wire codec.
+	SubscriptionRegistration = subs.Registration
+	// SubscriptionFrame is one decoded subscription wire frame.
+	SubscriptionFrame = subs.Frame
+	// SubscriptionRef addresses one secure-index bucket in a standing
+	// read set (shard, table, position).
+	SubscriptionRef = subs.Ref
+	// SubOracle is the plaintext subscription reference mirror used by
+	// the oracle-differential churn suites (Frontend.NewSubOracle).
+	SubOracle = frontend.SubOracle
 	// MetricsRegistry is a named collection of observability metrics.
 	MetricsRegistry = obs.Registry
 	// MetricsSnapshot is a point-in-time metrics capture with Diff/Flatten.
@@ -261,6 +284,26 @@ var (
 	NewResultCache = frontend.NewResultCache
 	// ErrOverloaded is the admission gate's typed fast rejection.
 	ErrOverloaded = frontend.ErrOverloaded
+	// NewSubscriptionManager builds a standing-query index delivering
+	// change events to the given emit callback.
+	NewSubscriptionManager = subs.NewManager
+	// EncodeSubscriptionRegistration encodes one registration frame of
+	// the subscription wire codec.
+	EncodeSubscriptionRegistration = subs.EncodeRegistration
+	// EncodeSubscriptionNotification encodes one notification frame of
+	// the subscription wire codec.
+	EncodeSubscriptionNotification = subs.EncodeNotification
+	// DecodeSubscriptionFrame decodes the first subscription frame in a
+	// byte stream, returning the frame and its consumed length. Errors
+	// are typed (ErrSubscriptionTruncated, ErrSubscriptionChecksum, ...).
+	DecodeSubscriptionFrame = subs.Decode
+	// ErrSubscriptionTruncated reports a subscription frame cut short.
+	ErrSubscriptionTruncated = subs.ErrTruncated
+	// ErrSubscriptionChecksum reports a corrupted subscription frame.
+	ErrSubscriptionChecksum = subs.ErrChecksum
+	// ErrSubscriptionBadPayload reports a well-framed but invalid
+	// subscription payload.
+	ErrSubscriptionBadPayload = subs.ErrBadPayload
 )
 
 // Batch update operations (Sec. III-D batch-update extension).

@@ -2,10 +2,12 @@
 # bench.sh — benchmark trajectory tooling.
 #
 # Runs the paper-figure benchmarks (Fig. 3/4/5), the crypt substrate
-# microbenchmarks with -benchmem, and the sustained-throughput benchmarks
+# microbenchmarks with -benchmem, the sustained-throughput benchmarks
 # (serial / pipelined / batched discovery, the PR7 serving path, and the
-# PR8 tuned operating point — all with qps and p50/p99 latency), and
-# writes BENCH_PR8.json at the repo root: the PR7 baseline (recorded
+# PR8 tuned operating point — all with qps and p50/p99 latency), and the
+# PR10 subscription-evaluation benchmarks (frontend-side standing-query
+# cost per insert at 16/128/1024 subscriptions), and
+# writes BENCH_PR10.json at the repo root: the PR7 baseline (recorded
 # once, constant below) next to the freshly measured numbers. Every
 # benchmark that drives the secure index also stamps its active LSH
 # operating point (lsh_l, lsh_atoms, lsh_width, lsh_d) onto its metric
@@ -20,13 +22,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFig' -benchmem -benchtime "$BENCHTIME" . | tee "$TMP"
 go test -run '^$' -bench 'BenchmarkThroughput' -benchtime "$BENCHTIME" . | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkSubscriptionEval' -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkPos$|BenchmarkPos8$|BenchmarkMaskInto$|BenchmarkDRBGFill$|BenchmarkEncProfile1000$' \
     -benchmem -benchtime "$BENCHTIME" ./internal/crypt/ | tee -a "$TMP"
 
@@ -67,7 +70,7 @@ BASELINE='{
         /^Benchmark/ {
             name = $1; sub(/-[0-9]+$/, "", name)
             ns = ""; bop = ""; aop = ""; qps = ""; p50 = ""; p99 = ""
-            ll = ""; lk = ""; lw = ""; ld = ""
+            ll = ""; lk = ""; lw = ""; ld = ""; sb = ""
             for (i = 2; i <= NF; i++) {
                 if ($i == "ns/op")     ns  = $(i-1)
                 if ($i == "B/op")      bop = $(i-1)
@@ -79,6 +82,7 @@ BASELINE='{
                 if ($i == "lsh_atoms") lk  = $(i-1)
                 if ($i == "lsh_width") lw  = $(i-1)
                 if ($i == "lsh_d")     ld  = $(i-1)
+                if ($i == "subs")      sb  = $(i-1)
             }
             if (ns == "") next
             if (n++) printf ",\n"
@@ -92,6 +96,7 @@ BASELINE='{
             if (lk != "") printf ", \"lsh_atoms\": %s", lk
             if (lw != "") printf ", \"lsh_width\": %s", lw
             if (ld != "") printf ", \"lsh_d\": %s", ld
+            if (sb != "") printf ", \"subs\": %s", sb
             printf "}"
         }
         END { printf "\n" }

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# subscription_smoke.sh — end-to-end smoke of streaming discovery
+# subscriptions (DESIGN.md §18).
+#
+# Brings up a real 2-shard deployment (two pisd-server processes), builds
+# the dynamic index through a frontend with 100 standing subscriptions,
+# drives a churn wave of inserts and deletes against the live index, and
+# gates on the subscription contract:
+#
+#   - the frontend finishes the whole workload (registration, churn wave,
+#     discovery wave) without a single failure,
+#   - the notification stream demonstrably flowed: the frontend's
+#     /metrics report subs.notifications > 0 and subs.registered == 100,
+#   - the wire codec round-trips: every notification frame the frontend
+#     wrote decodes cleanly in pisd-client,
+#   - zero oracle mismatches: the oracle-differential churn suite passes
+#     (every notification slot-exactly equal to the plaintext oracle's
+#     prediction),
+#   - the subscription leakage invariant holds under the race detector —
+#     cloud and transport counters move identically with 20 subscriptions
+#     and with none.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRONTEND_OBS=127.0.0.1:9340
+BASE_PORT=7340
+HOST=127.0.0.1
+
+BIN="$(mktemp -d)"
+LOG="$BIN/frontend.log"
+NOTIFY="$BIN/notify.bin"
+declare -a server_pids=()
+frontend_pid=""
+cleanup() {
+    [ -n "$frontend_pid" ] && kill "$frontend_pid" 2>/dev/null || true
+    for pid in "${server_pids[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/pisd-server" ./cmd/pisd-server
+go build -o "$BIN/pisd-frontend" ./cmd/pisd-frontend
+go build -o "$BIN/pisd-client" ./cmd/pisd-client
+
+ADDRS=""
+for i in 0 1; do
+    port=$((BASE_PORT + i))
+    "$BIN/pisd-server" -addr "$HOST:$port" &
+    server_pids+=($!)
+    ADDRS="$ADDRS,$HOST:$port"
+done
+ADDRS="${ADDRS#,}"
+
+for i in 0 1; do
+    port=$((BASE_PORT + i))
+    up=0
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/$HOST/$port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            up=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$up" -ne 1 ]; then
+        echo "FAIL  shard server on port $port never came up" >&2
+        exit 1
+    fi
+done
+
+# 100 standing subscriptions over a 500-user population, then a churn
+# wave of 60 operations; every standing-result change streams to the log
+# and (as wire frames) to $NOTIFY. -obs keeps the process alive for the
+# metrics gates.
+"$BIN/pisd-frontend" -cloud "$ADDRS" -users 500 -dim 96 \
+    -subscribe 100 -churn 60 -k 5 -discover 1,2,3 \
+    -notify-out "$NOTIFY" -obs "$FRONTEND_OBS" >"$LOG" 2>&1 &
+frontend_pid=$!
+
+finished=0
+for _ in $(seq 1 1200); do
+    if ! kill -0 "$frontend_pid" 2>/dev/null; then
+        echo "FAIL  frontend died during the subscription workload:" >&2
+        tail -20 "$LOG" >&2
+        exit 1
+    fi
+    if grep -q 'total traffic:' "$LOG"; then
+        finished=1
+        break
+    fi
+    sleep 0.1
+done
+
+fail=0
+check() { # check NAME VALUE TEST...
+    local name=$1 value=$2
+    shift 2
+    if [ -z "$value" ] || ! [ "$value" "$@" ]; then
+        echo "FAIL  $name = '$value' (want $*)" >&2
+        fail=1
+    else
+        echo "ok    $name = $value"
+    fi
+}
+
+check workload_completed "$finished" -eq 1
+check registered_line "$(grep -c '100 standing queries registered' "$LOG" || true)" -ge 1
+check churn_wave_done "$(grep -c 'churn wave done' "$LOG" || true)" -ge 1
+check notifications_streamed "$(grep -c 'notify\[seq ' "$LOG" || true)" -gt 0
+
+# metric ENDPOINT KEY prints the key's value, failing if absent.
+metric() {
+    curl -sf "http://$1/metrics" | tr -d ' ' | tr ',{}' '\n\n\n' \
+        | awk -F: -v k="\"$2\"" '$1 == k { print $2; found = 1 } END { exit !found }'
+}
+
+check subs.registered "$(metric "$FRONTEND_OBS" subs.registered || true)" -eq 100
+check subs.notifications "$(metric "$FRONTEND_OBS" subs.notifications || true)" -gt 0
+check subs.evals "$(metric "$FRONTEND_OBS" subs.evals || true)" -gt 0
+
+# Wire-codec gate: every notification frame the frontend streamed must
+# decode cleanly client-side, and the counts must agree.
+decoded="$("$BIN/pisd-client" -notifications "$NOTIFY" | awk '/^decoded /{print $2}')"
+streamed="$(grep -c 'notify\[seq ' "$LOG" || true)"
+check decoded_frames "$decoded" -gt 0
+check decoded_equals_streamed "$decoded" -eq "$streamed"
+
+if [ "$fail" -ne 0 ]; then
+    echo "subscription smoke failed" >&2
+    tail -20 "$LOG" >&2
+    exit 1
+fi
+
+# Oracle gate: zero mismatches between the serving path's notifications
+# and the plaintext oracle over a seeded churn run (the full seed matrix
+# runs in the simulation CI job).
+echo "running oracle-differential churn suite (seed 1) ..."
+PISD_SIM_SEEDS=1 go test -run 'TestSubscriptionChurnAgainstOracle' .
+
+# Leakage gate: N live subscriptions must not move a single cloud or
+# transport counter differently from zero subscriptions. Race detector
+# on, like CI runs the suite.
+echo "running subscription leakage invariant (race) ..."
+go test -race -run 'TestLeakageInvariantSubscriptions' .
+
+echo "subscription smoke passed"

@@ -1,0 +1,153 @@
+// Frontend-side subscription evaluation benchmarks (DESIGN.md §18): the
+// marginal cost an insert pays to evaluate N standing subscriptions. The
+// evaluation is a pure frontend computation — refs-intersection match
+// against every standing read set, then a distance + top-k transition for
+// the matches — so this is the entire price of a subscription under
+// churn; the cloud-visible work is identical with 0 or 10,000 of them
+// (TestLeakageInvariantSubscriptions proves that end to end).
+//
+// Each iteration is one churn pair — OnInsert of a fresh id followed by
+// the compensating OnDelete — so candidate sets stay in steady state and
+// ns/op is comparable across subscription counts.
+package pisd
+
+import (
+	"fmt"
+	"testing"
+
+	"pisd/internal/dataset"
+	"pisd/internal/frontend"
+	"pisd/internal/subs"
+)
+
+// subEvalFixture holds a built 2-shard dynamic deployment's geometry:
+// per-shard clients for reference-set computation plus the profile pool
+// driving the churn.
+type subEvalFixture struct {
+	f      *frontend.Frontend
+	ds     *dataset.Dataset
+	shards []frontend.DynShard
+}
+
+const (
+	subEvalUsers  = 300
+	subEvalDim    = 64
+	subEvalShards = 2
+	subEvalPool   = 256 // distinct insert profiles cycled through the churn
+)
+
+func buildSubEvalFixture(b *testing.B) *subEvalFixture {
+	b.Helper()
+	f, err := frontend.New(frontend.Config{
+		LSH:        frontend.DefaultConfig(subEvalDim).LSH,
+		LoadFactor: 0.6,
+		ProbeRange: 4,
+		MaxLoop:    500,
+		MaxRehash:  3,
+		Seed:       7,
+		KeySeed:    "subscription-eval-bench",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := dataset.Generate(dataset.Config{
+		Users: subEvalUsers + subEvalPool + 2048, Dim: subEvalDim, Topics: 8,
+		TopicsPerUser: 2, ActiveWords: 12, Noise: 0.02, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	uploads := make([]frontend.Upload, subEvalUsers)
+	for i := 0; i < subEvalUsers; i++ {
+		uploads[i] = frontend.Upload{ID: uint64(i + 1), Profile: ds.Profiles[i], Meta: f.ComputeMeta(ds.Profiles[i])}
+	}
+	built, err := f.BuildShardedDynamicIndex(uploads, subEvalShards, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &subEvalFixture{f: f, ds: ds, shards: built}
+}
+
+// taggedRefs computes profile's standing read set across every shard —
+// the registration-time computation.
+func (fx *subEvalFixture) taggedRefs(b *testing.B, profile []float64) []subs.Ref {
+	b.Helper()
+	meta := fx.f.ComputeMeta(profile)
+	var out []subs.Ref
+	for sh := range fx.shards {
+		refs, err := fx.shards[sh].Client.Refs(meta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range refs {
+			out = append(out, subs.Ref{Shard: sh, Table: r.Table, Pos: r.Pos})
+		}
+	}
+	return out
+}
+
+// shardRefs computes profile's insert write set on one owning shard —
+// the per-insert computation the evaluation hook reuses.
+func (fx *subEvalFixture) shardRefs(b *testing.B, sh int, profile []float64) []subs.Ref {
+	b.Helper()
+	meta := fx.f.ComputeMeta(profile)
+	refs, err := fx.shards[sh].Client.Refs(meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]subs.Ref, len(refs))
+	for i, r := range refs {
+		out[i] = subs.Ref{Shard: sh, Table: r.Table, Pos: r.Pos}
+	}
+	return out
+}
+
+// BenchmarkSubscriptionEval measures one insert's subscription evaluation
+// (plus the compensating delete eviction) against N standing
+// subscriptions over the real 2-shard index geometry: real reference
+// sets, real profile distances, notifications delivered to a sink.
+func BenchmarkSubscriptionEval(b *testing.B) {
+	fx := buildSubEvalFixture(b)
+	for _, n := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			var delivered int
+			m := subs.NewManager(func(subs.Notification) { delivered++ })
+			for i := 0; i < n; i++ {
+				subID := uint64(i + 1)
+				target := fx.ds.Profiles[i%subEvalUsers]
+				if _, err := m.Register(subID, 5, target, subID, fx.taggedRefs(b, target), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Precompute the churn pool: profiles with their write sets on
+			// both shards, so the timed loop is exactly the evaluation.
+			profiles := make([][]float64, subEvalPool)
+			refsByShard := make([][][]subs.Ref, subEvalShards)
+			for sh := range refsByShard {
+				refsByShard[sh] = make([][]subs.Ref, subEvalPool)
+			}
+			for i := 0; i < subEvalPool; i++ {
+				profiles[i] = fx.ds.Profiles[subEvalUsers+i]
+				for sh := 0; sh < subEvalShards; sh++ {
+					refsByShard[sh][i] = fx.shardRefs(b, sh, profiles[i])
+				}
+			}
+			base := uint64(1 << 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := base + uint64(i)
+				p := i % subEvalPool
+				m.OnInsert(id, profiles[p], refsByShard[id%subEvalShards][p])
+				m.OnDelete(id)
+			}
+			b.StopTimer()
+			// ResetTimer clears extra metrics, so the subscription count is
+			// stamped after the timed loop.
+			b.ReportMetric(float64(n), "subs")
+			if m.Len() != n {
+				b.Fatalf("%d subscriptions survived, want %d", m.Len(), n)
+			}
+			_ = delivered
+		})
+	}
+}

@@ -1,0 +1,128 @@
+// Notification-latency measurement harness behind PISD_EXPERIMENTS=1:
+// the EXPERIMENTS.md subscription table is produced by this test, so the
+// published numbers are reproducible from a single command:
+//
+//	PISD_EXPERIMENTS=1 go test -run 'TestSubscriptionNotificationLatencyTable' -v -timeout 30m .
+//
+// For each population n and subscription count S it builds a real
+// 2-shard dynamic deployment, registers S standing queries, drives a
+// churn wave of inserts and deletes, and reports two latencies per
+// configuration: the end-to-end mutation → notification latency (the
+// full secure index update plus the frontend evaluation, measured from
+// the serving call to the emit callback) and the pure evaluation-hook
+// latency from the subs.eval histogram.
+package pisd_test
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"pisd/internal/cloud"
+	"pisd/internal/dataset"
+	"pisd/internal/frontend"
+	"pisd/internal/obs"
+	"pisd/internal/shard"
+	"pisd/internal/subs"
+)
+
+func TestSubscriptionNotificationLatencyTable(t *testing.T) {
+	if os.Getenv("PISD_EXPERIMENTS") == "" {
+		t.Skip("measurement harness; run with PISD_EXPERIMENTS=1")
+	}
+	const dim, shards, churnOps = 100, 2, 200
+	fmt.Printf("| n | subscriptions | churn ops | notifications | mut→notify p50 | mut→notify p99 | eval p50 | eval p99 |\n")
+	fmt.Printf("|---|---|---|---|---|---|---|---|\n")
+	for _, n := range []int{10_000, 100_000} {
+		for _, S := range []int{100, 1000} {
+			runNotifLatencyCell(t, n, dim, shards, S, churnOps)
+		}
+	}
+}
+
+func runNotifLatencyCell(t *testing.T, n, dim, shards, S, churnOps int) {
+	t.Helper()
+	sreg := obs.NewRegistry()
+	subs.SetRegistry(sreg)
+	defer subs.SetRegistry(obs.Default)
+
+	cfg := frontend.ConfigForPopulation(dim, n)
+	cfg.MaxLoop = 4000
+	cfg.Seed = int64(n)
+	cfg.KeySeed = fmt.Sprintf("notif-latency-%d", n)
+	f, err := frontend.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Generate(dataset.Config{
+		Users: n + churnOps, Dim: dim, Topics: dataset.AutoTopics(n), TopicsPerUser: 2,
+		ActiveWords: dim / 12, Noise: 0.02, PersonalWeight: 0.6, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]frontend.Upload, n)
+	for i := 0; i < n; i++ {
+		uploads[i] = frontend.Upload{ID: uint64(i + 1), Profile: ds.Profiles[i], Meta: f.ComputeMeta(ds.Profiles[i])}
+	}
+	built, err := f.BuildShardedDynamicIndex(uploads, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]frontend.DynNode, shards)
+	for s := range built {
+		cs := cloud.New()
+		cs.SetDynIndex(built[s].Index)
+		cs.PutProfiles(built[s].EncProfiles)
+		nodes[s] = shard.NewLocal(cs)
+	}
+	serving, err := f.NewDynServing(built, nodes, nil, frontend.ServingConfig{CacheEntries: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutation → notification latency: stamped in the emit callback, which
+	// runs synchronously under the mutation that caused it.
+	var mutStart time.Time
+	var lats []time.Duration
+	serving.AttachSubscriptions(func(subs.Notification) {
+		lats = append(lats, time.Since(mutStart))
+	})
+	for i := 1; i <= S; i++ {
+		if _, err := serving.Subscribe(uint64(i), ds.Profiles[i-1], 5); err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+	}
+
+	var inserted []uint64
+	for j := 0; j < churnOps; j++ {
+		id := uint64(n + j + 1)
+		mutStart = time.Now()
+		if err := serving.Insert(id, ds.Profiles[n+j]); err != nil {
+			t.Fatalf("insert %d: %v", id, err)
+		}
+		inserted = append(inserted, id)
+		if j%4 == 3 {
+			victim := inserted[0]
+			inserted = inserted[1:]
+			mutStart = time.Now()
+			if err := serving.Delete(victim, ds.Profiles[victim-1]); err != nil {
+				t.Fatalf("delete %d: %v", victim, err)
+			}
+		}
+	}
+
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) string {
+		if len(lats) == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f µs", float64(lats[int(p*float64(len(lats)-1))].Microseconds()))
+	}
+	snap := sreg.Snapshot().Flatten()
+	fmt.Printf("| %d | %d | %d | %d | %s | %s | %.0f µs | %.0f µs |\n",
+		n, S, churnOps, len(lats), pct(0.50), pct(0.99),
+		float64(snap["subs.eval_p50_ns"])/1e3, float64(snap["subs.eval_p99_ns"])/1e3)
+}

@@ -1,0 +1,248 @@
+// Model-based property test for standing subscriptions: random
+// interleavings of register / unsubscribe / insert / delete are applied
+// to an in-process sharded dynamic deployment and, in lockstep, to the
+// plaintext SubOracle. After every operation the emitted notifications
+// must equal the oracle's predicted top-k delta slot-exactly, and at the
+// end of every interleaving each live subscription's standing result must
+// equal the oracle's — the convergence property that makes notifications
+// trustworthy as a materialized view of the index.
+package pisd_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pisd/internal/cloud"
+	"pisd/internal/dataset"
+	"pisd/internal/frontend"
+	"pisd/internal/lsh"
+	"pisd/internal/shard"
+	"pisd/internal/subs"
+)
+
+// propSubWorld is one seeded in-process deployment for the property test:
+// two local shards, the serving path with subscriptions attached, and the
+// oracle mirror.
+type propSubWorld struct {
+	t       *testing.T
+	f       *frontend.Frontend
+	ds      *dataset.Dataset
+	serving *frontend.DynServing
+	oracle  *frontend.SubOracle
+
+	got      []subs.Notification
+	profiles map[uint64][]float64
+	live     map[uint64]bool
+	subbed   map[uint64]bool
+	nextID   uint64
+}
+
+func newPropSubWorld(t *testing.T, seed int64) *propSubWorld {
+	t.Helper()
+	const users, shards = 40, 2
+	f, err := frontend.New(frontend.Config{
+		LSH:        lsh.Params{Dim: 32, Tables: 5, Atoms: 2, Width: 0.8, Seed: seed},
+		LoadFactor: 0.5,
+		ProbeRange: 4,
+		MaxLoop:    300,
+		MaxRehash:  3,
+		Seed:       seed,
+		KeySeed:    fmt.Sprintf("sub-prop-%d", seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.Generate(dataset.Config{
+		Users: users + 300, Dim: 32, Topics: 6, TopicsPerUser: 2,
+		ActiveWords: 10, Noise: 0.02, Seed: seed + 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploads := make([]frontend.Upload, users)
+	for i := 0; i < users; i++ {
+		uploads[i] = frontend.Upload{ID: uint64(i + 1), Profile: ds.Profiles[i], Meta: f.ComputeMeta(ds.Profiles[i])}
+	}
+	built, err := f.BuildShardedDynamicIndex(uploads, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]frontend.DynNode, shards)
+	for s := range built {
+		cs := cloud.New()
+		cs.SetDynIndex(built[s].Index)
+		cs.PutProfiles(built[s].EncProfiles)
+		nodes[s] = shard.NewLocal(cs)
+	}
+	serving, err := f.NewDynServing(built, nodes, nil, frontend.ServingConfig{CacheEntries: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &propSubWorld{
+		t: t, f: f, ds: ds, serving: serving,
+		profiles: make(map[uint64][]float64),
+		live:     make(map[uint64]bool),
+		subbed:   make(map[uint64]bool),
+		nextID:   uint64(users + 1),
+	}
+	serving.AttachSubscriptions(func(n subs.Notification) { w.got = append(w.got, n) })
+	oracle, err := f.NewSubOracle(built, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.oracle = oracle
+	for i := 0; i < users; i++ {
+		id := uint64(i + 1)
+		w.profiles[id] = ds.Profiles[i]
+		w.live[id] = true
+		oracle.PutProfile(id, ds.Profiles[i])
+	}
+	return w
+}
+
+func (w *propSubWorld) drain() []subs.Notification {
+	out := w.got
+	w.got = nil
+	return out
+}
+
+func (w *propSubWorld) pickLive(rng *rand.Rand) uint64 {
+	if len(w.live) == 0 {
+		return 0
+	}
+	ids := make([]uint64, 0, len(w.live))
+	for id := range w.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids[rng.Intn(len(ids))]
+}
+
+func (w *propSubWorld) pickSubscribed(rng *rand.Rand) uint64 {
+	if len(w.subbed) == 0 {
+		return 0
+	}
+	ids := make([]uint64, 0, len(w.subbed))
+	for id := range w.subbed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids[rng.Intn(len(ids))]
+}
+
+func (w *propSubWorld) register(op int, subID uint64, k int) {
+	w.t.Helper()
+	profile := w.profiles[subID]
+	matches, partial, err := w.serving.Search(profile, len(w.profiles)+16, 0)
+	if err != nil || partial {
+		w.t.Fatalf("op %d: seed search for %d: partial=%v err=%v", op, subID, partial, err)
+	}
+	seedIDs := make([]uint64, len(matches))
+	for i, m := range matches {
+		seedIDs[i] = m.ID
+	}
+	gotE, err := w.serving.Subscribe(subID, profile, k)
+	if err != nil {
+		w.t.Fatalf("op %d: subscribe %d: %v", op, subID, err)
+	}
+	wantE, err := w.oracle.Register(subID, k, profile, seedIDs)
+	if err != nil {
+		w.t.Fatalf("op %d: oracle register %d: %v", op, subID, err)
+	}
+	if err := diffEntries(gotE, wantE); err != nil {
+		w.t.Fatalf("op %d: sub %d initial standing result: %v", op, subID, err)
+	}
+	if n := w.drain(); len(n) != 0 {
+		w.t.Fatalf("op %d: registration of %d emitted %d notifications", op, subID, len(n))
+	}
+	w.subbed[subID] = true
+}
+
+// TestSubscriptionTopKProperty drives random operation interleavings and
+// checks per-op notification equality plus final standing-result
+// convergence against the oracle, across several seeds.
+func TestSubscriptionTopKProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newPropSubWorld(t, seed)
+			rng := rand.New(rand.NewSource(seed*577 + 11))
+			const ops = 70
+			k := 2 + rng.Intn(4)
+			for op := 0; op < ops; op++ {
+				switch r := rng.Intn(20); {
+				case r < 3: // register a live, unsubscribed user
+					if id := w.pickLive(rng); id != 0 && !w.subbed[id] {
+						w.register(op, id, k)
+					}
+				case r < 5: // unsubscribe (and later maybe re-register)
+					if id := w.pickSubscribed(rng); id != 0 {
+						if got, want := w.serving.Unsubscribe(id), w.oracle.Unsubscribe(id); got != want {
+							t.Fatalf("op %d: unsubscribe %d: serving=%v oracle=%v", op, id, got, want)
+						}
+						delete(w.subbed, id)
+					}
+				case r < 12: // insert: fresh profile, or a subscriber duplicate
+					id := w.nextID
+					w.nextID++
+					profile := w.ds.Profiles[int(id)%len(w.ds.Profiles)]
+					if sub := w.pickSubscribed(rng); sub != 0 && rng.Intn(4) == 0 {
+						profile = w.profiles[sub] // guaranteed ref intersection
+					}
+					w.oracle.PutProfile(id, profile)
+					w.profiles[id] = profile
+					if err := w.serving.Insert(id, profile); err != nil {
+						t.Fatalf("op %d: insert %d: %v", op, id, err)
+					}
+					w.live[id] = true
+					want, err := w.oracle.Insert(id, profile)
+					if err != nil {
+						t.Fatalf("op %d: oracle insert %d: %v", op, id, err)
+					}
+					if err := diffNotifications(w.drain(), want); err != nil {
+						t.Fatalf("op %d: insert %d: %v", op, id, err)
+					}
+				default: // delete
+					id := w.pickLive(rng)
+					if id == 0 {
+						continue
+					}
+					if err := w.serving.Delete(id, w.profiles[id]); err != nil {
+						t.Fatalf("op %d: delete %d: %v", op, id, err)
+					}
+					delete(w.live, id)
+					want := w.oracle.Delete(id)
+					if err := diffNotifications(w.drain(), want); err != nil {
+						t.Fatalf("op %d: delete %d: %v", op, id, err)
+					}
+				}
+			}
+			// Convergence: every live subscription's standing result equals
+			// the oracle's slot-exactly, and a full re-score is a no-op.
+			if w.serving.Subscriptions().Len() != len(w.subbed) {
+				t.Fatalf("%d live subscriptions, want %d", w.serving.Subscriptions().Len(), len(w.subbed))
+			}
+			for id := range w.subbed {
+				got, ok := w.serving.Subscriptions().TopK(id)
+				want, wok := w.oracle.TopK(id)
+				if !ok || !wok {
+					t.Fatalf("sub %d: serving ok=%v oracle ok=%v", id, ok, wok)
+				}
+				if err := diffEntries(got, want); err != nil {
+					t.Fatalf("sub %d final standing result: %v", id, err)
+				}
+			}
+			if len(w.subbed) > 0 {
+				changed, err := w.serving.RescoreSubscriptions()
+				if err != nil {
+					t.Fatalf("rescore: %v", err)
+				}
+				if changed != 0 {
+					t.Fatalf("rescore corrected %d candidates on a consistent deployment, want 0", changed)
+				}
+			}
+		})
+	}
+}

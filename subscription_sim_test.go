@@ -1,0 +1,424 @@
+// Oracle-differential churn suite for streaming discovery subscriptions
+// (DESIGN.md §18): a replicated dynamic deployment serves standing top-k
+// queries through DynServing while the plaintext SubOracle independently
+// mirrors every standing result and predicts the exact notification
+// stream. Every mutation's emitted notifications — and their absence —
+// are diffed slot-exactly (SubID, entering id, distance, evicted id,
+// promotion flag; sequence numbers are checked for strict monotonicity
+// separately), across fault-free churn, mid-churn replica kills with
+// anti-entropy repair, and random link chaos. A failing seed prints a
+// one-line repro and lands in the PISD_SIM_FAILURE_FILE artifact like the
+// other simulation suites.
+package pisd_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pisd/internal/frontend"
+	"pisd/internal/subs"
+)
+
+func TestSubscriptionChurnAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation suite")
+	}
+	for _, seed := range repSeeds(t) {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Cleanup(func() {
+				if t.Failed() {
+					recordFailingSeedFor(t, seed, "TestSubscriptionChurnAgainstOracle")
+				}
+			})
+			p := deriveRepParams(seed)
+			t.Logf("seed %d: users=%d partitions=%d replicas=%d k=%d",
+				seed, p.users, p.partitions, p.replicas, p.k)
+			runSubscriptionChurn(t, p)
+		})
+	}
+}
+
+// subWorld drives the subscription serving surface over a replicated
+// dynamic world and mirrors every transition with the plaintext oracle.
+type subWorld struct {
+	t       *testing.T
+	w       *repDynWorld
+	serving *frontend.DynServing
+	oracle  *frontend.SubOracle
+	subIDs  []uint64
+
+	got     []subs.Notification
+	lastSeq uint64
+	total   int
+
+	// shaky marks shards where a chaos-phase insert failed mid-protocol:
+	// a broken kick chain there may legitimately lose index reachability,
+	// so own-profile reachability is not asserted for that shard's users.
+	shaky map[int]bool
+}
+
+func newSubWorld(t *testing.T, w *repDynWorld) *subWorld {
+	t.Helper()
+	sw := &subWorld{t: t, w: w, shaky: make(map[int]bool)}
+	serving, err := w.f.NewDynServing(w.shards, w.nodes, w.owner, frontend.ServingConfig{CacheEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serving.AttachSubscriptions(func(n subs.Notification) { sw.got = append(sw.got, n) })
+	sw.serving = serving
+	oracle, err := w.f.NewSubOracle(w.shards, w.owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, prof := range w.profiles {
+		oracle.PutProfile(id, prof)
+	}
+	sw.oracle = oracle
+	return sw
+}
+
+// drain collects the notifications emitted since the last call, checking
+// global sequence numbers stay strictly increasing.
+func (sw *subWorld) drain() []subs.Notification {
+	sw.t.Helper()
+	out := sw.got
+	sw.got = nil
+	for _, n := range out {
+		if n.Seq <= sw.lastSeq {
+			sw.t.Fatalf("notification seq %d not strictly increasing (last %d)", n.Seq, sw.lastSeq)
+		}
+		sw.lastSeq = n.Seq
+	}
+	sw.total += len(out)
+	return out
+}
+
+// diffNotifications compares an emitted run against the oracle's
+// prediction slot-exactly, ignoring only the global sequence number.
+func diffNotifications(got, want []subs.Notification) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d notifications, want %d (got %+v, want %+v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.SubID != w.SubID || g.ID != w.ID || g.Distance != w.Distance ||
+			g.EvictedID != w.EvictedID || g.Promoted != w.Promoted {
+			return fmt.Errorf("notification %d = %+v, want %+v (ignoring Seq)", i, g, w)
+		}
+	}
+	return nil
+}
+
+// diffEntries compares two standing results slot-exactly.
+func diffEntries(got, want []subs.Entry) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d entries, want %d (got %v, want %v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+// subscribe registers a standing query for live user subID on both the
+// serving path and the oracle, comparing the initial standing results.
+// The preceding full-depth search both warms the registration's cache
+// entry and hands the oracle the REAL seed candidate set — dynamic
+// placement is kick-history-dependent, so the oracle mirrors everything
+// downstream of the seed rather than re-deriving it.
+func (sw *subWorld) subscribe(stage string, subID uint64, k int) {
+	sw.t.Helper()
+	profile := sw.w.profiles[subID]
+	matches, partial, err := sw.serving.Search(profile, sw.w.bigK(), 0)
+	if err != nil {
+		sw.t.Fatalf("%s: seed search for sub %d: %v", stage, subID, err)
+	}
+	if partial {
+		sw.t.Fatalf("%s: seed search for sub %d degraded to partial", stage, subID)
+	}
+	if n := sw.drain(); len(n) != 0 {
+		sw.t.Fatalf("%s: search emitted %d notifications", stage, len(n))
+	}
+	seedIDs := make([]uint64, len(matches))
+	for i, m := range matches {
+		seedIDs[i] = m.ID
+	}
+	gotEntries, err := sw.serving.Subscribe(subID, profile, k)
+	if err != nil {
+		sw.t.Fatalf("%s: subscribe %d: %v", stage, subID, err)
+	}
+	wantEntries, err := sw.oracle.Register(subID, k, profile, seedIDs)
+	if err != nil {
+		sw.t.Fatalf("%s: oracle register %d: %v", stage, subID, err)
+	}
+	if err := diffEntries(gotEntries, wantEntries); err != nil {
+		sw.t.Fatalf("%s: sub %d initial standing result: %v", stage, subID, err)
+	}
+	if n := sw.drain(); len(n) != 0 {
+		sw.t.Fatalf("%s: registration emitted %d notifications, want 0 (seeding is silent)", stage, len(n))
+	}
+	sw.subIDs = append(sw.subIDs, subID)
+}
+
+// insert pushes one profile through the serving path and diffs the
+// emitted notifications against the oracle. Under faults a transport
+// failure is tolerated — the hook must then stay silent and the owning
+// shard is marked shaky.
+func (sw *subWorld) insert(stage string, profile []float64, faults bool) {
+	sw.t.Helper()
+	w := sw.w
+	id := w.nextID
+	w.nextID++
+	if profile == nil {
+		profile = w.ds.Profiles[int(id)%len(w.ds.Profiles)]
+	}
+	sw.oracle.PutProfile(id, profile)
+	w.profiles[id] = profile
+	if err := sw.serving.Insert(id, profile); err != nil {
+		if !faults || !isTransportFault(err) {
+			sw.t.Fatalf("%s: insert %d: %v", stage, id, err)
+		}
+		if n := sw.drain(); len(n) != 0 {
+			sw.t.Fatalf("%s: FAILED insert %d emitted %d notifications", stage, id, len(n))
+		}
+		sw.shaky[w.owner(id)] = true
+		return
+	}
+	w.live[id] = true
+	want, err := sw.oracle.Insert(id, profile)
+	if err != nil {
+		sw.t.Fatalf("%s: oracle insert %d: %v", stage, id, err)
+	}
+	if err := diffNotifications(sw.drain(), want); err != nil {
+		sw.t.Fatalf("%s: insert %d: %v", stage, id, err)
+	}
+}
+
+// insertOwned inserts a fresh profile owned by shard s through the
+// serving path (forces the dead replica of group s to miss a write).
+func (sw *subWorld) insertOwned(stage string, s int) {
+	sw.t.Helper()
+	for sw.w.owner(sw.w.nextID) != s {
+		sw.w.nextID++
+	}
+	sw.insert(stage, nil, false)
+}
+
+// deleteOne deletes a random live user and diffs the promotion
+// notifications. Only used in phases where every op must succeed.
+func (sw *subWorld) deleteOne(stage string, rng *rand.Rand) {
+	sw.t.Helper()
+	w := sw.w
+	id := w.pickLive(rng)
+	if id == 0 {
+		return
+	}
+	if err := sw.serving.Delete(id, w.profiles[id]); err != nil {
+		sw.t.Fatalf("%s: delete %d: %v", stage, id, err)
+	}
+	delete(w.live, id)
+	w.deleted[id] = true
+	want := sw.oracle.Delete(id)
+	if err := diffNotifications(sw.drain(), want); err != nil {
+		sw.t.Fatalf("%s: delete %d: %v", stage, id, err)
+	}
+}
+
+// search runs one serving search: results validated against plaintext
+// membership, and — crucially — reads must never emit notifications.
+func (sw *subWorld) search(stage string, rng *rand.Rand, faults bool) {
+	sw.t.Helper()
+	w := sw.w
+	var wantID uint64
+	var target []float64
+	if id := w.pickLive(rng); id != 0 && rng.Intn(2) == 0 && !sw.shaky[w.owner(id)] {
+		wantID, target = id, w.profiles[id]
+	} else {
+		target = w.ds.Profiles[rng.Intn(len(w.ds.Profiles))]
+	}
+	got, partial, err := sw.serving.Search(target, w.bigK(), 0)
+	if err != nil {
+		if faults && isTransportFault(err) {
+			return
+		}
+		sw.t.Fatalf("%s: search: %v", stage, err)
+	}
+	if n := sw.drain(); len(n) != 0 {
+		sw.t.Fatalf("%s: search emitted %d notifications", stage, len(n))
+	}
+	if partial {
+		if faults {
+			return // every replica of some group faulted at once
+		}
+		sw.t.Fatalf("%s: partial result with a live replica in every group", stage)
+	}
+	if cerr := w.checkSearch(target, got, false, wantID); cerr != nil {
+		sw.t.Fatalf("%s (seed %d): %v", stage, w.p.seed, cerr)
+	}
+}
+
+// churnOps runs n mixed operations (inserts, deletes, searches) through
+// the serving path; deletes are skipped under faults so a mid-protocol
+// failure can never be mistaken for a deletion by either side.
+func (sw *subWorld) churnOps(stage string, rng *rand.Rand, n int, faults bool) {
+	sw.t.Helper()
+	for op := 0; op < n; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			sw.insert(stage, nil, faults)
+		case r < 6 && !faults:
+			sw.deleteOne(stage, rng)
+		default:
+			sw.search(stage, rng, faults)
+		}
+	}
+}
+
+func runSubscriptionChurn(t *testing.T, p repParams) {
+	w := newRepDynWorld(t, p)
+	sw := newSubWorld(t, w)
+	rng := rand.New(rand.NewSource(p.seed*913 + 7))
+	ctx := context.Background()
+
+	// Phase A — fault-free: register one subscriber per partition, churn,
+	// and force at least one guaranteed notification by inserting an exact
+	// duplicate of subscriber 1's profile (same metadata ⇒ same bucket
+	// write set ⇒ certain intersection, distance 0 ⇒ certain entry).
+	for s := 0; s < p.partitions; s++ {
+		sw.subscribe("phase A", uint64(s+1), p.k)
+	}
+	sw.churnOps("phase A churn", rng, 10, false)
+	sw.insert("phase A forced duplicate", w.profiles[1], false)
+	if sw.total == 0 {
+		t.Fatal("phase A: duplicate-profile insert produced no notification")
+	}
+
+	// Phase B — mid-churn replica kills: replica 0 of every group dies
+	// between ops, siblings absorb every mutation, notifications stay
+	// slot-exact throughout. After heal + anti-entropy repair, the OTHER
+	// replicas die, so churn and a fresh registration are served entirely
+	// by the repaired replicas — the differential proof that repair
+	// restored the logical state standing queries depend on.
+	for s := range w.groups {
+		w.killReplica(s, 0)
+		sw.churnOps("phase B kill", rng, 2, false)
+		sw.insertOwned("phase B kill", s)
+	}
+	w.probe(2)
+	sw.churnOps("phase B replica 0 down", rng, 6, false)
+	for s := range w.groups {
+		w.healReplica(s, 0)
+	}
+	w.probe(1)
+	if repaired := w.repairer.RepairOnce(ctx); repaired != len(w.groups) {
+		t.Fatalf("phase B: RepairOnce repaired %d replicas, want %d", repaired, len(w.groups))
+	}
+	for s := range w.groups {
+		for r := 1; r < p.replicas; r++ {
+			w.killReplica(s, r)
+		}
+	}
+	w.probe(2)
+	var extraSub uint64
+	for tries := 0; tries < 4 && extraSub == 0; tries++ {
+		if cand := w.pickLive(rng); cand != 0 && !subscribed(sw.subIDs, cand) {
+			extraSub = cand
+		}
+	}
+	if extraSub != 0 {
+		sw.subscribe("phase B repaired replicas serving alone", extraSub, p.k)
+	}
+	sw.churnOps("phase B repaired alone", rng, 4, false)
+	for s := range w.groups {
+		for r := 1; r < p.replicas; r++ {
+			w.healReplica(s, r)
+		}
+	}
+	w.probe(1)
+	w.repairer.RepairOnce(ctx)
+
+	// Phase C — random link chaos: inserts and searches under the seeded
+	// fault schedule. Failed ops must stay silent on both sides; completed
+	// ops must still diff slot-exactly.
+	w.net.SetEnabled(true)
+	for op := 0; op < 10; op++ {
+		if rng.Intn(2) == 0 {
+			sw.insert("phase C chaos", nil, true)
+		} else {
+			sw.search("phase C chaos", rng, true)
+		}
+	}
+	if cand := w.pickLive(rng); cand != 0 && !subscribed(sw.subIDs, cand) {
+		// Registration under chaos: the seed search may fault (tolerated);
+		// once it completes, Subscribe itself is a pure cache-hit + PRF
+		// computation and must succeed.
+		if matches, partial, err := sw.serving.Search(w.profiles[cand], w.bigK(), 0); err == nil && !partial {
+			sw.drain()
+			seedIDs := make([]uint64, len(matches))
+			for i, m := range matches {
+				seedIDs[i] = m.ID
+			}
+			gotE, err := sw.serving.Subscribe(cand, w.profiles[cand], p.k)
+			if err != nil {
+				t.Fatalf("phase C: subscribe %d after complete seed search: %v", cand, err)
+			}
+			wantE, err := sw.oracle.Register(cand, p.k, w.profiles[cand], seedIDs)
+			if err != nil {
+				t.Fatalf("phase C: oracle register %d: %v", cand, err)
+			}
+			if err := diffEntries(gotE, wantE); err != nil {
+				t.Fatalf("phase C: sub %d initial standing result: %v", cand, err)
+			}
+			sw.subIDs = append(sw.subIDs, cand)
+		} else if err != nil && !isTransportFault(err) {
+			t.Fatalf("phase C: seed search: %v", err)
+		}
+	}
+	w.net.SetEnabled(false)
+
+	// Phase D — convergence: faults off, fleet healed. The batched
+	// re-score fan-out must find every standing candidate intact (0
+	// corrections — nothing was silently lost), and every standing top-k
+	// must equal the oracle's slot-exactly.
+	w.probe(2)
+	w.repairer.RepairOnce(ctx)
+	changed, err := sw.serving.RescoreSubscriptions()
+	if err != nil {
+		t.Fatalf("phase D: rescore: %v", err)
+	}
+	if changed != 0 {
+		t.Fatalf("phase D: rescore corrected %d candidates, want 0 (state drifted)", changed)
+	}
+	if n := sw.drain(); len(n) != 0 {
+		t.Fatalf("phase D: rescore of a consistent state emitted %d notifications", len(n))
+	}
+	for _, subID := range sw.subIDs {
+		got, ok := sw.serving.Subscriptions().TopK(subID)
+		want, wok := sw.oracle.TopK(subID)
+		if !ok || !wok {
+			t.Fatalf("phase D: sub %d: serving ok=%v oracle ok=%v", subID, ok, wok)
+		}
+		if err := diffEntries(got, want); err != nil {
+			t.Fatalf("phase D: sub %d final standing result: %v", subID, err)
+		}
+	}
+	sw.churnOps("phase D convergence", rng, 4, false)
+	t.Logf("seed %d: %d subscriptions, %d notifications verified slot-exactly", p.seed, len(sw.subIDs), sw.total)
+	if sw.total == 0 {
+		t.Fatal("no notification emitted over the whole run; the suite verified nothing")
+	}
+}
+
+func subscribed(ids []uint64, id uint64) bool {
+	for _, s := range ids {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
